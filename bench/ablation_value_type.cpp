@@ -1,0 +1,127 @@
+// Ablation E — the 16-bit value format choice.  The paper stores matrix
+// entries in IEEE binary16 to match the CPU code's 16 bits; two other 16-bit
+// encodings exist in this code base: bfloat16 (truncated binary32) and
+// rsformat's per-column fixed point.  All three cost the same memory traffic
+// (hence identical modeled performance) — what differs is the dose error
+// they introduce, measured here against the exact double-precision dose.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cases/cases.hpp"
+#include "common/table.hpp"
+#include "fp16/bfloat16.hpp"
+#include "opt/gamma.hpp"
+#include "phantom/grid.hpp"
+#include "kernels/vector_csr.hpp"
+#include "rsformat/cpu_engine.hpp"
+#include "rsformat/rsmatrix.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/reference.hpp"
+
+namespace {
+
+struct ErrorStats {
+  double max_rel = 0.0;
+  double mean_rel = 0.0;
+};
+
+ErrorStats dose_error(const std::vector<double>& approx,
+                      const std::vector<double>& exact) {
+  ErrorStats s;
+  double sum = 0.0;
+  std::size_t counted = 0;
+  double max_dose = 0.0;
+  for (const double d : exact) max_dose = std::max(max_dose, d);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    if (exact[i] < 1e-6 * max_dose) {
+      continue;  // relative error meaningless in near-zero voxels
+    }
+    const double rel = std::fabs(approx[i] - exact[i]) / exact[i];
+    s.max_rel = std::max(s.max_rel, rel);
+    sum += rel;
+    ++counted;
+  }
+  s.mean_rel = counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = pd::bench::bench_scale();
+  pd::bench::print_banner(
+      "ablation_value_type",
+      "16-bit matrix storage: IEEE half vs bfloat16 vs fixed point", scale);
+  const auto beams = pd::bench::load_beams(scale);
+  pd::gpusim::Gpu gpu(pd::gpusim::make_a100());
+
+  pd::TextTable table({"beam", "half max err", "half mean err",
+                       "bf16 max err", "bf16 mean err", "fixed max err",
+                       "fixed mean err", "half g(1%,1mm)", "bf16 g(1%,1mm)",
+                       "fixed g(1%,1mm)"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const auto& beam : beams) {
+    const auto& D = beam.matrix;
+    const std::vector<double> x(D.num_cols, 1.0);
+    std::vector<double> exact(D.num_rows);
+    pd::sparse::reference_spmv(D, x, exact);
+
+    // IEEE half (the paper's choice).
+    const auto mh = pd::sparse::convert_values<pd::Half>(D);
+    std::vector<double> y_half(D.num_rows);
+    pd::kernels::run_vector_csr<pd::Half, double>(gpu, mh, x,
+                                                  std::span<double>(y_half));
+
+    // bfloat16.
+    const auto mb = pd::sparse::convert_values<pd::Bfloat16>(D);
+    std::vector<double> y_bf(D.num_rows);
+    pd::kernels::run_vector_csr<pd::Bfloat16, double>(gpu, mb, x,
+                                                      std::span<double>(y_bf));
+
+    // rsformat's per-column 16-bit fixed point.
+    const auto rs = pd::rsformat::RsMatrix::from_csr(D);
+    std::vector<double> y_fixed(D.num_rows);
+    pd::rsformat::cpu_compute_dose_serial(rs, x, y_fixed);
+
+    const ErrorStats e_half = dose_error(y_half, exact);
+    const ErrorStats e_bf = dose_error(y_bf, exact);
+    const ErrorStats e_fixed = dose_error(y_fixed, exact);
+
+    // Clinical acceptance: gamma(1%, 1mm) pass rate against the exact dose.
+    // Rebuild the dose grid geometry of this beam's case.
+    const auto def = beam.label.find("Liver") != std::string::npos
+                         ? pd::cases::liver_case(scale)
+                         : pd::cases::prostate_case(scale);
+    const pd::phantom::VoxelGrid vg(def.nx, def.ny, def.nz, def.spacing_mm);
+    const auto g_half = pd::opt::gamma_analysis(vg, exact, y_half);
+    const auto g_bf = pd::opt::gamma_analysis(vg, exact, y_bf);
+    const auto g_fixed = pd::opt::gamma_analysis(vg, exact, y_fixed);
+
+    table.add_row({beam.label, pd::fmt_sci(e_half.max_rel, 2),
+                   pd::fmt_sci(e_half.mean_rel, 2), pd::fmt_sci(e_bf.max_rel, 2),
+                   pd::fmt_sci(e_bf.mean_rel, 2), pd::fmt_sci(e_fixed.max_rel, 2),
+                   pd::fmt_sci(e_fixed.mean_rel, 2),
+                   pd::fmt_percent(g_half.pass_rate, 2),
+                   pd::fmt_percent(g_bf.pass_rate, 2),
+                   pd::fmt_percent(g_fixed.pass_rate, 2)});
+    csv_rows.push_back({beam.label, pd::fmt_sci(e_half.max_rel, 4),
+                        pd::fmt_sci(e_half.mean_rel, 4),
+                        pd::fmt_sci(e_bf.max_rel, 4),
+                        pd::fmt_sci(e_bf.mean_rel, 4),
+                        pd::fmt_sci(e_fixed.max_rel, 4),
+                        pd::fmt_sci(e_fixed.mean_rel, 4)});
+  }
+  std::cout << table.str() << "\n";
+  std::cout << "All three formats stream 2 bytes per entry, so the modeled "
+               "kernel performance is identical; IEEE half carries ~8x finer "
+               "relative precision than bfloat16 in the dose value range "
+               "(10 vs 7 mantissa bits), which is why the paper's choice is "
+               "the right one for a clinically-validated engine.\n\n";
+  pd::bench::write_csv("ablation_value_type",
+                       {"beam", "half_max", "half_mean", "bf16_max",
+                        "bf16_mean", "fixed_max", "fixed_mean"},
+                       csv_rows);
+  return 0;
+}

@@ -1,0 +1,65 @@
+#pragma once
+// Shared infrastructure for the per-table / per-figure benchmark binaries.
+//
+// Every bench loads the same six Table I beams (through a binary on-disk
+// cache so the Monte Carlo generation runs once per scale), runs kernels on
+// the simulated device, and reports both a human-readable table and a CSV
+// under bench_results/.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/perf.hpp"
+#include "kernels/analytic.hpp"
+#include "kernels/spmv_common.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/stats.hpp"
+
+namespace pd::bench {
+
+struct BenchBeam {
+  std::string label;               ///< Table I row name, e.g. "Liver 1".
+  sparse::CsrF64 matrix;
+  sparse::MatrixStats stats;
+  sparse::PaperMatrixInfo paper;   ///< Full-scale published numbers.
+};
+
+/// Scale from PROTONDOSE_SCALE (default 1.0 — the repository mini default).
+double bench_scale();
+
+/// Load (or generate + cache) all six beams at `scale`.  The cache lives in
+/// ./protondose_bench_cache and uses the library's binary matrix format.
+std::vector<BenchBeam> load_beams(double scale);
+
+/// Load only the named case's beams ("liver" / "prostate"), same cache.
+std::vector<BenchBeam> load_case_beams(const std::string& name, double scale);
+
+/// Measurement of one kernel on one beam: simulator counters + model output.
+struct Measurement {
+  kernels::KernelKind kind;
+  kernels::SpmvRun run;
+  gpusim::PerfEstimate estimate;
+};
+
+/// Execute the kernel variant on the simulated device and estimate its
+/// performance.  threads_per_block == 0 selects the paper's default for the
+/// kernel.  Unsupported combinations (e.g. u16 columns on a matrix with more
+/// than 65536 columns) return std::nullopt.
+std::optional<Measurement> measure_kernel(gpusim::Gpu& gpu,
+                                          kernels::KernelKind kind,
+                                          const BenchBeam& beam,
+                                          unsigned threads_per_block = 0);
+
+/// Write rows to bench_results/<name>.csv (directory created on demand).
+void write_csv(const std::string& name,
+               const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Banner helper: every bench prints what it reproduces and at which scale.
+void print_banner(const std::string& title, const std::string& paper_item,
+                  double scale);
+
+}  // namespace pd::bench

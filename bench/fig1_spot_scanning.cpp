@@ -1,0 +1,100 @@
+// Figure 1 — "Illustration of the spot scanning treatment technique", from
+// the beam's-eye view: the target outline (the voxels the beam sees), the
+// spot lattice covering it with margin, and the serpentine scan path within
+// one energy layer.  Rendered as ASCII for liver beam 1.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "cases/cases.hpp"
+#include "common/table.hpp"
+#include "phantom/beam.hpp"
+
+int main() {
+  const double scale = pd::bench::bench_scale();
+  pd::bench::print_banner("fig1_spot_scanning",
+                          "Figure 1: beam's-eye view of the spot scan pattern",
+                          scale);
+  const auto def = pd::cases::liver_case(scale);
+  const auto patient = pd::cases::build_phantom(def);
+  const auto frame =
+      pd::phantom::make_beam_frame(patient, def.gantry_angles_deg[0]);
+  pd::phantom::BeamConfig cfg = def.beam_config;
+  cfg.gantry_angle_deg = def.gantry_angles_deg[0];
+  const auto spots = pd::phantom::scanline_order(
+      pd::phantom::generate_spots(patient, frame, cfg));
+
+  // Project target voxels to the BEV for the outline.
+  std::map<std::pair<int, int>, char> canvas;
+  const auto& g = patient.grid();
+  const double cell = cfg.spot_spacing_mm;
+  for (std::uint64_t v = 0; v < g.num_voxels(); ++v) {
+    if (patient.roi(v) != pd::phantom::Roi::kTarget) continue;
+    double u = 0.0, w = 0.0;
+    frame.project(g.voxel_center(g.from_linear(v)), u, w);
+    canvas[{static_cast<int>(std::lround(u / cell)),
+            static_cast<int>(std::lround(w / cell))}] = '.';
+  }
+  // Spots of the deepest energy layer, numbered along the scan path.
+  const double deepest = spots.front().energy_mev;
+  int order = 0;
+  int layer_spots = 0;
+  for (const auto& s : spots) {
+    if (s.energy_mev != deepest) continue;
+    const char mark = order < 10 ? static_cast<char>('0' + order) : 'x';
+    canvas[{static_cast<int>(std::lround(s.u_mm / cell)),
+            static_cast<int>(std::lround(s.v_mm / cell))}] = mark;
+    ++order;
+    ++layer_spots;
+  }
+
+  int umin = 0, umax = 0, vmin = 0, vmax = 0;
+  for (const auto& [key, _] : canvas) {
+    umin = std::min(umin, key.first);
+    umax = std::max(umax, key.first);
+    vmin = std::min(vmin, key.second);
+    vmax = std::max(vmax, key.second);
+  }
+  std::cout << "Beam's-eye view, liver beam 1, deepest energy layer ("
+            << pd::fmt_double(deepest, 1) << " MeV).\n"
+            << "'.' = target outline cell, '0'..'9' = first ten spots along "
+               "the serpentine scan path, 'x' = remaining spots.\n\n";
+  for (int v = vmax; v >= vmin; --v) {
+    std::cout << "  ";
+    for (int u = umin; u <= umax; ++u) {
+      const auto it = canvas.find({u, v});
+      std::cout << (it == canvas.end() ? ' ' : it->second);
+    }
+    std::cout << "\n";
+  }
+
+  // Layer summary (the third dimension of Figure 1's spot set).
+  std::map<double, int, std::greater<double>> layers;
+  for (const auto& s : spots) {
+    layers[s.energy_mev]++;
+  }
+  std::cout << "\nEnergy layers: " << layers.size() << ", spots total "
+            << spots.size() << " (deepest layer holds " << layer_spots
+            << ").\n";
+  pd::TextTable t({"layer", "energy (MeV)", "spots"});
+  int idx = 0;
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const auto& [energy, count] : layers) {
+    if (idx < 8 || idx + 1 == static_cast<int>(layers.size())) {
+      t.add_row({std::to_string(idx), pd::fmt_double(energy, 1),
+                 std::to_string(count)});
+    } else if (idx == 8) {
+      t.add_row({"...", "...", "..."});
+    }
+    csv_rows.push_back({std::to_string(idx), pd::fmt_double(energy, 2),
+                        std::to_string(count)});
+    ++idx;
+  }
+  std::cout << t.str() << "\n";
+  pd::bench::write_csv("fig1_spot_scanning", {"layer", "energy_mev", "spots"},
+                       csv_rows);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 3 — roofline analysis on the A100 of the Ginkgo-like, cuSPARSE-like
+// and our mixed half/double (and single) SpMV kernels.
+//
+// Two complementary views are reported:
+//   * measured: operational intensity from the cache simulator's DRAM
+//     counters on the generated (scaled) liver-1 / prostate-1 beams, with the
+//     modeled GFLOP/s — the analogue of the Nsight-counter measurement;
+//   * analytic at paper scale: the infinite-cache upper bound (the paper's
+//     6·nnz + 12·nr + 8·nc derivation, OI ≈ 0.332 for liver 1).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "roofline/roofline.hpp"
+
+int main() {
+  using pd::kernels::KernelKind;
+  const double scale = pd::bench::bench_scale();
+  pd::bench::print_banner("fig3_roofline",
+                          "Figure 3: A100 roofline of Ginkgo/cuSPARSE/ours",
+                          scale);
+  const auto beams = pd::bench::load_beams(scale);
+  const auto spec = pd::gpusim::make_a100();
+  pd::gpusim::Gpu gpu(spec);
+
+  const std::vector<KernelKind> kinds = {
+      KernelKind::kHalfDouble, KernelKind::kSingle, KernelKind::kCuSparseLike,
+      KernelKind::kGinkgoLike};
+
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const std::size_t idx : {std::size_t{0}, std::size_t{4}}) {
+    const auto& beam = beams[idx];
+    std::vector<pd::roofline::RooflinePoint> points;
+    pd::TextTable table({"kernel", "measured OI", "analytic OI (paper scale)",
+                         "GFLOP/s", "GB/s", "% of roof"});
+    for (const KernelKind kind : kinds) {
+      const auto m = pd::bench::measure_kernel(gpu, kind, beam);
+      if (!m) {
+        continue;
+      }
+      const double analytic_oi = pd::kernels::analytic_operational_intensity(
+          kind, pd::kernels::Workload::from_paper(beam.paper));
+      const auto model = pd::roofline::make_roofline(spec, m->run.precision);
+      pd::roofline::RooflinePoint pt{pd::kernels::to_string(kind),
+                                     m->estimate.operational_intensity,
+                                     m->estimate.gflops};
+      points.push_back(pt);
+      table.add_row({pd::kernels::to_string(kind),
+                     pd::fmt_double(pt.oi, 3), pd::fmt_double(analytic_oi, 3),
+                     pd::fmt_double(pt.gflops, 1),
+                     pd::fmt_double(m->estimate.dram_gbs, 1),
+                     pd::fmt_percent(pd::roofline::roofline_fraction(model, pt),
+                                     1)});
+      csv_rows.push_back({beam.label, pd::kernels::to_string(kind),
+                          pd::fmt_double(pt.oi, 4),
+                          pd::fmt_double(analytic_oi, 4),
+                          pd::fmt_double(pt.gflops, 2),
+                          pd::fmt_double(m->estimate.dram_gbs, 2)});
+    }
+    std::cout << beam.label << ":\n" << table.str() << "\n";
+    const auto model64 =
+        pd::roofline::make_roofline(spec, pd::gpusim::FlopPrecision::kFp64);
+    std::cout << pd::roofline::ascii_roofline(model64, points, 72, 16) << "\n";
+  }
+
+  std::cout << "Paper headline: Half/Double upper-bound OI for liver 1 is "
+            << pd::fmt_double(pd::kernels::analytic_operational_intensity(
+                   KernelKind::kHalfDouble,
+                   pd::kernels::Workload::from_paper(beams[0].paper)), 3)
+            << " (paper reports 0.332), and the Half/Double OI exceeds the "
+               "single-precision kernels', which is why it wins despite "
+               "identical bandwidth.\n\n";
+  pd::bench::write_csv("fig3_roofline",
+                       {"beam", "kernel", "measured_oi", "analytic_oi_paper",
+                        "gflops", "gbs"},
+                       csv_rows);
+  return 0;
+}

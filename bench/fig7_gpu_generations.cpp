@@ -1,0 +1,78 @@
+// Figure 7 — the Half/Double kernel across GPU generations (A100, V100,
+// P100): GFLOP/s, achieved bandwidth, and the fraction of each device's peak
+// (the paper: 80-88% on A100/V100, ~41% on P100; A100 1.5-2x V100;
+// V100 ~2.5x P100).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using pd::kernels::KernelKind;
+  const double scale = pd::bench::bench_scale();
+  pd::bench::print_banner("fig7_gpu_generations",
+                          "Figure 7: Half/Double on A100 / V100 / P100",
+                          scale);
+  const auto beams = pd::bench::load_beams(scale);
+  const std::vector<pd::gpusim::DeviceSpec> devices = {
+      pd::gpusim::make_a100(), pd::gpusim::make_v100(), pd::gpusim::make_p100()};
+
+  pd::TextTable table({"beam", "A100 GF/s", "V100 GF/s", "P100 GF/s",
+                       "A100 BW frac", "V100 BW frac", "P100 BW frac",
+                       "A100/V100", "V100/P100"});
+  std::vector<std::vector<std::string>> csv_rows;
+  double sum_av = 0.0, sum_vp = 0.0;
+  for (const auto& beam : beams) {
+    std::vector<double> gflops, frac;
+    for (const auto& spec : devices) {
+      pd::gpusim::Gpu gpu(spec);
+      const auto m = pd::bench::measure_kernel(gpu, KernelKind::kHalfDouble,
+                                               beam);
+      gflops.push_back(m->estimate.gflops);
+      frac.push_back(m->estimate.bandwidth_fraction);
+    }
+    const double av = gflops[0] / gflops[1];
+    const double vp = gflops[1] / gflops[2];
+    sum_av += av;
+    sum_vp += vp;
+    table.add_row({beam.label, pd::fmt_double(gflops[0], 1),
+                   pd::fmt_double(gflops[1], 1), pd::fmt_double(gflops[2], 1),
+                   pd::fmt_percent(frac[0], 1), pd::fmt_percent(frac[1], 1),
+                   pd::fmt_percent(frac[2], 1), pd::fmt_double(av, 2),
+                   pd::fmt_double(vp, 2)});
+    csv_rows.push_back({beam.label, pd::fmt_double(gflops[0], 2),
+                        pd::fmt_double(gflops[1], 2),
+                        pd::fmt_double(gflops[2], 2),
+                        pd::fmt_double(frac[0], 3), pd::fmt_double(frac[1], 3),
+                        pd::fmt_double(frac[2], 3)});
+  }
+  std::cout << table.str() << "\n";
+  std::cout << "Average generation ratios: A100/V100 "
+            << pd::fmt_double(sum_av / beams.size(), 2) << "x (paper: 1.5-2x), "
+            << "V100/P100 " << pd::fmt_double(sum_vp / beams.size(), 2)
+            << "x (paper: ~2.5x).  The P100 gap exceeds its bandwidth deficit "
+               "because it only achieves ~41-45% of peak (paper defers the "
+               "cause to future work; we encode the observed fraction).\n\n";
+  // Forward prediction beyond the paper: the same kernel on an H100 model.
+  {
+    pd::gpusim::Gpu h100(pd::gpusim::make_h100());
+    pd::gpusim::Gpu a100(pd::gpusim::make_a100());
+    const auto mh = pd::bench::measure_kernel(h100, KernelKind::kHalfDouble,
+                                              beams[0]);
+    const auto ma = pd::bench::measure_kernel(a100, KernelKind::kHalfDouble,
+                                              beams[0]);
+    std::cout << "Model prediction (not in the paper): H100 would reach "
+              << pd::fmt_double(mh->estimate.gflops, 1)
+              << " GFLOP/s on liver 1 — "
+              << pd::fmt_double(mh->estimate.gflops / ma->estimate.gflops, 2)
+              << "x the A100, tracking the 2.15x bandwidth step as the "
+                 "bandwidth-bound analysis predicts.\n\n";
+  }
+
+  pd::bench::write_csv("fig7_gpu_generations",
+                       {"beam", "a100_gflops", "v100_gflops", "p100_gflops",
+                        "a100_bw_frac", "v100_bw_frac", "p100_bw_frac"},
+                       csv_rows);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table I — characteristics of the dose deposition matrices.
+//
+// Prints the generated (scaled) matrices next to the paper's full-scale
+// numbers; the reproduction targets are the *ratios* (non-zero ratio, rows
+// per column, empty-row fraction), which are scale-invariant.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int main() {
+  const double scale = pd::bench::bench_scale();
+  pd::bench::print_banner("table1_matrix_characteristics",
+                          "Table I: rows/cols/nnz/density/size per beam",
+                          scale);
+  const auto beams = pd::bench::load_beams(scale);
+
+  pd::TextTable table({"beam", "rows", "cols", "non-zeros", "nnz ratio",
+                       "size (2B vals)", "rows/cols", "paper nnz ratio",
+                       "paper rows/cols", "paper size"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const auto& b : beams) {
+    const auto& s = b.stats;
+    const double paper_ratio = b.paper.nnz / (b.paper.rows * b.paper.cols);
+    const double paper_bytes = b.paper.nnz * 6.0 + (b.paper.rows + 1) * 4.0;
+    std::vector<std::string> row = {
+        b.label,
+        std::to_string(s.rows),
+        std::to_string(s.cols),
+        std::to_string(s.nnz),
+        pd::fmt_percent(s.density, 2),
+        pd::fmt_bytes(static_cast<double>(s.csr_bytes(2, 4))),
+        pd::fmt_double(static_cast<double>(s.rows) / s.cols, 1),
+        pd::fmt_percent(paper_ratio, 2),
+        pd::fmt_double(b.paper.rows / b.paper.cols, 1),
+        pd::fmt_bytes(paper_bytes),
+    };
+    table.add_row(row);
+    csv_rows.push_back(std::move(row));
+  }
+  std::cout << table.str() << "\n";
+  std::cout << "Paper Table I reference sizes are computed as 6 B/nnz + "
+               "4 B/row offset (half values + 32-bit columns).\n\n";
+  pd::bench::write_csv("table1_matrix_characteristics",
+                       {"beam", "rows", "cols", "nnz", "nnz_ratio", "size",
+                        "rows_per_col", "paper_nnz_ratio", "paper_rows_per_col",
+                        "paper_size"},
+                       csv_rows);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// device_roofline — run the paper's kernel on one generated beam across the
+// three simulated GPUs (A100 / V100 / P100) and draw each device's roofline
+// with the measured point (Figures 3 and 7 in miniature).
+
+#include <iostream>
+
+#include "cases/cases.hpp"
+#include "common/table.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/dose_engine.hpp"
+#include "roofline/roofline.hpp"
+
+int main() {
+  const auto def = pd::cases::liver_case(/*scale=*/0.25);
+  const auto patient = pd::cases::build_phantom(def);
+  auto beam = pd::cases::generate_beam(def, patient, 0);
+  std::cout << "liver beam 1 (mini): " << beam.matrix.num_rows << " x "
+            << beam.matrix.num_cols << ", nnz " << beam.matrix.nnz() << "\n\n";
+
+  const std::vector<double> weights(beam.matrix.num_cols, 1.0);
+  for (const auto& spec : {pd::gpusim::make_a100(), pd::gpusim::make_v100(),
+                           pd::gpusim::make_p100()}) {
+    pd::kernels::DoseEngine engine(pd::sparse::CsrF64(beam.matrix), spec);
+    engine.compute(weights);
+    const auto est = engine.last_estimate();
+
+    const auto model =
+        pd::roofline::make_roofline(spec, pd::gpusim::FlopPrecision::kFp64);
+    std::vector<pd::roofline::RooflinePoint> pts = {
+        {"Half/Double", est.operational_intensity, est.gflops}};
+    std::cout << pd::roofline::ascii_roofline(model, pts, 64, 14) << "\n";
+  }
+  return 0;
+}

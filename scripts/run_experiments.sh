@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Rebuild, run the full test suite and every paper-reproduction bench, and
+# leave the raw transcripts in test_output.txt / bench_output.txt plus the
+# machine-readable tables in bench_results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    "$b" 2>&1 | tee -a bench_output.txt
+  fi
+done
+echo "done: test_output.txt, bench_output.txt, bench_results/"

@@ -1,0 +1,138 @@
+#include "cases/cases.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace pd::cases {
+
+namespace {
+/// Linear size factor for a voxel-count scale.
+double linear_factor(double scale) {
+  PD_CHECK_MSG(scale > 0.0, "case scale must be positive");
+  return std::cbrt(scale);
+}
+
+std::int64_t scaled_dim(double base, double f) {
+  return std::max<std::int64_t>(8, static_cast<std::int64_t>(std::llround(base * f)));
+}
+}  // namespace
+
+CaseDefinition liver_case(double scale) {
+  const double f = linear_factor(scale);
+  CaseDefinition def;
+  def.name = "liver";
+  def.nx = scaled_dim(44, f);
+  def.ny = scaled_dim(44, f);
+  def.nz = scaled_dim(24, f);
+  def.spacing_mm = 5.0;
+  def.gantry_angles_deg = {0.0, 45.0, 135.0, 225.0};
+  def.beam_config.spot_spacing_mm = 3.4 / f;
+  def.beam_config.layer_spacing_mm = 5.0 / f;
+  def.beam_config.lateral_margin_mm = 8.0;
+  def.transport.step_mm = 2.5;
+  def.transport.lateral_sigma0_mm = 4.0;
+  def.transport.lateral_growth_mm_per_cm = 0.6;
+  def.transport.lateral_cutoff_sigmas = 2.0;
+  def.seed = 0x11BE2021ULL;
+  return def;
+}
+
+CaseDefinition prostate_case(double scale) {
+  const double f = linear_factor(scale);
+  CaseDefinition def;
+  def.name = "prostate";
+  def.nx = scaled_dim(28, f);
+  def.ny = scaled_dim(28, f);
+  def.nz = scaled_dim(20, f);
+  def.spacing_mm = 6.0;
+  def.gantry_angles_deg = {90.0, 270.0};  // parallel opposed
+  def.beam_config.spot_spacing_mm = 5.5 / f;
+  def.beam_config.layer_spacing_mm = 5.0 / f;
+  def.beam_config.lateral_margin_mm = 7.0;
+  def.transport.step_mm = 2.5;
+  def.transport.lateral_sigma0_mm = 5.0;
+  def.transport.lateral_growth_mm_per_cm = 0.6;
+  def.transport.lateral_cutoff_sigmas = 2.2;
+  def.seed = 0x9205A7EULL;
+  return def;
+}
+
+phantom::Phantom build_phantom(const CaseDefinition& def) {
+  if (def.name == "liver") {
+    return phantom::make_liver_phantom(def.nx, def.ny, def.nz, def.spacing_mm);
+  }
+  if (def.name == "prostate") {
+    return phantom::make_prostate_phantom(def.nx, def.ny, def.nz, def.spacing_mm);
+  }
+  throw pd::Error("unknown case: " + def.name);
+}
+
+mc::GeneratedBeam generate_beam(const CaseDefinition& def,
+                                const phantom::Phantom& phantom,
+                                std::size_t beam_index) {
+  PD_CHECK_MSG(beam_index < def.num_beams(), "beam index out of range");
+  return mc::generate_dose_matrix(phantom, def.gantry_angles_deg[beam_index],
+                                  def.beam_config, def.transport, def.bragg,
+                                  def.seed + beam_index);
+}
+
+std::vector<sparse::CsrF64> generate_setup_scenarios(
+    const CaseDefinition& def, const phantom::Phantom& phantom,
+    std::size_t beam_index, const std::vector<phantom::Vec3>& shifts_mm) {
+  PD_CHECK_MSG(beam_index < def.num_beams(), "beam index out of range");
+  std::vector<sparse::CsrF64> scenarios;
+  scenarios.reserve(shifts_mm.size() + 1);
+  // Scenario 0: nominal delivery.
+  scenarios.push_back(generate_beam(def, phantom, beam_index).matrix);
+  for (const phantom::Vec3& shift : shifts_mm) {
+    scenarios.push_back(
+        mc::generate_dose_matrix(phantom, def.gantry_angles_deg[beam_index],
+                                 def.beam_config, def.transport, def.bragg,
+                                 def.seed + beam_index, shift)
+            .matrix);
+  }
+  return scenarios;
+}
+
+std::vector<BeamDataset> generate_case_beams(const CaseDefinition& def) {
+  const phantom::Phantom phantom = build_phantom(def);
+  std::vector<BeamDataset> out;
+  for (std::size_t b = 0; b < def.num_beams(); ++b) {
+    BeamDataset ds;
+    ds.label = def.name + " " + std::to_string(b + 1);
+    ds.beam = generate_beam(def, phantom, b);
+    ds.stats = sparse::compute_stats(ds.beam.matrix);
+    out.push_back(std::move(ds));
+  }
+  return out;
+}
+
+std::vector<BeamDataset> generate_all_beams(double scale) {
+  std::vector<BeamDataset> all;
+  const auto& paper = sparse::paper_table1();
+  for (const CaseDefinition& def : {liver_case(scale), prostate_case(scale)}) {
+    for (BeamDataset& ds : generate_case_beams(def)) {
+      all.push_back(std::move(ds));
+    }
+  }
+  PD_CHECK_MSG(all.size() == paper.size(),
+               "case catalog out of sync with Table I");
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i].label = paper[i].name;
+    all[i].paper = paper[i];
+  }
+  return all;
+}
+
+double scale_from_env() {
+  if (const char* v = std::getenv("PROTONDOSE_SCALE"); v != nullptr && *v != '\0') {
+    const double s = std::atof(v);
+    PD_CHECK_MSG(s > 0.0, "PROTONDOSE_SCALE must be positive");
+    return s;
+  }
+  return 1.0;
+}
+
+}  // namespace pd::cases

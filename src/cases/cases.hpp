@@ -1,0 +1,76 @@
+#pragma once
+// The paper's evaluation cases: a liver patient with four beams and a
+// prostate patient with two parallel-opposed beams (Table I), generated
+// synthetically at a configurable scale.
+//
+// Scale semantics: scale = 1.0 is the repository default "mini" size
+// (~1/64 of the paper's voxel count per case, ~1/1000 of the nnz), chosen so
+// the cache-simulator benches run in seconds on one CPU core.  The generator
+// preserves the structural properties the kernels are sensitive to —
+// rows ≫ cols, 0.6–2% density, ~70% empty rows, heavy-tailed row lengths —
+// which tests assert.  Raise PROTONDOSE_SCALE / --scale for larger matrices.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mc/generator.hpp"
+#include "phantom/phantom.hpp"
+#include "sparse/stats.hpp"
+
+namespace pd::cases {
+
+struct CaseDefinition {
+  std::string name;                    ///< "liver" / "prostate".
+  std::int64_t nx = 0, ny = 0, nz = 0; ///< Dose-grid dimensions.
+  double spacing_mm = 0.0;
+  std::vector<double> gantry_angles_deg;
+  phantom::BeamConfig beam_config;
+  mc::TransportConfig transport;
+  mc::BraggModel bragg;
+  std::uint64_t seed = 0;
+
+  std::size_t num_beams() const { return gantry_angles_deg.size(); }
+};
+
+/// Four-beam liver case (Table I rows "Liver 1..4").
+CaseDefinition liver_case(double scale = 1.0);
+
+/// Two parallel-opposed-beam prostate case (Table I rows "Prostate 1..2").
+CaseDefinition prostate_case(double scale = 1.0);
+
+/// Build the case's phantom.
+phantom::Phantom build_phantom(const CaseDefinition& def);
+
+/// Generate the dose deposition matrix of one beam (0-based index).
+mc::GeneratedBeam generate_beam(const CaseDefinition& def,
+                                const phantom::Phantom& phantom,
+                                std::size_t beam_index);
+
+/// Generate setup-error scenario matrices for one beam: the nominal matrix
+/// followed by one matrix per shift (patient displaced by ±`shift_mm` along
+/// the beam frame's lateral axes).  All scenarios share the spot plan, as
+/// robust optimization requires (paper §II).
+std::vector<sparse::CsrF64> generate_setup_scenarios(
+    const CaseDefinition& def, const phantom::Phantom& phantom,
+    std::size_t beam_index, const std::vector<phantom::Vec3>& shifts_mm);
+
+/// A generated beam paired with its Table I counterpart.
+struct BeamDataset {
+  std::string label;                 ///< e.g. "Liver 1".
+  mc::GeneratedBeam beam;
+  sparse::MatrixStats stats;
+  sparse::PaperMatrixInfo paper;     ///< Full-scale reference numbers.
+};
+
+/// Generate every beam of both cases, in Table I order.  This is the shared
+/// workload loader all benches use.
+std::vector<BeamDataset> generate_all_beams(double scale = 1.0);
+
+/// Generate the beams of a single case, in order.
+std::vector<BeamDataset> generate_case_beams(const CaseDefinition& def);
+
+/// Read the scale from PROTONDOSE_SCALE (default 1.0).
+double scale_from_env();
+
+}  // namespace pd::cases

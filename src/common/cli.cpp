@@ -1,0 +1,105 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pd {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  options_[name] = Option{default_value, help, /*is_flag=*/false};
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{"false", help, /*is_flag=*/true};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      return false;
+    }
+    PD_CHECK_MSG(arg.rfind("--", 0) == 0, "unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = options_.find(arg);
+    PD_CHECK_MSG(it != options_.end(), "unknown option: --" + arg);
+    if (it->second.is_flag) {
+      values_[arg] = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        PD_CHECK_MSG(i + 1 < argc, "option --" + arg + " expects a value");
+        value = argv[++i];
+      }
+      values_[arg] = value;
+    }
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto opt = options_.find(name);
+  PD_CHECK_MSG(opt != options_.end(), "option not registered: --" + name);
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : opt->second.default_value;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw Error("option --" + name + ": not a number: " + v);
+  }
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    return std::stoll(v);
+  } catch (const std::exception&) {
+    throw Error("option --" + name + ": not an integer: " + v);
+  }
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return get(name) == "true";
+}
+
+std::string CliParser::get_env_or(const std::string& name,
+                                  const std::string& env) const {
+  if (const char* v = std::getenv(env.c_str()); v != nullptr && *v != '\0') {
+    return v;
+  }
+  return get(name);
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    if (!opt.is_flag) {
+      os << " <value> (default: " << opt.default_value << ")";
+    }
+    os << "\n      " << opt.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pd

@@ -1,0 +1,52 @@
+#pragma once
+// Tiny command-line parser for the bench/example binaries.
+//
+// Supports --name value / --name=value / boolean --flag forms, prints a usage
+// synopsis from the registered options, and falls back to environment
+// variables (e.g. PROTONDOSE_SCALE) so ctest-driven runs can be configured.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pd {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Register an option with a default value (rendered in --help).
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv; throws pd::Error on unknown options; returns false if
+  /// --help was requested (usage already printed to stdout).
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Environment-variable override helper: returns env value if set,
+  /// otherwise the parsed/default option value.
+  std::string get_env_or(const std::string& name, const std::string& env) const;
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pd

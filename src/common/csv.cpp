@@ -1,0 +1,34 @@
+#include "common/csv.hpp"
+
+namespace pd {
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return cell;
+  }
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      quoted += '"';
+    }
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out_ << escape(cells[i]);
+    if (i + 1 < cells.size()) {
+      out_ << ',';
+    }
+  }
+  out_ << '\n';
+}
+
+}  // namespace pd

@@ -1,0 +1,25 @@
+#pragma once
+// Minimal CSV writer with RFC-4180 quoting; benches emit machine-readable CSV
+// alongside the human-readable tables so results can be re-plotted.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pd {
+
+class CsvWriter {
+ public:
+  /// Writes into an externally owned stream (file or string stream).
+  explicit CsvWriter(std::ostream& out);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Quote a cell if it contains separators, quotes, or newlines.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace pd

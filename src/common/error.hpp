@@ -1,0 +1,45 @@
+#pragma once
+// Error handling for protondose.
+//
+// PD_CHECK / PD_CHECK_MSG throw pd::Error on violated preconditions; they stay
+// enabled in release builds because the library validates untrusted inputs
+// (matrix files, CLI parameters).  PD_ASSERT is for internal invariants and
+// compiles out in NDEBUG builds.
+
+#include <stdexcept>
+#include <string>
+
+namespace pd {
+
+/// Exception type thrown by all protondose validation failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
+                                      const std::string& msg);
+}  // namespace detail
+
+}  // namespace pd
+
+#define PD_CHECK(expr)                                                     \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pd::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");    \
+    }                                                                      \
+  } while (false)
+
+#define PD_CHECK_MSG(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pd::detail::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define PD_ASSERT(expr) ((void)0)
+#else
+#define PD_ASSERT(expr) PD_CHECK(expr)
+#endif

@@ -1,0 +1,100 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pd {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) {
+    return s;
+  }
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double ss = 0.0;
+    for (double v : values) {
+      const double d = v - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+double percentile(std::span<const double> values, double p) {
+  PD_CHECK_MSG(!values.empty(), "percentile of empty sample");
+  PD_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile p out of range");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  PD_CHECK_MSG(hi > lo, "Histogram: hi must exceed lo");
+  PD_CHECK_MSG(bins > 0, "Histogram: need at least one bin");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double value) { add_count(value, 1); }
+
+void Histogram::add_count(double value, std::uint64_t count) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += count;
+  total_ += count;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin + 1);
+}
+
+double Histogram::cumulative_fraction(std::size_t bin) const {
+  PD_CHECK_MSG(bin < counts_.size(), "cumulative_fraction: bin out of range");
+  if (total_ == 0) {
+    return 0.0;
+  }
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i <= bin; ++i) {
+    acc += counts_[i];
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double empirical_cdf(std::span<const std::uint64_t> sorted_values, std::uint64_t x) {
+  if (sorted_values.empty()) {
+    return 0.0;
+  }
+  const auto it =
+      std::upper_bound(sorted_values.begin(), sorted_values.end(), x);
+  return static_cast<double>(it - sorted_values.begin()) /
+         static_cast<double>(sorted_values.size());
+}
+
+}  // namespace pd

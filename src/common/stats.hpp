@@ -1,0 +1,54 @@
+#pragma once
+// Descriptive statistics and histograms used for the matrix-structure analyses
+// (paper Table I and Figure 2) and for benchmark post-processing.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pd {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+/// Interpolated percentile (p in [0, 100]) of an *unsorted* sample.
+double percentile(std::span<const double> values, double p);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside the
+/// range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_count(double value, std::uint64_t count);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Cumulative fraction of samples with value < bin_hi(bin).
+  double cumulative_fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Empirical CDF evaluated at x: fraction of samples <= x.
+double empirical_cdf(std::span<const std::uint64_t> sorted_values, std::uint64_t x);
+
+}  // namespace pd

@@ -1,0 +1,34 @@
+#pragma once
+// Plain-text table formatter used by the benchmark harness to print the same
+// rows/series the paper's tables and figures report.
+
+#include <string>
+#include <vector>
+
+namespace pd {
+
+/// Column-aligned text table.  Cells are strings; numeric helpers format with
+/// a fixed number of significant digits so benchmark output is stable.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by benches.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_sci(double v, int precision = 2);
+std::string fmt_percent(double fraction, int precision = 1);
+std::string fmt_bytes(double bytes);
+
+}  // namespace pd

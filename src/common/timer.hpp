@@ -1,0 +1,25 @@
+#pragma once
+// Wall-clock timer for host-side measurements (the simulated-GPU timings come
+// from gpusim::PerfModel, not from this).
+
+#include <chrono>
+
+namespace pd {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pd

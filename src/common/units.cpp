@@ -1,0 +1,32 @@
+#include "common/units.hpp"
+
+#include "common/error.hpp"
+
+namespace pd {
+
+double gbytes_per_sec(double bytes, double seconds) {
+  PD_CHECK_MSG(seconds > 0.0, "gbytes_per_sec: non-positive time");
+  return bytes / seconds / kGiga;
+}
+
+double gflops_per_sec(double flops, double seconds) {
+  PD_CHECK_MSG(seconds > 0.0, "gflops_per_sec: non-positive time");
+  return flops / seconds / kGiga;
+}
+
+double operational_intensity(double flops, double dram_bytes) {
+  PD_CHECK_MSG(dram_bytes > 0.0, "operational_intensity: no DRAM traffic");
+  return flops / dram_bytes;
+}
+
+double seconds_for_bytes(double bytes, double bandwidth_gbs) {
+  PD_CHECK_MSG(bandwidth_gbs > 0.0, "seconds_for_bytes: non-positive bandwidth");
+  return bytes / (bandwidth_gbs * kGiga);
+}
+
+double seconds_for_flops(double flops, double gflops) {
+  PD_CHECK_MSG(gflops > 0.0, "seconds_for_flops: non-positive rate");
+  return flops / (gflops * kGiga);
+}
+
+}  // namespace pd

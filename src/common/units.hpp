@@ -1,0 +1,27 @@
+#pragma once
+// Strong unit helpers for the performance model: keeping bytes, FLOPs, and
+// seconds as distinct vocabulary avoids the classic GB-vs-GiB and
+// bytes-vs-transactions mix-ups in roofline arithmetic.
+
+#include <cstdint>
+
+namespace pd {
+
+inline constexpr double kGiga = 1e9;
+
+/// Convert bytes and seconds to GB/s (decimal gigabytes, as GPU datasheets do).
+double gbytes_per_sec(double bytes, double seconds);
+
+/// Convert FLOP count and seconds to GFLOP/s.
+double gflops_per_sec(double flops, double seconds);
+
+/// Operational intensity (FLOP per DRAM byte).
+double operational_intensity(double flops, double dram_bytes);
+
+/// Seconds from a byte volume at a bandwidth given in GB/s.
+double seconds_for_bytes(double bytes, double bandwidth_gbs);
+
+/// Seconds from a FLOP count at a compute rate given in GFLOP/s.
+double seconds_for_flops(double flops, double gflops);
+
+}  // namespace pd

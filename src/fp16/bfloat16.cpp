@@ -1,0 +1,16 @@
+#include "fp16/bfloat16.hpp"
+
+#include <cmath>
+
+namespace pd {
+
+double bfloat16_ulp(double x) {
+  x = std::fabs(x);
+  if (x < std::ldexp(1.0, -126)) {  // below min normal: subnormal spacing
+    return std::ldexp(1.0, -133);
+  }
+  const int e = static_cast<int>(std::floor(std::log2(x)));
+  return std::ldexp(1.0, e - 7);
+}
+
+}  // namespace pd

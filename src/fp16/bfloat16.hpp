@@ -1,0 +1,93 @@
+#pragma once
+// Software bfloat16 (brain floating point): the other 16-bit storage format
+// a dose engine could use.
+//
+// The paper chooses IEEE binary16 for the matrix entries; bfloat16 trades
+// mantissa (7 bits vs 10) for binary32's full exponent range.  Dose
+// deposition values are positive and span a modest dynamic range, so half
+// should quantize them ~8x more precisely — the value-type ablation
+// (`bench/ablation_value_type`) measures exactly that.  Conversions use
+// round-to-nearest-even, like hardware bf16 units.
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace pd {
+
+class Bfloat16 {
+ public:
+  constexpr Bfloat16() = default;
+
+  static constexpr Bfloat16 from_bits(std::uint16_t bits) {
+    Bfloat16 b;
+    b.bits_ = bits;
+    return b;
+  }
+
+  explicit Bfloat16(float value) : bits_(float_to_bits(value)) {}
+  explicit Bfloat16(double value) : Bfloat16(static_cast<float>(value)) {}
+
+  constexpr std::uint16_t bits() const { return bits_; }
+
+  /// Exact widening: bf16 is binary32 with a truncated mantissa.
+  float to_float() const {
+    const std::uint32_t f = static_cast<std::uint32_t>(bits_) << 16;
+    return std::bit_cast<float>(f);
+  }
+  double to_double() const { return static_cast<double>(to_float()); }
+  explicit operator float() const { return to_float(); }
+  explicit operator double() const { return to_double(); }
+
+  bool is_nan() const {
+    return ((bits_ & 0x7f80u) == 0x7f80u) && ((bits_ & 0x7fu) != 0);
+  }
+  bool is_inf() const { return (bits_ & 0x7fffu) == 0x7f80u; }
+  bool signbit() const { return (bits_ & 0x8000u) != 0; }
+
+  friend Bfloat16 operator+(Bfloat16 a, Bfloat16 b) {
+    return Bfloat16(a.to_float() + b.to_float());
+  }
+  friend Bfloat16 operator*(Bfloat16 a, Bfloat16 b) {
+    return Bfloat16(a.to_float() * b.to_float());
+  }
+  friend bool operator==(Bfloat16 a, Bfloat16 b) {
+    if (a.is_nan() || b.is_nan()) return false;
+    if ((a.bits_ | b.bits_ | 0x8000u) == 0x8000u) return true;  // ±0
+    return a.bits_ == b.bits_;
+  }
+
+  /// RNE narrowing of binary32 to bf16 bits.
+  static std::uint16_t float_to_bits(float value) {
+    std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+    if ((f & 0x7f800000u) == 0x7f800000u && (f & 0x007fffffu) != 0) {
+      // NaN: keep a quiet payload.
+      return static_cast<std::uint16_t>((f >> 16) | 0x0040u);
+    }
+    // Round to nearest even on the 16-bit boundary.
+    const std::uint32_t lsb = (f >> 16) & 1u;
+    f += 0x7fffu + lsb;
+    return static_cast<std::uint16_t>(f >> 16);
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(Bfloat16) == 2, "Bfloat16 must be 2 bytes");
+
+/// ulp of a bf16 value near |x| (7 mantissa bits).
+double bfloat16_ulp(double x);
+
+}  // namespace pd
+
+template <>
+struct std::numeric_limits<pd::Bfloat16> {
+  static constexpr bool is_specialized = true;
+  static constexpr int digits = 8;  // implicit bit + 7 mantissa bits
+  static pd::Bfloat16 max() { return pd::Bfloat16::from_bits(0x7f7f); }
+  static pd::Bfloat16 min() { return pd::Bfloat16::from_bits(0x0080); }
+  static pd::Bfloat16 infinity() { return pd::Bfloat16::from_bits(0x7f80); }
+  static pd::Bfloat16 quiet_NaN() { return pd::Bfloat16::from_bits(0x7fc0); }
+  static pd::Bfloat16 epsilon() { return pd::Bfloat16::from_bits(0x3c00); }  // 2^-7
+};

@@ -1,0 +1,140 @@
+#include "fp16/half.hpp"
+
+#include <bit>
+#include <cmath>
+#include <ostream>
+
+namespace pd {
+
+std::uint16_t float_to_half_bits(float value) {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::uint32_t exp32 = (f >> 23) & 0xffu;
+  std::uint32_t mant32 = f & 0x007fffffu;
+
+  if (exp32 == 0xffu) {  // inf or NaN
+    if (mant32 == 0) {
+      return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+    // Preserve a quiet NaN; keep the top mantissa bits so payload ordering
+    // survives where it fits.
+    std::uint32_t nan_mant = mant32 >> 13;
+    if (nan_mant == 0) nan_mant = 1;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | 0x0200u | nan_mant);
+  }
+
+  // Unbiased exponent; binary16 bias is 15, binary32 bias is 127.
+  const int unbiased = static_cast<int>(exp32) - 127;
+  int exp16 = unbiased + 15;
+
+  if (exp16 >= 0x1f) {  // overflow -> infinity
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+
+  if (exp16 <= 0) {
+    // Subnormal half (or zero).  The effective mantissa (with implicit bit,
+    // if the input is normal) must be shifted right by (1 - exp16) extra
+    // positions on top of the usual 13-bit narrowing.
+    if (exp16 < -10) {
+      // Too small for even the largest subnormal: round to (signed) zero,
+      // except values >= 2^-25 exactly at the halfway point round to the
+      // smallest subnormal — handled by the shift path below when exp16==-10.
+      return static_cast<std::uint16_t>(sign);
+    }
+    mant32 |= 0x00800000u;  // make the implicit bit explicit
+    const int shift = 14 - exp16;  // 13 narrowing bits + (1 - exp16)
+    const std::uint32_t mant = mant32 >> shift;
+    const std::uint32_t rem = mant32 & ((1u << shift) - 1u);
+    const std::uint32_t half_point = 1u << (shift - 1);
+    std::uint32_t rounded = mant;
+    if (rem > half_point || (rem == half_point && (mant & 1u))) {
+      ++rounded;  // may carry into the exponent (to min normal) — that is fine
+    }
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+
+  // Normal half: narrow the 23-bit mantissa to 10 bits with RNE.
+  std::uint32_t mant = mant32 >> 13;
+  const std::uint32_t rem = mant32 & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (mant & 1u))) {
+    ++mant;
+    if (mant == 0x400u) {  // mantissa overflow carries into the exponent
+      mant = 0;
+      ++exp16;
+      if (exp16 >= 0x1f) {
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+      }
+    }
+  }
+  return static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(exp16) << 10) | mant);
+}
+
+float half_bits_to_float(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp16 = (bits >> 10) & 0x1fu;
+  std::uint32_t mant = bits & 0x3ffu;
+
+  std::uint32_t f;
+  if (exp16 == 0) {
+    if (mant == 0) {
+      f = sign;  // signed zero
+    } else {
+      // Subnormal half: renormalize into a binary32 normal.
+      int e = -1;
+      do {
+        ++e;
+        mant <<= 1;
+      } while ((mant & 0x400u) == 0);
+      mant &= 0x3ffu;
+      const std::uint32_t exp32 = static_cast<std::uint32_t>(127 - 15 - e);
+      f = sign | (exp32 << 23) | (mant << 13);
+    }
+  } else if (exp16 == 0x1f) {
+    f = sign | 0x7f800000u | (mant << 13);  // inf / NaN (payload widened)
+  } else {
+    const std::uint32_t exp32 = exp16 + (127 - 15);
+    f = sign | (exp32 << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+Half::Half(float value) : bits_(float_to_half_bits(value)) {}
+
+Half::Half(double value)
+    // Double -> half via float is correctly rounded for every double whose
+    // magnitude is representable without double rounding hazards in our use
+    // (matrix entries are bounded, and the hazard window around half-ULP
+    // boundaries of binary32 cannot change the binary16 RNE result because
+    // binary32 keeps 13 extra mantissa bits beyond binary16).
+    : bits_(float_to_half_bits(static_cast<float>(value))) {}
+
+Half::Half(int value) : Half(static_cast<double>(value)) {}
+
+float Half::to_float() const { return half_bits_to_float(bits_); }
+
+double Half::to_double() const { return static_cast<double>(to_float()); }
+
+bool Half::is_nan() const {
+  return ((bits_ & 0x7c00u) == 0x7c00u) && ((bits_ & 0x3ffu) != 0);
+}
+
+bool Half::is_inf() const { return (bits_ & 0x7fffu) == 0x7c00u; }
+
+bool Half::is_subnormal() const {
+  return ((bits_ & 0x7c00u) == 0) && ((bits_ & 0x3ffu) != 0);
+}
+
+bool Half::is_zero() const { return (bits_ & 0x7fffu) == 0; }
+
+std::ostream& operator<<(std::ostream& os, Half h) { return os << h.to_float(); }
+
+double half_ulp(double x) {
+  x = std::fabs(x);
+  if (x < 6.103515625e-05) {  // below min normal: fixed subnormal spacing
+    return 5.960464477539063e-08;  // 2^-24
+  }
+  const int e = static_cast<int>(std::floor(std::log2(x)));
+  return std::ldexp(1.0, e - 10);
+}
+
+}  // namespace pd

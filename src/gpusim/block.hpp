@@ -1,0 +1,83 @@
+#pragma once
+// Block-scope execution: shared memory and barrier-phased cooperation.
+//
+// The warp-synchronous engine executes one warp to completion at a time, so
+// a literal __syncthreads() cannot suspend mid-warp.  Instead, block
+// cooperation is expressed the way barrier-correct kernels are actually
+// structured: as a sequence of *phases*, each a function every warp of the
+// block runs, with an implicit barrier between phases:
+//
+//   gpu.run_blocks(cfg, [&](BlockCtx& b) {
+//     auto tile = b.shared_alloc<float>(1024);
+//     b.for_each_warp([&](WarpCtx& w) { /* phase 1: fill tile   */ });
+//     b.for_each_warp([&](WarpCtx& w) { /* phase 2: reduce tile */ });
+//   });
+//
+// Shared memory is a per-block arena whose accesses are counted separately
+// from the L2/DRAM stream (they are on-chip), including a bank-conflict
+// model: lanes of one warp hitting the same bank serialize, which is the
+// classic shared-memory performance hazard.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpusim/warp.hpp"
+
+namespace pd::gpusim {
+
+class BlockCtx {
+ public:
+  BlockCtx(MemoryModel& mem, ComputeCounters& compute, SharedCounters& shared,
+           std::uint64_t block_idx, unsigned block_dim, std::uint64_t grid_dim,
+           std::size_t shared_limit_bytes)
+      : mem_(&mem),
+        compute_(&compute),
+        shared_counters_(&shared),
+        block_idx_(block_idx),
+        block_dim_(block_dim),
+        grid_dim_(grid_dim),
+        shared_limit_(shared_limit_bytes) {}
+
+  std::uint64_t block_idx() const { return block_idx_; }
+  unsigned block_dim() const { return block_dim_; }
+  unsigned warps_per_block() const { return block_dim_ / kWarpSize; }
+  std::uint64_t grid_dim() const { return grid_dim_; }
+
+  /// Allocate n elements of block-shared storage (zero-initialized, like
+  /// static __shared__).  Throws if the block exceeds the device limit.
+  template <typename T>
+  T* shared_alloc(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    PD_CHECK_MSG(shared_used_ + bytes <= shared_limit_,
+                 "shared_alloc: exceeds the per-block shared memory limit");
+    arenas_.emplace_back(bytes, std::byte{0});
+    shared_used_ += bytes;
+    return reinterpret_cast<T*>(arenas_.back().data());
+  }
+
+  /// Run `fn(WarpCtx&)` for every warp of this block.  Consecutive calls are
+  /// separated by an implicit __syncthreads().
+  template <typename Fn>
+  void for_each_warp(Fn&& fn) {
+    for (unsigned w = 0; w < warps_per_block(); ++w) {
+      WarpCtx ctx(*mem_, *compute_, block_idx_, w, block_dim_, grid_dim_);
+      ctx.attach_shared(shared_counters_);
+      fn(ctx);
+    }
+  }
+
+ private:
+  MemoryModel* mem_;
+  ComputeCounters* compute_;
+  SharedCounters* shared_counters_;
+  std::uint64_t block_idx_;
+  unsigned block_dim_;
+  std::uint64_t grid_dim_;
+  std::size_t shared_limit_;
+  std::size_t shared_used_ = 0;
+  std::vector<std::vector<std::byte>> arenas_;
+};
+
+}  // namespace pd::gpusim

@@ -1,0 +1,80 @@
+#pragma once
+// GPU device descriptors and the occupancy calculator.
+//
+// DeviceSpec captures the published characteristics of the three GPUs the
+// paper evaluates (A100, V100, P100) plus the host CPU used for the
+// RayStation baseline.  Where the paper's measurements expose empirical
+// constants that a datasheet does not give (achieved fraction of peak DRAM
+// bandwidth, atomic throughput), the values are *calibrated* against the
+// paper's own reported numbers and documented as such — see DESIGN.md §2.
+
+#include <cstdint>
+#include <string>
+
+namespace pd::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+
+  // Datasheet values.
+  double peak_bw_gbs = 0.0;         ///< Peak DRAM bandwidth, GB/s.
+  double peak_fp64_gflops = 0.0;    ///< Peak FP64 throughput, GFLOP/s.
+  double peak_fp32_gflops = 0.0;    ///< Peak FP32 throughput, GFLOP/s.
+  std::uint64_t l2_bytes = 0;       ///< L2 cache capacity.
+  double l2_bw_gbs = 0.0;           ///< Aggregate L2 bandwidth, GB/s.
+  unsigned num_sms = 0;
+  double sm_clock_ghz = 0.0;
+  unsigned warp_schedulers_per_sm = 4;
+
+  // Occupancy limits (CUDA occupancy-calculator inputs).
+  unsigned max_threads_per_sm = 2048;
+  unsigned max_blocks_per_sm = 32;
+  unsigned max_threads_per_block = 1024;
+  std::uint32_t regs_per_sm = 65536;
+
+  // Calibrated model constants (documented in DESIGN.md / EXPERIMENTS.md).
+  double mem_efficiency = 0.88;     ///< Achieved/peak DRAM BW at saturation.
+  double atomic_gops = 20.0;        ///< Aggregate FP64 L2 atomicAdd rate, Gop/s.
+  double launch_overhead_s = 4e-6;  ///< Fixed kernel-launch latency.
+  double block_dispatch_gblocks = 10.0;  ///< Block scheduling rate, Gblocks/s.
+  double mlp_row_scale = 75.0;      ///< Short-row latency penalty scale (r0).
+
+  /// Cache geometry: NVIDIA L2 services 32-byte sectors.
+  static constexpr unsigned kSectorBytes = 32;
+  unsigned l2_ways = 16;
+
+  /// Static shared-memory limit per block.
+  std::size_t shared_bytes_per_block = 48 * 1024;
+};
+
+/// Nvidia A100-SXM4-40GB (Ampere), as used in the paper's primary system.
+DeviceSpec make_a100();
+/// Nvidia V100-SXM2-16GB (Volta), the Kebnekaise nodes.
+DeviceSpec make_v100();
+/// Nvidia P100-SXM2-16GB (Pascal) on the POWER8 host.
+DeviceSpec make_p100();
+
+/// Nvidia H100-SXM5-80GB (Hopper) — NOT in the paper; included so the model
+/// can *predict* the kernel's performance on the following generation
+/// (reported as a forward prediction in fig7_gpu_generations).
+DeviceSpec make_h100();
+
+/// Occupancy-calculator result for a launch configuration.
+struct Occupancy {
+  unsigned blocks_per_sm = 0;
+  unsigned active_threads_per_sm = 0;
+  double fraction = 0.0;  ///< active threads / max threads per SM.
+  enum class Limiter { kThreads, kBlocks, kRegisters, kInvalid } limiter =
+      Limiter::kInvalid;
+};
+
+/// CUDA occupancy calculation: how many blocks of `threads_per_block`
+/// threads, each thread using `regs_per_thread` registers, fit on one SM.
+/// Register allocation granularity is simplified to per-thread-exact, which
+/// matches the calculator closely for the configurations swept in Figure 4.
+Occupancy compute_occupancy(const DeviceSpec& spec, unsigned threads_per_block,
+                            unsigned regs_per_thread);
+
+const char* to_string(Occupancy::Limiter limiter);
+
+}  // namespace pd::gpusim

@@ -1,0 +1,170 @@
+#pragma once
+// Kernel launch engine.
+//
+// Gpu::run executes a warp-level kernel across a launch grid, block by block,
+// warp by warp, with an optional *schedule seed* that permutes block
+// execution order.  Real GPUs give no ordering guarantee between blocks;
+// permuting the order lets tests demonstrate the paper's §II-D reproducibility
+// argument concretely: kernels whose warps only touch disjoint outputs return
+// bitwise-identical results under every schedule, while the atomic-based
+// GPU Baseline does not.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/block.hpp"
+#include "gpusim/warp.hpp"
+
+namespace pd::gpusim {
+
+/// Launch geometry plus the per-thread register count the compiler would
+/// report (feeds the occupancy calculator; measured per kernel variant).
+struct LaunchConfig {
+  unsigned threads_per_block = 512;
+  std::uint64_t num_blocks = 0;
+  unsigned regs_per_thread = 40;
+
+  unsigned warps_per_block() const { return threads_per_block / kWarpSize; }
+  std::uint64_t total_warps() const { return num_blocks * warps_per_block(); }
+
+  /// Grid sized so that total threads = kWarpSize * work_items — the paper's
+  /// "total number of threads is 32 times the number of rows".
+  static LaunchConfig warp_per_item(std::uint64_t work_items,
+                                    unsigned threads_per_block,
+                                    unsigned regs_per_thread) {
+    PD_CHECK_MSG(threads_per_block % kWarpSize == 0,
+                 "threads_per_block must be a multiple of the warp size");
+    LaunchConfig cfg;
+    cfg.threads_per_block = threads_per_block;
+    cfg.regs_per_thread = regs_per_thread;
+    const unsigned wpb = cfg.warps_per_block();
+    cfg.num_blocks = (work_items + wpb - 1) / wpb;
+    return cfg;
+  }
+};
+
+/// Everything the launch measured: traffic, arithmetic, geometry.
+struct KernelStats {
+  TrafficCounters traffic;
+  ComputeCounters compute;
+  SharedCounters shared;
+  std::uint64_t blocks_launched = 0;
+  std::uint64_t warps_launched = 0;
+
+  double flops() const { return static_cast<double>(compute.flops); }
+  double dram_bytes() const { return static_cast<double>(traffic.dram_bytes()); }
+  /// Measured operational intensity (FLOP per DRAM byte) — the x-axis of the
+  /// paper's Figure 3 roofline.
+  double operational_intensity() const {
+    return traffic.dram_bytes() == 0 ? 0.0
+                                     : flops() / dram_bytes();
+  }
+};
+
+/// A simulated device: spec + memory hierarchy + launch loop.
+class Gpu {
+ public:
+  explicit Gpu(DeviceSpec spec) : spec_(std::move(spec)), mem_(spec_) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Cold-start the cache so back-to-back measurements are independent.
+  void invalidate_cache() { mem_.invalidate_cache(); }
+
+  /// Execute `warp_fn(WarpCtx&)` for every warp of the grid.  Blocks run in
+  /// ascending order when schedule_seed == 0, otherwise in a seeded random
+  /// permutation (modeling the hardware's unordered block scheduling).
+  ///
+  /// The L2 is cold-started for each launch (`cold_cache`): the paper's
+  /// matrices are hundreds of times larger than any L2 and self-evict every
+  /// iteration, so a launch never benefits from the previous one's matrix
+  /// lines; starting cold keeps the scaled-down measurements faithful to
+  /// that streaming regime.
+  template <typename Fn>
+  KernelStats run(const LaunchConfig& cfg, Fn&& warp_fn,
+                  std::uint64_t schedule_seed = 0, bool cold_cache = true) {
+    if (cold_cache) {
+      mem_.invalidate_cache();
+    }
+    PD_CHECK_MSG(cfg.threads_per_block % kWarpSize == 0,
+                 "threads_per_block must be a multiple of 32");
+    PD_CHECK_MSG(cfg.threads_per_block <= spec_.max_threads_per_block,
+                 "threads_per_block exceeds the device limit");
+    PD_CHECK_MSG(cfg.num_blocks > 0, "empty grid");
+
+    mem_.begin_kernel();
+    ComputeCounters compute;
+
+    std::vector<std::uint64_t> order(cfg.num_blocks);
+    std::iota(order.begin(), order.end(), 0);
+    if (schedule_seed != 0) {
+      Rng rng(schedule_seed);
+      rng.shuffle(order.data(), order.size());
+    }
+
+    const unsigned wpb = cfg.warps_per_block();
+    for (const std::uint64_t block : order) {
+      for (unsigned w = 0; w < wpb; ++w) {
+        WarpCtx ctx(mem_, compute, block, w, cfg.threads_per_block,
+                    cfg.num_blocks);
+        warp_fn(ctx);
+      }
+    }
+
+    KernelStats stats;
+    stats.traffic = mem_.end_kernel();
+    stats.compute = compute;
+    stats.blocks_launched = cfg.num_blocks;
+    stats.warps_launched = cfg.total_warps();
+    return stats;
+  }
+
+  /// Execute a block-scope kernel: `block_fn(BlockCtx&)` runs once per
+  /// block and coordinates its warps through shared memory and barrier
+  /// phases (see gpusim/block.hpp).  Scheduling semantics match run().
+  template <typename Fn>
+  KernelStats run_blocks(const LaunchConfig& cfg, Fn&& block_fn,
+                         std::uint64_t schedule_seed = 0,
+                         bool cold_cache = true) {
+    PD_CHECK_MSG(cfg.threads_per_block % kWarpSize == 0,
+                 "threads_per_block must be a multiple of 32");
+    PD_CHECK_MSG(cfg.num_blocks > 0, "empty grid");
+    if (cold_cache) {
+      mem_.invalidate_cache();
+    }
+    mem_.begin_kernel();
+    ComputeCounters compute;
+    SharedCounters shared;
+
+    std::vector<std::uint64_t> order(cfg.num_blocks);
+    std::iota(order.begin(), order.end(), 0);
+    if (schedule_seed != 0) {
+      Rng rng(schedule_seed);
+      rng.shuffle(order.data(), order.size());
+    }
+    for (const std::uint64_t block : order) {
+      BlockCtx ctx(mem_, compute, shared, block, cfg.threads_per_block,
+                   cfg.num_blocks, spec_.shared_bytes_per_block);
+      block_fn(ctx);
+    }
+
+    KernelStats stats;
+    stats.traffic = mem_.end_kernel();
+    stats.compute = compute;
+    stats.shared = shared;
+    stats.blocks_launched = cfg.num_blocks;
+    stats.warps_launched = cfg.total_warps();
+    return stats;
+  }
+
+ private:
+  DeviceSpec spec_;
+  MemoryModel mem_;
+};
+
+}  // namespace pd::gpusim

@@ -1,0 +1,171 @@
+#include "gpusim/memory.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pd::gpusim {
+
+namespace {
+constexpr unsigned kSector = DeviceSpec::kSectorBytes;
+}
+
+double TrafficCounters::sectors_per_request() const {
+  if (warp_requests == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sectors_requested) /
+         static_cast<double>(warp_requests);
+}
+
+TrafficCounters& TrafficCounters::operator+=(const TrafficCounters& o) {
+  dram_read_bytes += o.dram_read_bytes;
+  dram_write_bytes += o.dram_write_bytes;
+  l2_read_sectors += o.l2_read_sectors;
+  l2_write_sectors += o.l2_write_sectors;
+  l2_read_hits += o.l2_read_hits;
+  l2_write_hits += o.l2_write_hits;
+  l2_atomic_ops += o.l2_atomic_ops;
+  warp_requests += o.warp_requests;
+  sectors_requested += o.sectors_requested;
+  return *this;
+}
+
+CacheModel::CacheModel(std::uint64_t capacity_bytes, unsigned ways)
+    : capacity_bytes_(capacity_bytes), ways_(ways) {
+  PD_CHECK_MSG(ways_ > 0, "CacheModel: need at least one way");
+  PD_CHECK_MSG(capacity_bytes_ >= kSector * ways_, "CacheModel: capacity too small");
+  sets_ = capacity_bytes_ / kSector / ways_;
+  lines_.assign(sets_ * ways_, Way{});
+}
+
+bool CacheModel::access(std::uint64_t sector_index, bool write,
+                        TrafficCounters& tc) {
+  const std::size_t set = static_cast<std::size_t>(sector_index % sets_);
+  Way* base = &lines_[set * ways_];
+  ++tick_;
+
+  if (write) {
+    ++tc.l2_write_sectors;
+  } else {
+    ++tc.l2_read_sectors;
+  }
+
+  // Hit path.
+  for (unsigned w = 0; w < ways_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == sector_index) {
+      way.stamp = tick_;
+      way.dirty = way.dirty || write;
+      if (write) {
+        ++tc.l2_write_hits;
+      } else {
+        ++tc.l2_read_hits;
+      }
+      return true;
+    }
+  }
+
+  // Miss: fill from DRAM (write-allocate).  Prefer an invalid way; otherwise
+  // evict the least-recently-used one.
+  unsigned victim = ways_;
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      break;
+    }
+  }
+  if (victim == ways_) {
+    victim = 0;
+    for (unsigned w = 1; w < ways_; ++w) {
+      if (base[w].stamp < base[victim].stamp) {
+        victim = w;
+      }
+    }
+  }
+  Way& way = base[victim];
+  if (way.valid && way.dirty) {
+    tc.dram_write_bytes += kSector;
+  }
+  tc.dram_read_bytes += kSector;
+  way.tag = sector_index;
+  way.stamp = tick_;
+  way.valid = true;
+  way.dirty = write;
+  return false;
+}
+
+void CacheModel::flush_dirty(TrafficCounters& tc) {
+  for (Way& way : lines_) {
+    if (way.valid && way.dirty) {
+      tc.dram_write_bytes += kSector;
+      way.dirty = false;
+    }
+  }
+}
+
+void CacheModel::invalidate() {
+  std::fill(lines_.begin(), lines_.end(), Way{});
+  tick_ = 0;
+}
+
+MemoryModel::MemoryModel(const DeviceSpec& spec)
+    : cache_(spec.l2_bytes, spec.l2_ways) {}
+
+void MemoryModel::warp_access(const Lanes<std::uint64_t>& addr, unsigned size,
+                              LaneMask mask, bool write) {
+  if (mask == 0) {
+    return;
+  }
+  ++counters_.warp_requests;
+  // Coalescer: collect the distinct sectors the active lanes touch.  A lane's
+  // [addr, addr+size) range can straddle a sector boundary.
+  std::array<std::uint64_t, 2 * kWarpSize> sectors{};
+  unsigned n = 0;
+  for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+    if (!lane_active(mask, lane)) {
+      continue;
+    }
+    const std::uint64_t first = addr[lane] / kSector;
+    const std::uint64_t last = (addr[lane] + size - 1) / kSector;
+    for (std::uint64_t s = first; s <= last; ++s) {
+      sectors[n++] = s;
+    }
+  }
+  std::sort(sectors.begin(), sectors.begin() + n);
+  const auto* unique_end = std::unique(sectors.begin(), sectors.begin() + n);
+  for (const auto* it = sectors.begin(); it != unique_end; ++it) {
+    ++counters_.sectors_requested;
+    cache_.access(*it, write, counters_);
+  }
+}
+
+void MemoryModel::scalar_access(std::uint64_t addr, unsigned size, bool write) {
+  ++counters_.warp_requests;
+  const std::uint64_t first = addr / kSector;
+  const std::uint64_t last = (addr + size - 1) / kSector;
+  for (std::uint64_t s = first; s <= last; ++s) {
+    ++counters_.sectors_requested;
+    cache_.access(s, write, counters_);
+  }
+}
+
+void MemoryModel::atomic_access(std::uint64_t addr, unsigned size) {
+  ++counters_.l2_atomic_ops;
+  const std::uint64_t first = addr / kSector;
+  const std::uint64_t last = (addr + size - 1) / kSector;
+  for (std::uint64_t s = first; s <= last; ++s) {
+    // Atomics are read-modify-write at the L2: one read + one write request.
+    cache_.access(s, /*write=*/false, counters_);
+    cache_.access(s, /*write=*/true, counters_);
+  }
+}
+
+void MemoryModel::begin_kernel() { counters_ = TrafficCounters{}; }
+
+TrafficCounters MemoryModel::end_kernel() {
+  cache_.flush_dirty(counters_);
+  return counters_;
+}
+
+}  // namespace pd::gpusim

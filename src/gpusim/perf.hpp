@@ -1,0 +1,92 @@
+#pragma once
+// Analytic performance model.
+//
+// SpMV is bandwidth-bound (paper §V), so the backbone of the model is
+// t ≈ dram_bytes / achieved_bandwidth, with achieved bandwidth degraded by
+// the effects the paper observes: occupancy of the launch configuration
+// (Figure 4), grid size relative to the device (small prostate matrices),
+// short rows limiting memory-level parallelism per warp, and — for the
+// atomic GPU Baseline — L2 atomic throughput.  Compute-side terms (issue
+// slots, peak FLOP rate) are included so the model degrades gracefully for
+// non-memory-bound kernels.  Every measured quantity feeding the model comes
+// from the cache simulator's counters for the kernel's real address stream.
+
+#include <string>
+
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+
+namespace pd::gpusim {
+
+enum class FlopPrecision { kFp32, kFp64 };
+
+/// Workload descriptors the model needs beyond raw counters.
+struct PerfInput {
+  KernelStats stats;
+  LaunchConfig config;
+  FlopPrecision precision = FlopPrecision::kFp64;
+  /// Mean useful work items (matrix non-zeros) per warp with non-empty work —
+  /// drives the short-row memory-level-parallelism penalty.
+  double mean_work_per_warp = 1e9;
+};
+
+/// Model output with the full term breakdown for inspection.
+struct PerfEstimate {
+  double seconds = 0.0;
+  double gflops = 0.0;          ///< Achieved GFLOP/s.
+  double dram_gbs = 0.0;        ///< Achieved DRAM bandwidth, GB/s.
+  double operational_intensity = 0.0;
+  double occupancy = 0.0;
+  double bandwidth_fraction = 0.0;  ///< dram_gbs / peak.
+
+  // Term breakdown (seconds); `seconds` = launch overhead + max of these.
+  double t_dram = 0.0;
+  double t_l2 = 0.0;
+  double t_atomic = 0.0;
+  double t_issue = 0.0;
+  double t_flop = 0.0;
+  double t_dispatch = 0.0;  ///< Block-scheduling time, additive.
+
+  // Efficiency factors applied to peak DRAM bandwidth.
+  double occupancy_factor = 0.0;
+  double mlp_factor = 0.0;
+  double wave_factor = 0.0;
+};
+
+/// Estimate runtime and achieved rates of one kernel launch on `spec`.
+PerfEstimate estimate_performance(const DeviceSpec& spec, const PerfInput& in);
+
+/// Host-CPU descriptor for the RayStation CPU baseline (Intel i9-7940X in the
+/// paper).  cycles_per_nnz and scatter_bytes_per_nnz are calibrated constants
+/// representing the custom-format decode cost and the cache-unfriendly
+/// scatter into per-thread scratch dose arrays.
+struct CpuSpec {
+  std::string name = "i9-7940X";
+  unsigned cores = 14;
+  double clock_ghz = 3.1;
+  double peak_bw_gbs = 85.0;
+  double mem_efficiency = 0.60;
+  double cycles_per_nnz = 6.0;
+  double scatter_bytes_per_nnz = 12.0;
+};
+
+CpuSpec make_i9_7940x();
+
+/// CPU workload summary for the scratch-array algorithm (see rsformat docs).
+struct CpuWorkload {
+  double nnz = 0.0;
+  double rows = 0.0;            ///< Dose-grid size (scratch array length).
+  double stream_bytes = 0.0;    ///< Sequential matrix traffic.
+  double flops = 0.0;
+};
+
+struct CpuEstimate {
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double t_mem = 0.0;
+  double t_core = 0.0;
+};
+
+CpuEstimate estimate_cpu_performance(const CpuSpec& spec, const CpuWorkload& w);
+
+}  // namespace pd::gpusim

@@ -1,0 +1,125 @@
+#include "gpusim/profile.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace pd::gpusim {
+
+BoundBy classify_bound(const PerfEstimate& estimate) {
+  const double t_max = std::max({estimate.t_dram, estimate.t_l2,
+                                 estimate.t_atomic, estimate.t_issue,
+                                 estimate.t_flop});
+  // seconds = launch overhead + dispatch + max term; if the overheads exceed
+  // the max term, the kernel is too small to be bound by anything physical.
+  if (estimate.seconds - t_max > t_max) {
+    return BoundBy::kLaunch;
+  }
+  if (t_max == estimate.t_dram) return BoundBy::kDram;
+  if (t_max == estimate.t_l2) return BoundBy::kL2;
+  if (t_max == estimate.t_atomic) return BoundBy::kAtomics;
+  if (t_max == estimate.t_issue) return BoundBy::kIssue;
+  return BoundBy::kFlops;
+}
+
+const char* to_string(BoundBy bound) {
+  switch (bound) {
+    case BoundBy::kDram: return "DRAM bandwidth";
+    case BoundBy::kL2: return "L2 bandwidth";
+    case BoundBy::kAtomics: return "L2 atomic throughput";
+    case BoundBy::kIssue: return "instruction issue";
+    case BoundBy::kFlops: return "FP throughput";
+    case BoundBy::kLaunch: return "launch/dispatch overhead";
+  }
+  return "unknown";
+}
+
+std::string profile_report(const DeviceSpec& spec, const PerfInput& input,
+                           const PerfEstimate& estimate,
+                           const std::string& kernel_name) {
+  const auto& tc = input.stats.traffic;
+  const auto& cc = input.stats.compute;
+  std::ostringstream os;
+  os << "=== Kernel profile: " << kernel_name << " on " << spec.name
+     << " ===\n\n";
+
+  {
+    pd::TextTable t({"Speed of light", "value"});
+    const double peak = input.precision == FlopPrecision::kFp64
+                            ? spec.peak_fp64_gflops
+                            : spec.peak_fp32_gflops;
+    t.add_row({"modeled duration", pd::fmt_sci(estimate.seconds, 3) + " s"});
+    t.add_row({"DRAM throughput", pd::fmt_double(estimate.dram_gbs, 1) +
+                                      " GB/s (" +
+                                      pd::fmt_percent(estimate.bandwidth_fraction, 1) +
+                                      " of peak)"});
+    t.add_row({"FP throughput", pd::fmt_double(estimate.gflops, 1) +
+                                    " GFLOP/s (" +
+                                    pd::fmt_percent(estimate.gflops / peak, 1) +
+                                    " of peak)"});
+    t.add_row({"bound by", to_string(classify_bound(estimate))});
+    os << t.str() << "\n";
+  }
+
+  {
+    pd::TextTable t({"Memory workload", "value"});
+    t.add_row({"DRAM read", pd::fmt_bytes(static_cast<double>(tc.dram_read_bytes))});
+    t.add_row({"DRAM write", pd::fmt_bytes(static_cast<double>(tc.dram_write_bytes))});
+    t.add_row({"L2 requests", std::to_string(tc.l2_read_sectors +
+                                             tc.l2_write_sectors) +
+                                  " sectors"});
+    const std::uint64_t reads = tc.l2_read_sectors;
+    const double hit_rate =
+        reads > 0 ? static_cast<double>(tc.l2_read_hits) /
+                        static_cast<double>(reads)
+                  : 0.0;
+    t.add_row({"L2 read hit rate", pd::fmt_percent(hit_rate, 1)});
+    t.add_row({"L2 atomic ops", std::to_string(tc.l2_atomic_ops)});
+    t.add_row({"sectors / warp request", pd::fmt_double(tc.sectors_per_request(), 2) +
+                                             " (4.0 = fully coalesced 4B)"});
+    t.add_row({"operational intensity",
+               pd::fmt_double(estimate.operational_intensity, 3) + " FLOP/B"});
+    os << t.str() << "\n";
+  }
+
+  {
+    pd::TextTable t({"Compute / launch", "value"});
+    t.add_row({"FLOPs", pd::fmt_sci(input.stats.flops(), 3)});
+    t.add_row({"SIMT lane efficiency", pd::fmt_percent(cc.simt_efficiency(), 1)});
+    t.add_row({"warps launched", std::to_string(input.stats.warps_launched)});
+    t.add_row({"blocks", std::to_string(input.stats.blocks_launched) + " x " +
+                             std::to_string(input.config.threads_per_block) +
+                             " threads"});
+    const Occupancy occ = compute_occupancy(spec, input.config.threads_per_block,
+                                            input.config.regs_per_thread);
+    t.add_row({"occupancy", pd::fmt_percent(occ.fraction, 0) +
+                                " (limited by " + to_string(occ.limiter) + ")"});
+    os << t.str() << "\n";
+  }
+
+  {
+    pd::TextTable t({"Model term", "seconds", "share of bound"});
+    const double t_max = std::max({estimate.t_dram, estimate.t_l2,
+                                   estimate.t_atomic, estimate.t_issue,
+                                   estimate.t_flop});
+    auto row = [&](const char* name, double value) {
+      t.add_row({name, pd::fmt_sci(value, 2),
+                 t_max > 0 ? pd::fmt_percent(value / t_max, 0) : "-"});
+    };
+    row("t_dram", estimate.t_dram);
+    row("t_l2", estimate.t_l2);
+    row("t_atomic", estimate.t_atomic);
+    row("t_issue", estimate.t_issue);
+    row("t_flop", estimate.t_flop);
+    row("t_dispatch (additive)", estimate.t_dispatch);
+    os << t.str();
+    os << "bandwidth efficiency factors: occupancy "
+       << pd::fmt_double(estimate.occupancy_factor, 2) << " x short-row MLP "
+       << pd::fmt_double(estimate.mlp_factor, 2) << " x wave "
+       << pd::fmt_double(estimate.wave_factor, 2) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pd::gpusim

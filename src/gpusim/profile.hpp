@@ -1,0 +1,27 @@
+#pragma once
+// Profiler-style kernel report — the simulator's answer to an Nsight Compute
+// section page.  Formats a launch's measured counters and the performance
+// model's term breakdown into the categories a GPU engineer expects:
+// speed-of-light percentages, memory tables (coalescing, L2 hit rates, DRAM
+// traffic split), occupancy and its limiter, and the bound-by verdict.
+
+#include <string>
+
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/perf.hpp"
+
+namespace pd::gpusim {
+
+/// Which term of the model bounds the kernel.
+enum class BoundBy { kDram, kL2, kAtomics, kIssue, kFlops, kLaunch };
+
+BoundBy classify_bound(const PerfEstimate& estimate);
+const char* to_string(BoundBy bound);
+
+/// Multi-section text report for one launch.
+std::string profile_report(const DeviceSpec& spec, const PerfInput& input,
+                           const PerfEstimate& estimate,
+                           const std::string& kernel_name);
+
+}  // namespace pd::gpusim

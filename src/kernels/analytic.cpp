@@ -1,0 +1,141 @@
+#include "kernels/analytic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pd::kernels {
+
+const char* to_string(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kHalfDouble: return "Half/Double";
+    case KernelKind::kSingle: return "Single";
+    case KernelKind::kDouble: return "Double";
+    case KernelKind::kColIdx16: return "Half/Double+u16col";
+    case KernelKind::kBaselineRs: return "GPU Baseline";
+    case KernelKind::kCuSparseLike: return "cuSPARSE-like";
+    case KernelKind::kGinkgoLike: return "Ginkgo-like";
+  }
+  return "unknown";
+}
+
+Workload Workload::from_stats(const sparse::MatrixStats& s) {
+  Workload w;
+  w.rows = static_cast<double>(s.rows);
+  w.cols = static_cast<double>(s.cols);
+  w.nnz = static_cast<double>(s.nnz);
+  w.empty_row_fraction = s.empty_row_fraction;
+  return w;
+}
+
+Workload Workload::from_paper(const sparse::PaperMatrixInfo& info) {
+  Workload w;
+  w.rows = info.rows;
+  w.cols = info.cols;
+  w.nnz = info.nnz;
+  w.empty_row_fraction = info.empty_row_fraction;
+  return w;
+}
+
+double analytic_dram_bytes(KernelKind kind, const Workload& w) {
+  PD_CHECK_MSG(w.nnz > 0.0 && w.rows > 0.0 && w.cols > 0.0,
+               "analytic model: degenerate workload");
+  switch (kind) {
+    case KernelKind::kHalfDouble:
+      // The paper's §V derivation: 2B value + 4B column per nnz; 4B row_ptr
+      // + 8B output per row; 8B input per column.
+      return 6.0 * w.nnz + 12.0 * w.rows + 8.0 * w.cols;
+    case KernelKind::kColIdx16:
+      return 4.0 * w.nnz + 12.0 * w.rows + 8.0 * w.cols;
+    case KernelKind::kSingle:
+    case KernelKind::kCuSparseLike:
+    case KernelKind::kGinkgoLike:
+      // 4B value + 4B column per nnz; 4B row_ptr + 4B output; 4B input.
+      return 8.0 * w.nnz + 8.0 * w.rows + 4.0 * w.cols;
+    case KernelKind::kDouble:
+      return 12.0 * w.nnz + 12.0 * w.rows + 8.0 * w.cols;
+    case KernelKind::kBaselineRs:
+      // Compressed stream: 2B delta + 2B qvalue per entry; per-column header
+      // (8B ptr + 4B first row + 4B scale + 8B weight); the atomic output
+      // traffic stays inside L2 (the dose vector fits), so DRAM only sees
+      // one 8B write per row at the end.
+      return 4.0 * w.nnz + 24.0 * w.cols + 8.0 * w.rows;
+  }
+  return 0.0;
+}
+
+double analytic_operational_intensity(KernelKind kind, const Workload& w) {
+  return 2.0 * w.nnz / analytic_dram_bytes(kind, w);
+}
+
+gpusim::PerfInput analytic_perf_input(KernelKind kind, const Workload& w,
+                                      unsigned threads_per_block) {
+  gpusim::PerfInput in;
+  const double dram = analytic_dram_bytes(kind, w);
+  in.stats.compute.flops = static_cast<std::uint64_t>(2.0 * w.nnz);
+  in.stats.traffic.dram_read_bytes =
+      static_cast<std::uint64_t>(dram - 8.0 * w.rows);
+  in.stats.traffic.dram_write_bytes = static_cast<std::uint64_t>(8.0 * w.rows);
+
+  // L2-side request volume: DRAM-visible traffic plus cache-hit traffic —
+  // input-vector gathers (8B per nnz, resident in L2) and, for the baseline,
+  // the atomic read-modify-writes.
+  double l2_bytes = dram + 8.0 * w.nnz;
+  double atomics = 0.0;
+  if (kind == KernelKind::kBaselineRs) {
+    atomics = w.nnz;
+    l2_bytes += 2.0 * 32.0 * w.nnz / 4.0;  // RMW sector traffic, ~8 ops/sector
+  }
+  in.stats.traffic.l2_read_sectors = static_cast<std::uint64_t>(l2_bytes / 32.0);
+  in.stats.traffic.l2_atomic_ops = static_cast<std::uint64_t>(atomics);
+  in.stats.traffic.sectors_requested =
+      static_cast<std::uint64_t>(l2_bytes / 32.0);
+  in.stats.traffic.warp_requests =
+      static_cast<std::uint64_t>(3.0 * w.nnz / 32.0 + 2.0 * w.rows);
+  in.stats.compute.warp_arith_instrs =
+      static_cast<std::uint64_t>(2.0 * w.nnz / 32.0 + 7.0 * w.rows);
+
+  // Launch geometry and the MLP driver depend on the work decomposition.
+  unsigned regs = kVectorCsrRegs;
+  double work_items = w.rows;
+  double mean_work = w.mean_nnz_per_nonempty_row();
+  unsigned tpb = threads_per_block != 0 ? threads_per_block : kDefaultVectorTpb;
+  switch (kind) {
+    case KernelKind::kBaselineRs:
+      regs = kBaselineRegs;
+      work_items = w.cols;
+      mean_work = w.nnz / w.cols;  // long columns: MLP is not the limiter
+      if (threads_per_block == 0) {
+        tpb = kDefaultBaselineTpb;
+      }
+      break;
+    case KernelKind::kCuSparseLike:
+      regs = kAdaptiveRegs;
+      break;
+    case KernelKind::kGinkgoLike:
+      regs = kClassicalRegs;
+      break;
+    default:
+      break;
+  }
+  in.config = gpusim::LaunchConfig::warp_per_item(
+      static_cast<std::uint64_t>(work_items), tpb, regs);
+  in.precision = (kind == KernelKind::kSingle ||
+                  kind == KernelKind::kCuSparseLike ||
+                  kind == KernelKind::kGinkgoLike)
+                     ? gpusim::FlopPrecision::kFp32
+                     : gpusim::FlopPrecision::kFp64;
+  in.mean_work_per_warp = mean_work;
+  return in;
+}
+
+gpusim::CpuWorkload analytic_cpu_workload(const Workload& w) {
+  gpusim::CpuWorkload cw;
+  cw.nnz = w.nnz;
+  cw.rows = w.rows;
+  cw.stream_bytes = 4.0 * w.nnz + 24.0 * w.cols;
+  cw.flops = 2.0 * w.nnz;
+  return cw;
+}
+
+}  // namespace pd::kernels

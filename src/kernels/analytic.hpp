@@ -1,0 +1,63 @@
+#pragma once
+// Analytic traffic model — the paper's own §V arithmetic, generalized.
+//
+// For the full-size Table I matrices (9 GB each) we cannot run the cache
+// simulator on this machine, but the paper itself shows that SpMV traffic is
+// predictable in closed form: the Half/Double upper bound is
+// 6·nnz + 12·nr + 8·nc bytes, within a percent of the Nsight measurement.
+// This module produces the same closed-form KernelStats for every kernel
+// variant so benches can report model predictions at *paper scale* next to
+// simulator measurements at *mini scale*.
+
+#include "gpusim/perf.hpp"
+#include "kernels/spmv_common.hpp"
+#include "sparse/stats.hpp"
+
+namespace pd::kernels {
+
+enum class KernelKind {
+  kHalfDouble,   ///< Paper's contribution: half values, double vectors.
+  kSingle,       ///< All-binary32 variant.
+  kDouble,       ///< All-binary64 variant.
+  kColIdx16,     ///< Half/double with 16-bit column indices (Ablation A).
+  kBaselineRs,   ///< GPU port of the RayStation algorithm (atomics).
+  kCuSparseLike, ///< Adaptive CSR, single precision.
+  kGinkgoLike,   ///< Classical CSR, single precision.
+};
+
+const char* to_string(KernelKind kind);
+
+/// Workload description: either from measured MatrixStats or from the
+/// paper's Table I numbers.
+struct Workload {
+  double rows = 0.0;
+  double cols = 0.0;
+  double nnz = 0.0;
+  double empty_row_fraction = 0.0;
+
+  static Workload from_stats(const sparse::MatrixStats& s);
+  static Workload from_paper(const sparse::PaperMatrixInfo& info);
+
+  double mean_nnz_per_nonempty_row() const {
+    const double nonempty = rows * (1.0 - empty_row_fraction);
+    return nonempty > 0.0 ? nnz / nonempty : 0.0;
+  }
+};
+
+/// Closed-form DRAM bytes for a kernel variant (infinite-cache upper bound,
+/// the paper's model: each array element read from DRAM exactly once, input
+/// vector resident in L2).
+double analytic_dram_bytes(KernelKind kind, const Workload& w);
+
+/// The paper's operational-intensity upper bound (2·nnz FLOPs / bytes).
+double analytic_operational_intensity(KernelKind kind, const Workload& w);
+
+/// Full PerfInput for gpusim::estimate_performance, with launch geometry at
+/// the kernel's default configuration.
+gpusim::PerfInput analytic_perf_input(KernelKind kind, const Workload& w,
+                                      unsigned threads_per_block = 0);
+
+/// CPU workload for the RayStation CPU engine on the same matrix.
+gpusim::CpuWorkload analytic_cpu_workload(const Workload& w);
+
+}  // namespace pd::kernels

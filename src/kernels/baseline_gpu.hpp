@@ -1,0 +1,119 @@
+#pragma once
+// "GPU Baseline": the RayStation CPU algorithm ported to the GPU (paper §IV).
+//
+// The CPU engine walks the compressed matrix column by column, scattering
+// into per-thread scratch dose arrays.  Per-thread scratch arrays are
+// infeasible for tens of thousands of GPU threads, so — exactly as the paper
+// describes — the port replaces them with atomicAdd into the shared output
+// vector.  One warp decodes one compressed column: lanes load 32 packed
+// (delta, qvalue) entries, a warp prefix-sum turns the deltas into absolute
+// row indices, and each lane atomically accumulates its contribution.
+//
+// Consequences faithfully reproduced here:
+//  * heavy L2 atomic traffic (the perf model's t_atomic dominates),
+//  * results are NOT bitwise reproducible across block schedules — run the
+//    kernel with two different schedule_seeds and the doses differ in the
+//    last ulps (tests/bench demonstrate this).
+
+#include <algorithm>
+#include <span>
+
+#include "common/error.hpp"
+#include "gpusim/launch.hpp"
+#include "kernels/spmv_common.hpp"
+#include "rsformat/rsmatrix.hpp"
+
+namespace pd::kernels {
+
+/// Launch the baseline port: y += D·x must start from a zeroed y (the kernel
+/// accumulates atomically).  Returns measured counters.
+inline SpmvRun run_baseline_gpu(gpusim::Gpu& gpu, const rsformat::RsMatrix& D,
+                                std::span<const double> x, std::span<double> y,
+                                unsigned threads_per_block = kDefaultBaselineTpb,
+                                std::uint64_t schedule_seed = 0) {
+  PD_CHECK_MSG(x.size() == D.num_cols(), "baseline: x size mismatch");
+  PD_CHECK_MSG(y.size() == D.num_rows(), "baseline: y size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+
+  using namespace pd::gpusim;
+  const std::uint64_t* col_ptr = D.col_ptr().data();
+  const std::uint32_t* first_row = D.col_first_row().data();
+  const float* scales = D.col_scale().data();
+  const std::uint16_t* deltas = D.deltas().data();
+  const std::uint16_t* qvalues = D.qvalues().data();
+  const double* xp = x.data();
+  double* yp = y.data();
+  const std::uint64_t num_cols = D.num_cols();
+
+  const LaunchConfig cfg = LaunchConfig::warp_per_item(
+      num_cols, threads_per_block, kBaselineRegs);
+
+  SpmvRun run;
+  run.config = cfg;
+  run.precision = FlopPrecision::kFp64;
+  run.stats = gpu.run(
+      cfg,
+      [&](WarpCtx& w) {
+        const std::uint64_t col = w.global_warp_id();
+        if (col >= num_cols) {
+          return;
+        }
+        const std::uint64_t begin = w.load_uniform(col_ptr + col);
+        const std::uint64_t end = w.load_uniform(col_ptr + col + 1);
+        const double scale = w.load_uniform(scales + col);
+        const double weight = w.load_uniform(xp + col);
+        std::uint64_t row_base = w.load_uniform(first_row + col);
+
+        for (std::uint64_t base = begin; base < end; base += kWarpSize) {
+          const auto remaining = static_cast<unsigned>(
+              std::min<std::uint64_t>(kWarpSize, end - base));
+          const LaneMask m = first_lanes(remaining);
+          const Lanes<std::uint16_t> d = w.load_contiguous(deltas, base, m);
+          const Lanes<std::uint16_t> q = w.load_contiguous(qvalues, base, m);
+
+          // Warp prefix sum of the row advances (escape = big skip, no
+          // entry) to obtain absolute row indices.
+          Lanes<std::uint64_t> advance{};
+          LaneMask entry_mask = 0;
+          for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            if (!lane_active(m, lane)) {
+              continue;
+            }
+            if (d[lane] == rsformat::RsMatrix::kEscape) {
+              advance[lane] = rsformat::RsMatrix::kEscapeAdvance;
+            } else {
+              advance[lane] = d[lane];
+              entry_mask |= (LaneMask{1} << lane);
+            }
+          }
+          const Lanes<std::uint64_t> incl =
+              warp_segmented_inclusive_sum(advance, /*head_flags=*/1u, m);
+          w.count_instrs(5, m);  // integer prefix-sum butterfly issue slots
+
+          Lanes<std::uint64_t> rows{};
+          Lanes<double> contrib{};
+          for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            if (lane_active(entry_mask, lane)) {
+              rows[lane] = row_base + incl[lane];
+              contrib[lane] = static_cast<double>(q[lane]) * scale * weight;
+            }
+          }
+          w.count_flops(2, entry_mask);
+          if (weight != 0.0) {
+            w.atomic_add_scatter(yp, rows, contrib, entry_mask);
+          }
+          // Advance the running row cursor by the chunk's total.
+          std::uint64_t chunk_total = 0;
+          for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            if (lane_active(m, lane)) {
+              chunk_total = incl[lane];
+            }
+          }
+          row_base += chunk_total;
+        }
+      },
+      schedule_seed);
+  return run;
+}
+
+}  // namespace pd::kernels

@@ -1,0 +1,153 @@
+#pragma once
+// Ginkgo-style "classical" CSR SpMV (single precision).
+//
+// Ginkgo's classical kernel assigns a *subwarp* (1..32 lanes, power of two,
+// chosen from the mean row length) to each row; a full warp therefore covers
+// 32/subwarp consecutive rows.  Lanes of a subwarp stride their row's
+// non-zeros; each subwarp folds its partials in a fixed tree and its leader
+// writes the row result.  Compared to the paper's kernel the differences the
+// measurement shows are structural: two row-bound loads per *row* rather
+// than per warp, mixed-row gathers that coalesce worse when subwarps are
+// narrow, and warp iteration count governed by the longest row in the group
+// (divergence on skewed matrices).
+//
+// Used for Figure 6 (single precision only, like the paper's comparison).
+
+#include <algorithm>
+#include <span>
+
+#include "common/error.hpp"
+#include "gpusim/launch.hpp"
+#include "kernels/spmv_common.hpp"
+#include "sparse/csr.hpp"
+
+namespace pd::kernels {
+
+/// Ginkgo's subwarp-size heuristic: smallest power of two covering the mean
+/// non-zeros per row, clamped to [1, 32].
+inline unsigned classical_subwarp_size(std::uint64_t nnz, std::uint64_t rows) {
+  const double mean = rows == 0 ? 0.0
+                                : static_cast<double>(nnz) /
+                                      static_cast<double>(rows);
+  unsigned s = 1;
+  while (s < 32 && static_cast<double>(s) < mean) {
+    s *= 2;
+  }
+  return s;
+}
+
+template <typename IdxT>
+SpmvRun run_classical_csr(gpusim::Gpu& gpu,
+                          const sparse::CsrMatrix<float, IdxT>& A,
+                          std::span<const float> x, std::span<float> y,
+                          unsigned threads_per_block = kDefaultVectorTpb,
+                          std::uint64_t schedule_seed = 0) {
+  PD_CHECK_MSG(x.size() == A.num_cols, "classical: x size mismatch");
+  PD_CHECK_MSG(y.size() == A.num_rows, "classical: y size mismatch");
+
+  using namespace pd::gpusim;
+  const unsigned sub = classical_subwarp_size(A.nnz(), A.num_rows);
+  const unsigned rows_per_warp = kWarpSize / sub;
+  const std::uint64_t warps_needed =
+      (A.num_rows + rows_per_warp - 1) / rows_per_warp;
+
+  const std::uint32_t* row_ptr = A.row_ptr.data();
+  const IdxT* col_idx = A.col_idx.data();
+  const float* values = A.values.data();
+  const float* xp = x.data();
+  float* yp = y.data();
+  const std::uint64_t num_rows = A.num_rows;
+
+  const LaunchConfig cfg = LaunchConfig::warp_per_item(
+      warps_needed, threads_per_block, kClassicalRegs);
+
+  SpmvRun run;
+  run.config = cfg;
+  run.precision = FlopPrecision::kFp32;
+  run.stats = gpu.run(
+      cfg,
+      [&](WarpCtx& w) {
+        const std::uint64_t first_row = w.global_warp_id() * rows_per_warp;
+        if (first_row >= num_rows) {
+          return;
+        }
+        // Row bounds per subwarp row.
+        std::uint32_t starts[kWarpSize], ends[kWarpSize];
+        std::uint64_t max_len = 0;
+        for (unsigned j = 0; j < rows_per_warp; ++j) {
+          const std::uint64_t r = first_row + j;
+          if (r >= num_rows) {
+            starts[j] = ends[j] = 0;
+            continue;
+          }
+          starts[j] = w.load_uniform(row_ptr + r);
+          ends[j] = w.load_uniform(row_ptr + r + 1);
+          max_len = std::max<std::uint64_t>(max_len, ends[j] - starts[j]);
+        }
+
+        Lanes<float> acc{};
+        // The warp iterates until its *longest* row is exhausted; shorter
+        // rows' lanes idle (SIMT divergence on skewed matrices).
+        for (std::uint64_t iter = 0; iter * sub < max_len; ++iter) {
+          Lanes<std::uint64_t> k{};
+          LaneMask m = 0;
+          for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            const unsigned j = lane / sub;
+            const unsigned o = lane % sub;
+            if (first_row + j >= num_rows) {
+              continue;
+            }
+            const std::uint64_t pos = starts[j] + iter * sub + o;
+            if (pos < ends[j]) {
+              k[lane] = pos;
+              m |= (LaneMask{1} << lane);
+            }
+          }
+          if (m == 0) {
+            continue;
+          }
+          const Lanes<IdxT> cols = w.gather(col_idx, k, m);
+          const Lanes<float> vals = w.gather(values, k, m);
+          Lanes<std::uint64_t> ci{};
+          for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            if (lane_active(m, lane)) {
+              ci[lane] = cols[lane];
+            }
+          }
+          const Lanes<float> xv = w.gather(xp, ci, m);
+          for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            if (lane_active(m, lane)) {
+              acc[lane] = acc[lane] + vals[lane] * xv[lane];
+            }
+          }
+          w.count_flops(2, m);
+        }
+
+        // Per-subwarp tree reduction, then the subwarp leaders store the
+        // (consecutive) row results.
+        Lanes<float> results{};
+        LaneMask store_mask = 0;
+        for (unsigned j = 0; j < rows_per_warp; ++j) {
+          if (first_row + j >= num_rows) {
+            continue;
+          }
+          float partial[kWarpSize] = {};
+          for (unsigned o = 0; o < sub; ++o) {
+            partial[o] = acc[j * sub + o];
+          }
+          for (unsigned offset = sub / 2; offset > 0; offset /= 2) {
+            for (unsigned i = 0; i < offset; ++i) {
+              partial[i] += partial[i + offset];
+            }
+          }
+          results[j] = partial[0];
+          store_mask |= (LaneMask{1} << j);
+        }
+        w.count_instrs(5, store_mask);  // subwarp shfl reduction slots
+        w.store_contiguous(yp, first_row, results, store_mask);
+      },
+      schedule_seed);
+  return run;
+}
+
+}  // namespace pd::kernels

@@ -1,0 +1,83 @@
+#include "kernels/dose_engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sparse/convert.hpp"
+#include "kernels/vector_csr.hpp"
+
+namespace pd::kernels {
+
+DoseEngine::DoseEngine(sparse::CsrF64 matrix, gpusim::DeviceSpec device,
+                       Mode mode, unsigned threads_per_block)
+    : mode_(mode), threads_per_block_(threads_per_block) {
+  matrix.validate();
+  stats_ = sparse::compute_stats(matrix);
+  switch (mode_) {
+    case Mode::kHalfDouble:
+      half_matrix_ = sparse::convert_values<pd::Half>(matrix);
+      break;
+    case Mode::kSingle:
+      single_matrix_ = sparse::convert_values<float>(matrix);
+      break;
+    case Mode::kDouble:
+      double_matrix_ = std::move(matrix);
+      break;
+  }
+  gpu_ = std::make_unique<gpusim::Gpu>(std::move(device));
+}
+
+DoseEngine::~DoseEngine() = default;
+
+std::vector<double> DoseEngine::compute(std::span<const double> spot_weights,
+                                        std::uint64_t schedule_seed) {
+  PD_CHECK_MSG(spot_weights.size() == stats_.cols,
+               "DoseEngine::compute: spot weight count mismatch");
+  std::vector<double> dose(stats_.rows, 0.0);
+
+  switch (mode_) {
+    case Mode::kHalfDouble: {
+      last_run_ = run_vector_csr<pd::Half, double>(
+          *gpu_, half_matrix_, spot_weights, std::span<double>(dose),
+          threads_per_block_, schedule_seed);
+      break;
+    }
+    case Mode::kSingle: {
+      std::vector<float> x32(spot_weights.size());
+      std::transform(spot_weights.begin(), spot_weights.end(), x32.begin(),
+                     [](double v) { return static_cast<float>(v); });
+      std::vector<float> y32(stats_.rows, 0.0f);
+      last_run_ = run_vector_csr<float, float>(
+          *gpu_, single_matrix_, std::span<const float>(x32),
+          std::span<float>(y32), threads_per_block_, schedule_seed);
+      std::transform(y32.begin(), y32.end(), dose.begin(),
+                     [](float v) { return static_cast<double>(v); });
+      break;
+    }
+    case Mode::kDouble: {
+      last_run_ = run_vector_csr<double, double>(
+          *gpu_, double_matrix_, spot_weights, std::span<double>(dose),
+          threads_per_block_, schedule_seed);
+      break;
+    }
+  }
+  has_run_ = true;
+  return dose;
+}
+
+const SpmvRun& DoseEngine::last_run() const {
+  PD_CHECK_MSG(has_run_, "DoseEngine: no compute() has run yet");
+  return last_run_;
+}
+
+gpusim::PerfEstimate DoseEngine::last_estimate() const {
+  PD_CHECK_MSG(has_run_, "DoseEngine: no compute() has run yet");
+  gpusim::PerfInput in;
+  in.stats = last_run_.stats;
+  in.config = last_run_.config;
+  in.precision = last_run_.precision;
+  in.mean_work_per_warp = stats_.mean_nnz_per_nonempty_row;
+  return gpusim::estimate_performance(gpu_->spec(), in);
+}
+
+}  // namespace pd::kernels

@@ -1,0 +1,74 @@
+#pragma once
+// DoseEngine — the library's high-level public API.
+//
+// Wraps everything a treatment-planning optimizer needs: take a dose
+// deposition matrix once, choose a precision mode and device, then compute
+// dose = D · spot_weights repeatedly (once per optimizer iteration).  The
+// default mode is the paper's mixed half/double kernel, which satisfies both
+// RayStation requirements from §II-D: double-precision vectors and bitwise
+// run-to-run reproducibility.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fp16/half.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/perf.hpp"
+#include "kernels/spmv_common.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/stats.hpp"
+
+namespace pd::kernels {
+
+class DoseEngine {
+ public:
+  enum class Mode {
+    kHalfDouble,  ///< 16-bit matrix, 64-bit vectors (the paper's kernel).
+    kSingle,      ///< everything binary32.
+    kDouble,      ///< everything binary64 (reference-quality).
+  };
+
+  /// Takes ownership of the (double-precision) dose deposition matrix and
+  /// prepares the storage for `mode` on a simulated `device`.
+  DoseEngine(sparse::CsrF64 matrix, gpusim::DeviceSpec device,
+             Mode mode = Mode::kHalfDouble,
+             unsigned threads_per_block = kDefaultVectorTpb);
+
+  DoseEngine(const DoseEngine&) = delete;
+  DoseEngine& operator=(const DoseEngine&) = delete;
+  DoseEngine(DoseEngine&&) = default;
+  ~DoseEngine();
+
+  std::uint64_t num_voxels() const { return stats_.rows; }
+  std::uint64_t num_spots() const { return stats_.cols; }
+  const sparse::MatrixStats& stats() const { return stats_; }
+  Mode mode() const { return mode_; }
+
+  /// Compute the dose vector for the given spot weights.  `schedule_seed`
+  /// permutes GPU block scheduling; the result is independent of it (that is
+  /// the reproducibility guarantee — asserted in tests).
+  std::vector<double> compute(std::span<const double> spot_weights,
+                              std::uint64_t schedule_seed = 0);
+
+  /// Counters and launch geometry of the most recent compute().
+  const SpmvRun& last_run() const;
+
+  /// Modeled performance of the most recent compute() on this device.
+  gpusim::PerfEstimate last_estimate() const;
+
+ private:
+  Mode mode_;
+  unsigned threads_per_block_;
+  sparse::MatrixStats stats_;
+  sparse::CsrMatrix<pd::Half> half_matrix_;  ///< kHalfDouble storage.
+  sparse::CsrF32 single_matrix_;             ///< kSingle storage.
+  sparse::CsrF64 double_matrix_;             ///< kDouble storage.
+  std::unique_ptr<gpusim::Gpu> gpu_;
+  SpmvRun last_run_;
+  bool has_run_ = false;
+};
+
+}  // namespace pd::kernels

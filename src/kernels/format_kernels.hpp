@@ -1,0 +1,154 @@
+#pragma once
+// ELLPACK and SELL-C-σ SpMV kernels — the storage formats the paper defers
+// to future work (§II-C, §VII); our Ablation B measures them.
+//
+// Both formats store lane-contiguous data so that *thread-per-row* execution
+// is fully coalesced: a warp covers 32 consecutive (ELLPACK) or chunk-
+// permuted (SELL-C-σ) rows and iterates over the padded width.  ELLPACK pads
+// every row to the global maximum — catastrophic for the dose matrices'
+// 16k-long tail rows; SELL-C-σ pads per 32-row chunk after σ-window sorting,
+// which contains the padding.
+
+#include <algorithm>
+#include <span>
+
+#include "common/error.hpp"
+#include "gpusim/launch.hpp"
+#include "kernels/spmv_common.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/sellcs.hpp"
+
+namespace pd::kernels {
+
+template <typename MatV, typename Acc, typename IdxT>
+SpmvRun run_ell_spmv(gpusim::Gpu& gpu, const sparse::EllMatrix<MatV, IdxT>& A,
+                     std::span<const Acc> x, std::span<Acc> y,
+                     unsigned threads_per_block = kDefaultVectorTpb,
+                     std::uint64_t schedule_seed = 0) {
+  PD_CHECK_MSG(x.size() == A.num_cols, "ell: x size mismatch");
+  PD_CHECK_MSG(y.size() == A.num_rows, "ell: y size mismatch");
+
+  using namespace pd::gpusim;
+  const IdxT* col_idx = A.col_idx.data();
+  const MatV* values = A.values.data();
+  const Acc* xp = x.data();
+  Acc* yp = y.data();
+  const std::uint64_t num_rows = A.num_rows;
+  const std::uint64_t width = A.width;
+
+  // Thread-per-row: one warp covers 32 consecutive rows.
+  const std::uint64_t warps = (num_rows + kWarpSize - 1) / kWarpSize;
+  const LaunchConfig cfg =
+      LaunchConfig::warp_per_item(warps, threads_per_block, kClassicalRegs);
+
+  SpmvRun run;
+  run.config = cfg;
+  run.precision = sizeof(Acc) == 8 ? FlopPrecision::kFp64 : FlopPrecision::kFp32;
+  run.stats = gpu.run(
+      cfg,
+      [&](WarpCtx& w) {
+        const std::uint64_t row0 = w.global_warp_id() * kWarpSize;
+        if (row0 >= num_rows) {
+          return;
+        }
+        const auto active = static_cast<unsigned>(
+            std::min<std::uint64_t>(kWarpSize, num_rows - row0));
+        const LaneMask m = first_lanes(active);
+
+        Lanes<Acc> acc{};
+        for (std::uint64_t j = 0; j < width; ++j) {
+          // Column-major: slot j of rows row0..row0+31 is contiguous.
+          const std::uint64_t base = j * num_rows + row0;
+          const Lanes<IdxT> cols = w.load_contiguous(col_idx, base, m);
+          const Lanes<MatV> vals = w.load_contiguous(values, base, m);
+          Lanes<std::uint64_t> ci{};
+          for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            if (lane_active(m, lane)) ci[lane] = cols[lane];
+          }
+          const Lanes<Acc> xv = w.gather(xp, ci, m);
+          for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            if (lane_active(m, lane)) {
+              // Padding entries multiply value 0 — harmless but costed, which
+              // is precisely ELLPACK's weakness.
+              acc[lane] = acc[lane] + convert_value<Acc>(vals[lane]) * xv[lane];
+            }
+          }
+          w.count_flops(2, m);
+        }
+        w.store_contiguous(yp, row0, acc, m);
+      },
+      schedule_seed);
+  return run;
+}
+
+template <typename MatV, typename Acc, typename IdxT>
+SpmvRun run_sellcs_spmv(gpusim::Gpu& gpu,
+                        const sparse::SellCsMatrix<MatV, IdxT>& A,
+                        std::span<const Acc> x, std::span<Acc> y,
+                        unsigned threads_per_block = kDefaultVectorTpb,
+                        std::uint64_t schedule_seed = 0) {
+  PD_CHECK_MSG(x.size() == A.num_cols, "sellcs: x size mismatch");
+  PD_CHECK_MSG(y.size() == A.num_rows, "sellcs: y size mismatch");
+  PD_CHECK_MSG(A.chunk_height == gpusim::kWarpSize,
+               "sellcs kernel requires C == warp size");
+
+  using namespace pd::gpusim;
+  const IdxT* col_idx = A.col_idx.data();
+  const MatV* values = A.values.data();
+  const std::uint64_t* chunk_ptr = A.chunk_ptr.data();
+  const std::uint32_t* chunk_width = A.chunk_width.data();
+  const std::uint32_t* row_perm = A.row_perm.data();
+  const Acc* xp = x.data();
+  Acc* yp = y.data();
+  const std::uint64_t num_rows = A.num_rows;
+  const std::uint64_t num_chunks = A.num_chunks();
+
+  const LaunchConfig cfg = LaunchConfig::warp_per_item(
+      num_chunks, threads_per_block, kClassicalRegs);
+
+  SpmvRun run;
+  run.config = cfg;
+  run.precision = sizeof(Acc) == 8 ? FlopPrecision::kFp64 : FlopPrecision::kFp32;
+  run.stats = gpu.run(
+      cfg,
+      [&](WarpCtx& w) {
+        const std::uint64_t chunk = w.global_warp_id();
+        if (chunk >= num_chunks) {
+          return;
+        }
+        const std::uint64_t base = w.load_uniform(chunk_ptr + chunk);
+        const std::uint32_t width = w.load_uniform(chunk_width + chunk);
+        const std::uint64_t row0 = chunk * kWarpSize;
+        const auto active = static_cast<unsigned>(
+            std::min<std::uint64_t>(kWarpSize, num_rows - row0));
+        const LaneMask m = first_lanes(active);
+
+        Lanes<Acc> acc{};
+        for (std::uint32_t j = 0; j < width; ++j) {
+          const std::uint64_t slot = base + static_cast<std::uint64_t>(j) * kWarpSize;
+          const Lanes<IdxT> cols = w.load_contiguous(col_idx, slot, m);
+          const Lanes<MatV> vals = w.load_contiguous(values, slot, m);
+          Lanes<std::uint64_t> ci{};
+          for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            if (lane_active(m, lane)) ci[lane] = cols[lane];
+          }
+          const Lanes<Acc> xv = w.gather(xp, ci, m);
+          for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            if (lane_active(m, lane)) {
+              acc[lane] = acc[lane] + convert_value<Acc>(vals[lane]) * xv[lane];
+            }
+          }
+          w.count_flops(2, m);
+        }
+
+        // Scatter the results through the σ-sort permutation (row_perm maps
+        // storage rows back to original rows; σ-window sorting keeps the
+        // scatter targets nearly local).
+        const Lanes<std::uint32_t> perm = w.load_contiguous(row_perm, row0, m);
+        w.scatter(yp, perm, acc, m);
+      },
+      schedule_seed);
+  return run;
+}
+
+}  // namespace pd::kernels

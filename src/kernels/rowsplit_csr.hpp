@@ -1,0 +1,180 @@
+#pragma once
+// Row-splitting vector CSR SpMV with *deterministic* two-phase reduction.
+//
+// The paper's warp-per-row kernel leaves one warp alone with each 16k-long
+// liver row while thousands of short-row warps finish instantly.  The classic
+// fix — splitting long rows across warps — normally costs reproducibility,
+// because the partials are combined with atomics.  This kernel keeps the
+// §II-D guarantee: phase 1 writes each chunk's partial sum to a *fixed slot*
+// in a scratch array (no atomics), and phase 2 reduces each split row's
+// slots in a fixed order.  The result is bitwise independent of the block
+// schedule, like the paper's kernel, while bounding every warp's work.
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpusim/launch.hpp"
+#include "kernels/spmv_common.hpp"
+#include "sparse/csr.hpp"
+
+namespace pd::kernels {
+
+/// Host-side analysis: one work item per row chunk.
+struct RowSplitPlan {
+  struct WorkItem {
+    std::uint32_t row = 0;
+    std::uint32_t begin = 0;          ///< CSR value range [begin, end).
+    std::uint32_t end = 0;
+    std::int32_t partial_slot = -1;   ///< -1: direct store to y.
+  };
+  struct SplitRow {
+    std::uint32_t row = 0;
+    std::uint32_t first_slot = 0;
+    std::uint32_t num_slots = 0;
+  };
+  std::vector<WorkItem> items;
+  std::vector<SplitRow> split_rows;
+  std::uint32_t num_partials = 0;
+  std::uint32_t chunk_nnz = 0;
+};
+
+template <typename V, typename I>
+RowSplitPlan build_row_split_plan(const sparse::CsrMatrix<V, I>& A,
+                                  std::uint32_t chunk_nnz = 512) {
+  PD_CHECK_MSG(chunk_nnz >= gpusim::kWarpSize,
+               "row split: chunk must hold at least one warp-load");
+  RowSplitPlan plan;
+  plan.chunk_nnz = chunk_nnz;
+  for (std::uint32_t r = 0; r < A.num_rows; ++r) {
+    const std::uint32_t begin = A.row_ptr[r];
+    const std::uint32_t end = A.row_ptr[r + 1];
+    if (end - begin <= chunk_nnz) {
+      plan.items.push_back({r, begin, end, -1});
+      continue;
+    }
+    RowSplitPlan::SplitRow split{r, plan.num_partials, 0};
+    for (std::uint32_t k = begin; k < end; k += chunk_nnz) {
+      plan.items.push_back({r, k, std::min(end, k + chunk_nnz),
+                            static_cast<std::int32_t>(plan.num_partials)});
+      ++plan.num_partials;
+      ++split.num_slots;
+    }
+    plan.split_rows.push_back(split);
+  }
+  return plan;
+}
+
+/// Two-phase launch: y = A·x with bounded per-warp work.  Returns the
+/// combined counters of both phases.
+template <typename MatV, typename Acc, typename IdxT>
+SpmvRun run_rowsplit_csr(gpusim::Gpu& gpu, const sparse::CsrMatrix<MatV, IdxT>& A,
+                         const RowSplitPlan& plan, std::span<const Acc> x,
+                         std::span<Acc> y,
+                         unsigned threads_per_block = kDefaultVectorTpb,
+                         std::uint64_t schedule_seed = 0) {
+  PD_CHECK_MSG(x.size() == A.num_cols, "rowsplit: x size mismatch");
+  PD_CHECK_MSG(y.size() == A.num_rows, "rowsplit: y size mismatch");
+  PD_CHECK_MSG(!plan.items.empty(), "rowsplit: empty plan");
+
+  using namespace pd::gpusim;
+  const IdxT* col_idx = A.col_idx.data();
+  const MatV* values = A.values.data();
+  const Acc* xp = x.data();
+  Acc* yp = y.data();
+  const RowSplitPlan::WorkItem* items = plan.items.data();
+  const std::uint64_t num_items = plan.items.size();
+
+  std::vector<Acc> partials(std::max<std::uint32_t>(plan.num_partials, 1),
+                            Acc{});
+  Acc* pp = partials.data();
+
+  // Phase 1: one warp per chunk; partial sums go to fixed slots.
+  const LaunchConfig cfg1 = LaunchConfig::warp_per_item(
+      num_items, threads_per_block, kVectorCsrRegs);
+  SpmvRun run;
+  run.config = cfg1;
+  run.precision = sizeof(Acc) == 8 ? FlopPrecision::kFp64 : FlopPrecision::kFp32;
+  run.stats = gpu.run(
+      cfg1,
+      [&](WarpCtx& w) {
+        const std::uint64_t idx = w.global_warp_id();
+        if (idx >= num_items) {
+          return;
+        }
+        const RowSplitPlan::WorkItem item = w.load_uniform(items + idx);
+        Lanes<Acc> acc{};
+        for (std::uint64_t base = item.begin; base < item.end;
+             base += kWarpSize) {
+          const auto remaining = static_cast<unsigned>(
+              std::min<std::uint64_t>(kWarpSize, item.end - base));
+          const LaneMask m = first_lanes(remaining);
+          const Lanes<IdxT> cols = w.load_contiguous(col_idx, base, m);
+          const Lanes<MatV> vals = w.load_contiguous(values, base, m);
+          const Lanes<Acc> xv = w.gather(xp, cols, m);
+          for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            if (lane_active(m, lane)) {
+              acc[lane] = acc[lane] + convert_value<Acc>(vals[lane]) * xv[lane];
+            }
+          }
+          w.count_flops(2, m);
+        }
+        const Acc total = w.reduce_add(acc);
+        if (item.partial_slot < 0) {
+          w.store_uniform(yp + item.row, total);
+        } else {
+          w.store_uniform(pp + item.partial_slot, total);
+        }
+      },
+      schedule_seed);
+
+  if (plan.split_rows.empty()) {
+    return run;
+  }
+
+  // Phase 2: one warp per split row, fixed-order reduction of its slots
+  // (strided lane accumulation + the same deterministic tree as phase 1).
+  const RowSplitPlan::SplitRow* splits = plan.split_rows.data();
+  const std::uint64_t num_splits = plan.split_rows.size();
+  const LaunchConfig cfg2 = LaunchConfig::warp_per_item(
+      num_splits, threads_per_block, kVectorCsrRegs);
+  const KernelStats phase2 = gpu.run(
+      cfg2,
+      [&](WarpCtx& w) {
+        const std::uint64_t idx = w.global_warp_id();
+        if (idx >= num_splits) {
+          return;
+        }
+        const RowSplitPlan::SplitRow split = w.load_uniform(splits + idx);
+        Lanes<Acc> acc{};
+        for (std::uint64_t base = split.first_slot;
+             base < split.first_slot + split.num_slots; base += kWarpSize) {
+          const auto remaining = static_cast<unsigned>(std::min<std::uint64_t>(
+              kWarpSize, split.first_slot + split.num_slots - base));
+          const LaneMask m = first_lanes(remaining);
+          const Lanes<Acc> part = w.load_contiguous(pp, base, m);
+          for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            if (lane_active(m, lane)) {
+              acc[lane] = acc[lane] + part[lane];
+            }
+          }
+          w.count_flops(1, m);
+        }
+        w.store_uniform(yp + split.row, w.reduce_add(acc));
+      },
+      schedule_seed + 1);
+
+  // Combine the two phases' counters.
+  run.stats.traffic += phase2.traffic;
+  run.stats.compute.flops += phase2.compute.flops;
+  run.stats.compute.warp_arith_instrs += phase2.compute.warp_arith_instrs;
+  run.stats.compute.active_lane_ops += phase2.compute.active_lane_ops;
+  run.stats.compute.total_lane_ops += phase2.compute.total_lane_ops;
+  run.stats.blocks_launched += phase2.blocks_launched;
+  run.stats.warps_launched += phase2.warps_launched;
+  return run;
+}
+
+}  // namespace pd::kernels

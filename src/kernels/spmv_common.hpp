@@ -1,0 +1,51 @@
+#pragma once
+// Shared pieces of the SpMV kernel family: value-conversion helpers, the
+// per-kernel register footprints that feed the occupancy calculator, and the
+// result bundle every kernel launcher returns.
+
+#include <cstdint>
+
+#include "fp16/bfloat16.hpp"
+#include "fp16/half.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/perf.hpp"
+
+namespace pd::kernels {
+
+/// Convert a stored matrix value to the accumulation type.  Half widens
+/// exactly (binary16 ⊂ binary32/64); float/double follow usual conversions.
+template <typename Acc>
+inline Acc convert_value(pd::Half v) {
+  return static_cast<Acc>(v.to_float());
+}
+template <typename Acc>
+inline Acc convert_value(pd::Bfloat16 v) {
+  return static_cast<Acc>(v.to_float());
+}
+template <typename Acc, typename V>
+inline Acc convert_value(V v) {
+  return static_cast<Acc>(v);
+}
+
+/// Per-thread register footprints, as a CUDA compiler would report them.
+/// They drive the Figure 4 occupancy sweep: 40 registers puts the knee of
+/// the half/double kernel at 512 threads/block (75% occupancy) with dips at
+/// 32 and 1024, matching the paper's observed best configuration.
+inline constexpr unsigned kVectorCsrRegs = 40;
+inline constexpr unsigned kBaselineRegs = 32;
+inline constexpr unsigned kClassicalRegs = 32;
+inline constexpr unsigned kAdaptiveRegs = 40;
+
+/// Default launch widths chosen in the paper after the Figure 4 sweep.
+inline constexpr unsigned kDefaultVectorTpb = 512;
+inline constexpr unsigned kDefaultBaselineTpb = 128;
+
+/// What one kernel launch produced: measured counters plus the launch
+/// geometry (both are inputs to gpusim::estimate_performance).
+struct SpmvRun {
+  gpusim::KernelStats stats;
+  gpusim::LaunchConfig config;
+  gpusim::FlopPrecision precision = gpusim::FlopPrecision::kFp64;
+};
+
+}  // namespace pd::kernels

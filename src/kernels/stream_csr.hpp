@@ -1,0 +1,226 @@
+#pragma once
+// CSR-Stream: block-cooperative SpMV through shared memory (the second half
+// of the Greathouse–Daga CSR-Adaptive design, here with the full block scope
+// the simulator's BlockCtx provides).
+//
+// Each block owns either a group of consecutive rows whose combined
+// non-zeros fit a shared-memory tile, or one very long row:
+//
+//  * group blocks — phase 1: all warps stream the tile's products
+//    (value · x) into shared memory with perfectly coalesced global loads;
+//    phase 2: one warp per row reduces its slice of the tile in the same
+//    strided order as the paper's vector kernel, so the per-row results are
+//    BITWISE IDENTICAL to warp-per-row CSR while the global loads no longer
+//    care about row boundaries.
+//  * long-row blocks — phase 1: every warp accumulates a block-strided
+//    partial and parks it in shared memory; phase 2: warp 0 folds the
+//    partials in a fixed order.  A block-level deterministic reduction —
+//    no atomics, schedule-independent (§II-D preserved).
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpusim/launch.hpp"
+#include "kernels/spmv_common.hpp"
+#include "sparse/csr.hpp"
+
+namespace pd::kernels {
+
+struct StreamPlan {
+  struct BlockItem {
+    std::uint32_t row_begin = 0;
+    std::uint32_t row_end = 0;   ///< exclusive
+    std::uint32_t long_row = 0;  ///< 1: the block owns a single long row.
+  };
+  std::vector<BlockItem> items;
+  std::uint32_t tile_nnz = 0;  ///< Shared tile capacity (products per block).
+};
+
+template <typename V, typename I>
+StreamPlan build_stream_plan(const sparse::CsrMatrix<V, I>& A,
+                             std::uint32_t tile_nnz = 2048) {
+  PD_CHECK_MSG(tile_nnz >= gpusim::kWarpSize,
+               "stream plan: tile must hold at least one warp-load");
+  StreamPlan plan;
+  plan.tile_nnz = tile_nnz;
+  std::uint32_t r = 0;
+  const auto rows = static_cast<std::uint32_t>(A.num_rows);
+  while (r < rows) {
+    if (A.row_nnz(r) > tile_nnz) {
+      plan.items.push_back({r, r + 1, 1});
+      ++r;
+      continue;
+    }
+    const std::uint32_t begin = r;
+    std::uint64_t total = 0;
+    while (r < rows) {
+      const std::uint64_t next = A.row_nnz(r);
+      if (next > tile_nnz || total + next > tile_nnz) {
+        break;
+      }
+      total += next;
+      ++r;
+    }
+    plan.items.push_back({begin, r, 0});
+  }
+  return plan;
+}
+
+template <typename MatV, typename Acc, typename IdxT>
+SpmvRun run_stream_csr(gpusim::Gpu& gpu, const sparse::CsrMatrix<MatV, IdxT>& A,
+                       const StreamPlan& plan, std::span<const Acc> x,
+                       std::span<Acc> y,
+                       unsigned threads_per_block = kDefaultVectorTpb,
+                       std::uint64_t schedule_seed = 0) {
+  PD_CHECK_MSG(x.size() == A.num_cols, "stream: x size mismatch");
+  PD_CHECK_MSG(y.size() == A.num_rows, "stream: y size mismatch");
+  PD_CHECK_MSG(!plan.items.empty(), "stream: empty plan");
+
+  using namespace pd::gpusim;
+  const std::uint32_t* row_ptr = A.row_ptr.data();
+  const IdxT* col_idx = A.col_idx.data();
+  const MatV* values = A.values.data();
+  const Acc* xp = x.data();
+  Acc* yp = y.data();
+  const StreamPlan::BlockItem* items = plan.items.data();
+  const std::uint32_t tile_nnz = plan.tile_nnz;
+
+  LaunchConfig cfg;
+  cfg.threads_per_block = threads_per_block;
+  cfg.num_blocks = plan.items.size();
+  cfg.regs_per_thread = kAdaptiveRegs;
+
+  SpmvRun run;
+  run.config = cfg;
+  run.precision = sizeof(Acc) == 8 ? FlopPrecision::kFp64 : FlopPrecision::kFp32;
+  run.stats = gpu.run_blocks(
+      cfg,
+      [&](BlockCtx& block) {
+        const StreamPlan::BlockItem item = items[block.block_idx()];
+        const unsigned wpb = block.warps_per_block();
+
+        if (item.long_row != 0) {
+          // --- one long row, block-wide deterministic reduction ----------
+          Acc* partials = block.shared_alloc<Acc>(wpb);
+          block.for_each_warp([&](WarpCtx& w) {
+            const std::uint64_t warp_id =
+                w.global_warp_id() % wpb;  // warp index inside the block
+            const std::uint32_t start = w.load_uniform(row_ptr + item.row_begin);
+            const std::uint32_t end =
+                w.load_uniform(row_ptr + item.row_begin + 1);
+            Lanes<Acc> acc{};
+            for (std::uint64_t base = start + warp_id * kWarpSize; base < end;
+                 base += static_cast<std::uint64_t>(wpb) * kWarpSize) {
+              const auto remaining = static_cast<unsigned>(
+                  std::min<std::uint64_t>(kWarpSize, end - base));
+              const LaneMask m = first_lanes(remaining);
+              const Lanes<IdxT> cols = w.load_contiguous(col_idx, base, m);
+              const Lanes<MatV> vals = w.load_contiguous(values, base, m);
+              const Lanes<Acc> xv = w.gather(xp, cols, m);
+              for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+                if (lane_active(m, lane)) {
+                  acc[lane] =
+                      acc[lane] + convert_value<Acc>(vals[lane]) * xv[lane];
+                }
+              }
+              w.count_flops(2, m);
+            }
+            const Acc partial = w.reduce_add(acc);
+            Lanes<std::uint64_t> slot{};
+            Lanes<Acc> val{};
+            slot[0] = warp_id;
+            val[0] = partial;
+            w.shared_scatter(partials, slot, val, 0x1u);
+          });
+          // ...barrier...
+          block.for_each_warp([&](WarpCtx& w) {
+            if (w.global_warp_id() % wpb != 0) {
+              return;  // only warp 0 folds the partials
+            }
+            Lanes<Acc> acc{};
+            for (unsigned base = 0; base < wpb; base += kWarpSize) {
+              const LaneMask m =
+                  first_lanes(std::min<unsigned>(kWarpSize, wpb - base));
+              Lanes<std::uint64_t> idx{};
+              for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+                idx[lane] = base + lane;
+              }
+              const Lanes<Acc> part = w.shared_gather(partials, idx, m);
+              for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+                if (lane_active(m, lane)) {
+                  acc[lane] = acc[lane] + part[lane];
+                }
+              }
+              w.count_flops(1, m);
+            }
+            w.store_uniform(yp + item.row_begin, w.reduce_add(acc));
+          });
+          return;
+        }
+
+        // --- row group streamed through a shared tile ---------------------
+        const std::uint32_t tile_start = row_ptr[item.row_begin];
+        const std::uint32_t tile_end = row_ptr[item.row_end];
+        Acc* tile = block.shared_alloc<Acc>(tile_nnz);
+
+        // Phase 1: coalesced product streaming, row-agnostic.
+        block.for_each_warp([&](WarpCtx& w) {
+          const std::uint64_t warp_id = w.global_warp_id() % wpb;
+          for (std::uint64_t base = tile_start + warp_id * kWarpSize;
+               base < tile_end;
+               base += static_cast<std::uint64_t>(wpb) * kWarpSize) {
+            const auto remaining = static_cast<unsigned>(
+                std::min<std::uint64_t>(kWarpSize, tile_end - base));
+            const LaneMask m = first_lanes(remaining);
+            const Lanes<IdxT> cols = w.load_contiguous(col_idx, base, m);
+            const Lanes<MatV> vals = w.load_contiguous(values, base, m);
+            const Lanes<Acc> xv = w.gather(xp, cols, m);
+            Lanes<Acc> prod{};
+            Lanes<std::uint64_t> slot{};
+            for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+              if (lane_active(m, lane)) {
+                prod[lane] = convert_value<Acc>(vals[lane]) * xv[lane];
+                slot[lane] = base + lane - tile_start;
+              }
+            }
+            w.count_flops(1, m);
+            w.shared_scatter(tile, slot, prod, m);
+          }
+        });
+        // ...barrier...
+        // Phase 2: warp-per-row reduction out of the tile, in the vector
+        // kernel's exact strided order (hence bitwise-equal results).
+        block.for_each_warp([&](WarpCtx& w) {
+          const std::uint64_t warp_id = w.global_warp_id() % wpb;
+          for (std::uint32_t row = item.row_begin + warp_id;
+               row < item.row_end; row += wpb) {
+            const std::uint32_t start = w.load_uniform(row_ptr + row);
+            const std::uint32_t end = w.load_uniform(row_ptr + row + 1);
+            Lanes<Acc> acc{};
+            for (std::uint64_t base = start; base < end; base += kWarpSize) {
+              const auto remaining = static_cast<unsigned>(
+                  std::min<std::uint64_t>(kWarpSize, end - base));
+              const LaneMask m = first_lanes(remaining);
+              Lanes<std::uint64_t> idx{};
+              for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+                idx[lane] = base + lane - tile_start;
+              }
+              const Lanes<Acc> prod = w.shared_gather(tile, idx, m);
+              for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+                if (lane_active(m, lane)) {
+                  acc[lane] = acc[lane] + prod[lane];
+                }
+              }
+              w.count_flops(1, m);
+            }
+            w.store_uniform(yp + row, w.reduce_add(acc));
+          }
+        });
+      },
+      schedule_seed);
+  return run;
+}
+
+}  // namespace pd::kernels

@@ -1,0 +1,67 @@
+#pragma once
+// Execution-configuration tuner (the paper's §V-A / Figure 4 experiment):
+// sweep threads-per-block, measure each launch on the simulated device, and
+// pick the configuration with the highest modeled GFLOP/s.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpusim/perf.hpp"
+#include "kernels/spmv_common.hpp"
+
+namespace pd::kernels {
+
+struct TunePoint {
+  unsigned threads_per_block = 0;
+  gpusim::PerfEstimate estimate;
+};
+
+struct TuneResult {
+  std::vector<TunePoint> points;
+  unsigned best_threads_per_block = 0;
+
+  const TunePoint& best() const {
+    for (const TunePoint& p : points) {
+      if (p.threads_per_block == best_threads_per_block) {
+        return p;
+      }
+    }
+    throw pd::Error("TuneResult: empty sweep");
+  }
+};
+
+/// The paper's sweep: 32..1024 threads per block.
+inline std::vector<unsigned> default_block_sizes() {
+  return {32, 64, 128, 256, 512, 1024};
+}
+
+/// `run_at(tpb)` must launch the kernel with that block size and return the
+/// SpmvRun; `mean_work_per_warp` feeds the perf model (see gpusim::PerfInput).
+template <typename RunFn>
+TuneResult tune_block_size(const gpusim::DeviceSpec& spec, RunFn&& run_at,
+                           double mean_work_per_warp,
+                           std::vector<unsigned> candidates = default_block_sizes()) {
+  PD_CHECK_MSG(!candidates.empty(), "tune_block_size: no candidates");
+  TuneResult result;
+  double best_gflops = -1.0;
+  for (const unsigned tpb : candidates) {
+    const SpmvRun run = run_at(tpb);
+    gpusim::PerfInput in;
+    in.stats = run.stats;
+    in.config = run.config;
+    in.precision = run.precision;
+    in.mean_work_per_warp = mean_work_per_warp;
+    TunePoint point;
+    point.threads_per_block = tpb;
+    point.estimate = gpusim::estimate_performance(spec, in);
+    if (point.estimate.gflops > best_gflops) {
+      best_gflops = point.estimate.gflops;
+      result.best_threads_per_block = tpb;
+    }
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace pd::kernels

@@ -1,0 +1,42 @@
+#include "mc/bragg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pd::mc {
+
+double BraggModel::sigma_range_cm(double range_cm) const {
+  PD_CHECK_MSG(range_cm > 0.0, "sigma_range_cm: non-positive range");
+  return straggling_coeff * std::pow(range_cm, straggling_power);
+}
+
+double BraggModel::depth_dose(double depth_cm, double range_cm) const {
+  PD_CHECK_MSG(range_cm > 0.0, "depth_dose: non-positive range");
+  if (depth_cm < 0.0) {
+    return 0.0;
+  }
+  const double sigma = sigma_range_cm(range_cm);
+  if (depth_cm > range_cm + 3.0 * sigma) {
+    return 0.0;
+  }
+  // Entrance plateau rising gently toward the peak; truncated past the range
+  // by the same erf-style falloff as the peak.
+  const double rel = std::min(depth_cm / range_cm, 1.0);
+  double plateau = plateau_entrance + plateau_rise * rel * rel;
+  if (depth_cm > range_cm) {
+    plateau *= std::exp(-0.5 * (depth_cm - range_cm) * (depth_cm - range_cm) /
+                        (sigma * sigma));
+  }
+  // Straggling-broadened Bragg peak centred slightly proximal of the range.
+  const double peak_center = range_cm - 0.5 * sigma;
+  const double d = depth_cm - peak_center;
+  const double peak = peak_amplitude * std::exp(-0.5 * d * d / (sigma * sigma));
+  return plateau + peak;
+}
+
+double BraggModel::max_depth_cm(double range_cm) const {
+  return range_cm + 3.0 * sigma_range_cm(range_cm);
+}
+
+}  // namespace pd::mc

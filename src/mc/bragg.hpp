@@ -1,0 +1,32 @@
+#pragma once
+// Depth–dose model for proton pencil beams.
+//
+// An analytic Bragg-curve approximation (entrance plateau + straggling-
+// broadened peak + sharp distal falloff) substitutes for RayStation's full
+// Monte Carlo particle transport.  The dose deposition matrices only need
+// the *qualitative* Bragg behaviour — dose all along the entrance channel
+// (long rows in shallow voxels), peak near the prescribed range, nothing
+// beyond — to produce the matrix structure of Table I / Figure 2.
+
+namespace pd::mc {
+
+/// Parameters of the analytic Bragg model.
+struct BraggModel {
+  double plateau_entrance = 0.35;  ///< Entrance dose relative to unit plateau scale.
+  double plateau_rise = 0.45;      ///< Quadratic rise toward the peak region.
+  double peak_amplitude = 3.2;     ///< Peak height over the plateau scale.
+  double straggling_coeff = 0.012; ///< sigma_range = coeff * R^straggling_power.
+  double straggling_power = 0.935;
+
+  /// Range-straggling width (cm) for a beam of range `range_cm`.
+  double sigma_range_cm(double range_cm) const;
+
+  /// Depth dose (arbitrary units ~ Gy·cm²/primary) at water-equivalent depth
+  /// `depth_cm` for a beam with nominal range `range_cm`.
+  double depth_dose(double depth_cm, double range_cm) const;
+
+  /// Depth beyond which the dose is numerically zero (peak + 3 sigma).
+  double max_depth_cm(double range_cm) const;
+};
+
+}  // namespace pd::mc

@@ -1,0 +1,49 @@
+#include "mc/generator.hpp"
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+
+namespace pd::mc {
+
+GeneratedBeam generate_dose_matrix(const phantom::Phantom& phantom,
+                                   double gantry_angle_deg,
+                                   const phantom::BeamConfig& beam_config,
+                                   const TransportConfig& transport_config,
+                                   const BraggModel& bragg, std::uint64_t seed,
+                                   const phantom::Vec3& delivery_shift_mm) {
+  GeneratedBeam out;
+  out.gantry_angle_deg = gantry_angle_deg;
+
+  phantom::BeamConfig cfg = beam_config;
+  cfg.gantry_angle_deg = gantry_angle_deg;
+  // The spot plan is always made for the *nominal* geometry; only the
+  // delivery frame is displaced by the setup error.
+  const phantom::BeamFrame nominal =
+      phantom::make_beam_frame(phantom, gantry_angle_deg);
+  out.spots = phantom::generate_spots(phantom, nominal, cfg);
+  phantom::BeamFrame frame = nominal;
+  frame.isocenter = frame.isocenter + delivery_shift_mm;
+  PD_CHECK_MSG(!out.spots.empty(), "generate_dose_matrix: no spots generated");
+  PD_CHECK_MSG(out.spots.size() < (std::uint64_t{1} << 32),
+               "generate_dose_matrix: too many spots for 32-bit columns");
+
+  sparse::CooMatrix<double> coo;
+  coo.num_rows = phantom.grid().num_voxels();
+  coo.num_cols = out.spots.size();
+
+  Rng master(seed);
+  for (std::uint32_t col = 0; col < out.spots.size(); ++col) {
+    Rng spot_rng = master.fork();
+    const std::vector<Deposit> deposits = transport_spot(
+        phantom, frame, out.spots[col], bragg, transport_config, spot_rng);
+    for (const Deposit& d : deposits) {
+      coo.entries.push_back(sparse::CooEntry<double>{
+          static_cast<std::uint32_t>(d.voxel), col, d.dose});
+    }
+  }
+
+  out.matrix = sparse::coo_to_csr(coo);
+  return out;
+}
+
+}  // namespace pd::mc

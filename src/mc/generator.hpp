@@ -1,0 +1,42 @@
+#pragma once
+// Dose-deposition-matrix generator: phantom + beam -> CSR matrix.
+//
+// Stands in for "export from RayStation after the Monte Carlo dose engine"
+// (paper §IV): each spot is transported through the phantom and its deposits
+// become one *column* of the matrix (rows = dose-grid voxels).  The result is
+// a double-precision CSR matrix which callers quantize to half (rsformat /
+// convert_values) exactly as the paper converts RayStation's export to CSR.
+
+#include <cstdint>
+#include <vector>
+
+#include "mc/pencilbeam.hpp"
+#include "phantom/beam.hpp"
+#include "phantom/phantom.hpp"
+#include "sparse/csr.hpp"
+
+namespace pd::mc {
+
+struct GeneratedBeam {
+  sparse::CsrF64 matrix;            ///< rows = voxels, cols = spots.
+  std::vector<phantom::Spot> spots; ///< Column definitions.
+  double gantry_angle_deg = 0.0;
+};
+
+/// Generate the dose deposition matrix for one beam.  Deterministic in
+/// (phantom, angle, configs, seed); per-spot RNG streams are forked so the
+/// result does not depend on evaluation order.
+///
+/// `delivery_shift_mm` models a patient setup error: the spot plan is made
+/// for the nominal geometry, but the dose is delivered with the beam frame
+/// displaced by this vector relative to the patient — the uncertainty
+/// realization that robust optimization (paper §II) plans against.  The
+/// default (zero) is the nominal scenario.
+GeneratedBeam generate_dose_matrix(const phantom::Phantom& phantom,
+                                   double gantry_angle_deg,
+                                   const phantom::BeamConfig& beam_config,
+                                   const TransportConfig& transport_config,
+                                   const BraggModel& bragg, std::uint64_t seed,
+                                   const phantom::Vec3& delivery_shift_mm = {});
+
+}  // namespace pd::mc

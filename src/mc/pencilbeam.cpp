@@ -1,0 +1,145 @@
+#include "mc/pencilbeam.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace pd::mc {
+
+using phantom::BeamFrame;
+using phantom::Phantom;
+using phantom::Spot;
+using phantom::Vec3;
+using phantom::VoxelGrid;
+using phantom::VoxelIndex;
+
+std::vector<Deposit> transport_spot(const Phantom& phantom,
+                                    const BeamFrame& frame, const Spot& spot,
+                                    const BraggModel& bragg,
+                                    const TransportConfig& config, Rng& rng) {
+  PD_CHECK_MSG(config.step_mm > 0.0, "transport: step must be positive");
+  const VoxelGrid& g = phantom.grid();
+  const double range_cm = phantom::proton_range_cm(spot.energy_mev);
+  const double max_depth_cm = bragg.max_depth_cm(range_cm);
+
+  // Start well outside the grid on the beam axis through (u, v) and march
+  // forward; water-equivalent depth starts accumulating at the first voxel
+  // with material.
+  const double diag_mm =
+      std::sqrt(static_cast<double>(g.nx() * g.nx() + g.ny() * g.ny() +
+                                    g.nz() * g.nz())) *
+      g.spacing();
+  Vec3 cursor = frame.unproject(spot.u_mm, spot.v_mm, -0.75 * diag_mm);
+  const Vec3 step_vec = frame.direction * config.step_mm;
+  const auto max_steps = static_cast<std::uint64_t>(2.0 * diag_mm / config.step_mm);
+
+  std::unordered_map<std::uint64_t, double> dose_map;
+  double wed_cm = 0.0;
+  bool entered = false;
+
+  for (std::uint64_t s = 0; s < max_steps && wed_cm < max_depth_cm; ++s) {
+    cursor = cursor + step_vec;
+    const VoxelIndex center = g.nearest_voxel(cursor);
+    if (!g.contains(center)) {
+      if (entered) {
+        break;  // exited the far side
+      }
+      continue;
+    }
+    entered = true;
+    const double sp = phantom.stopping_power(g.linear_index(center));
+    wed_cm += sp * config.step_mm / 10.0;
+    if (sp <= 0.0) {
+      continue;  // air gap inside the grid: no deposit, no depth gained
+    }
+
+    const double dd = bragg.depth_dose(wed_cm, range_cm);
+    if (dd <= 0.0) {
+      continue;
+    }
+
+    // Lateral spread: depth-broadened Gaussian, never narrower than the
+    // marching step so coarse grids still see a connected beam.
+    const double sigma_mm = std::max(
+        config.lateral_sigma0_mm + config.lateral_growth_mm_per_cm * wed_cm,
+        0.8 * config.step_mm);
+    const double cutoff_mm = config.lateral_cutoff_sigmas * sigma_mm;
+    const auto reach = static_cast<std::int64_t>(cutoff_mm / g.spacing()) + 1;
+    const double inv_two_sigma2 = 1.0 / (2.0 * sigma_mm * sigma_mm);
+
+    for (std::int64_t du = -reach; du <= reach; ++du) {
+      for (std::int64_t dv = -reach; dv <= reach; ++dv) {
+        const double off_u = static_cast<double>(du) * g.spacing();
+        const double off_v = static_cast<double>(dv) * g.spacing();
+        const double r2 = off_u * off_u + off_v * off_v;
+        if (r2 > cutoff_mm * cutoff_mm) {
+          continue;
+        }
+        const Vec3 p = cursor + frame.u_axis * off_u + frame.v_axis * off_v;
+        const VoxelIndex v = g.nearest_voxel(p);
+        if (!g.contains(v)) {
+          continue;
+        }
+        const double w = std::exp(-r2 * inv_two_sigma2);
+        dose_map[g.linear_index(v)] += dd * w * config.step_mm / 10.0;
+      }
+    }
+  }
+
+  if (dose_map.empty()) {
+    return {};
+  }
+
+  double max_dose = 0.0;
+  for (const auto& [voxel, dose] : dose_map) {
+    max_dose = std::max(max_dose, dose);
+  }
+
+  // Apply MC noise, inject halo noise, prune, and sort.  Iterate in sorted
+  // voxel order so the random stream is independent of hash-map layout.
+  std::vector<Deposit> deposits;
+  deposits.reserve(dose_map.size());
+  for (const auto& [voxel, dose] : dose_map) {
+    deposits.push_back(Deposit{voxel, dose});
+  }
+  std::sort(deposits.begin(), deposits.end(),
+            [](const Deposit& a, const Deposit& b) { return a.voxel < b.voxel; });
+
+  std::vector<Deposit> out;
+  out.reserve(deposits.size());
+  const double prune_abs = config.prune_rel * max_dose;
+  for (Deposit d : deposits) {
+    d.dose *= std::max(0.0, 1.0 + rng.normal(0.0, config.mc_noise_rel));
+    // Spurious MC-noise non-zeros: neighbouring voxels occasionally receive
+    // a tiny deposit (the paper's "artificial increase of the non-zero
+    // values" from MC noise).
+    if (rng.uniform() < config.halo_prob) {
+      const std::uint64_t neighbour = d.voxel + 1;
+      if (neighbour < phantom.grid().num_voxels()) {
+        out.push_back(Deposit{neighbour,
+                              config.halo_rel * max_dose * rng.uniform(0.1, 1.0)});
+      }
+    }
+    if (d.dose > prune_abs) {
+      out.push_back(d);
+    }
+  }
+
+  // Merge duplicates introduced by the halo (sorted merge).
+  std::sort(out.begin(), out.end(),
+            [](const Deposit& a, const Deposit& b) { return a.voxel < b.voxel; });
+  std::vector<Deposit> merged;
+  merged.reserve(out.size());
+  for (const Deposit& d : out) {
+    if (!merged.empty() && merged.back().voxel == d.voxel) {
+      merged.back().dose += d.dose;
+    } else {
+      merged.push_back(d);
+    }
+  }
+  return merged;
+}
+
+}  // namespace pd::mc

@@ -1,0 +1,47 @@
+#pragma once
+// Pencil-beam transport: deposits the dose of one spot into patient voxels.
+//
+// Each spot is ray-marched through the phantom.  At every step the analytic
+// Bragg depth dose (evaluated at the accumulated water-equivalent depth) is
+// spread laterally with a depth-broadened Gaussian (multiple Coulomb
+// scattering).  Monte Carlo statistical noise is then applied per deposit,
+// including the paper's §II-A observation that MC noise *adds spurious tiny
+// non-zeros* to the matrix: a halo of near-zero deposits around the physical
+// beam envelope.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mc/bragg.hpp"
+#include "phantom/beam.hpp"
+#include "phantom/phantom.hpp"
+
+namespace pd::mc {
+
+struct TransportConfig {
+  double step_mm = 2.0;                ///< Ray-marching step.
+  double lateral_sigma0_mm = 3.0;      ///< Spot size at the patient surface.
+  double lateral_growth_mm_per_cm = 0.45;  ///< MCS broadening per cm depth.
+  double lateral_cutoff_sigmas = 2.5;  ///< Deposit radius in sigmas.
+  double mc_noise_rel = 0.02;          ///< Relative stddev of MC noise.
+  double halo_prob = 0.10;             ///< Spurious-deposit probability in the halo.
+  double halo_rel = 1e-4;              ///< Spurious deposit magnitude (rel. to max).
+  double prune_rel = 1e-6;             ///< Drop deposits below rel × column max.
+};
+
+/// One voxel's share of a spot's dose.
+struct Deposit {
+  std::uint64_t voxel = 0;
+  double dose = 0.0;
+};
+
+/// Compute all deposits of `spot` (one matrix column).  Deterministic in
+/// (inputs, rng state); deposits are returned sorted by voxel index.
+std::vector<Deposit> transport_spot(const phantom::Phantom& phantom,
+                                    const phantom::BeamFrame& frame,
+                                    const phantom::Spot& spot,
+                                    const BraggModel& bragg,
+                                    const TransportConfig& config, Rng& rng);
+
+}  // namespace pd::mc

@@ -1,0 +1,198 @@
+#include "mc/photon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+
+namespace pd::mc {
+
+using phantom::BeamConfig;
+using phantom::BeamFrame;
+using phantom::Phantom;
+using phantom::Spot;
+using phantom::Vec3;
+using phantom::VoxelGrid;
+using phantom::VoxelIndex;
+
+double PhotonModel::depth_dose(double depth_cm) const {
+  PD_CHECK_MSG(buildup_depth_cm > 0.0, "photon model: d_max must be positive");
+  if (depth_cm <= 0.0) {
+    return 0.0;
+  }
+  // Electron-equilibrium build-up, then exponential attenuation normalized
+  // to 1.0 at d_max.
+  const double buildup = 1.0 - std::exp(-3.5 * depth_cm / buildup_depth_cm);
+  const double decay =
+      std::exp(-attenuation_per_cm * std::max(0.0, depth_cm - buildup_depth_cm));
+  const double norm = 1.0 - std::exp(-3.5);
+  return buildup * decay / norm;
+}
+
+std::vector<Spot> generate_photon_beamlets(const Phantom& phantom,
+                                           const BeamFrame& frame,
+                                           const BeamConfig& config) {
+  PD_CHECK_MSG(config.spot_spacing_mm > 0.0, "beamlet spacing must be positive");
+  // Lateral cells covered by the target projection plus margin — the same
+  // outline logic as proton spots, but a single fluence beamlet per cell.
+  std::map<std::pair<std::int64_t, std::int64_t>, bool> cells;
+  const VoxelGrid& g = phantom.grid();
+  for (std::uint64_t vox = 0; vox < g.num_voxels(); ++vox) {
+    if (phantom.roi(vox) != phantom::Roi::kTarget) {
+      continue;
+    }
+    double u = 0.0, v = 0.0;
+    frame.project(g.voxel_center(g.from_linear(vox)), u, v);
+    const auto reach = static_cast<std::int64_t>(config.lateral_margin_mm /
+                                                 config.spot_spacing_mm);
+    const auto cu =
+        static_cast<std::int64_t>(std::llround(u / config.spot_spacing_mm));
+    const auto cv =
+        static_cast<std::int64_t>(std::llround(v / config.spot_spacing_mm));
+    for (std::int64_t du = -reach; du <= reach; ++du) {
+      for (std::int64_t dv = -reach; dv <= reach; ++dv) {
+        cells[{cu + du, cv + dv}] = true;
+      }
+    }
+  }
+  PD_CHECK_MSG(!cells.empty(), "photon beamlets: phantom has no target voxels");
+
+  std::vector<Spot> beamlets;
+  beamlets.reserve(cells.size());
+  for (const auto& [cell, _] : cells) {
+    Spot s;
+    s.u_mm = static_cast<double>(cell.first) * config.spot_spacing_mm;
+    s.v_mm = static_cast<double>(cell.second) * config.spot_spacing_mm;
+    s.energy_mev = 6.0;  // nominal MV
+    s.layer = 0;
+    beamlets.push_back(s);
+  }
+  return beamlets;
+}
+
+namespace {
+
+/// March one photon beamlet through the phantom, depositing build-up +
+/// attenuated dose with lateral Gaussian penumbra.  Mirrors transport_spot
+/// but with no range cutoff: photons exit through the far side.
+std::vector<Deposit> transport_beamlet(const Phantom& phantom,
+                                       const BeamFrame& frame,
+                                       const Spot& beamlet,
+                                       const PhotonModel& model,
+                                       const TransportConfig& config,
+                                       Rng& rng) {
+  PD_CHECK_MSG(config.step_mm > 0.0, "photon transport: step must be positive");
+  const VoxelGrid& g = phantom.grid();
+  const double diag_mm =
+      std::sqrt(static_cast<double>(g.nx() * g.nx() + g.ny() * g.ny() +
+                                    g.nz() * g.nz())) *
+      g.spacing();
+  Vec3 cursor = frame.unproject(beamlet.u_mm, beamlet.v_mm, -0.75 * diag_mm);
+  const Vec3 step_vec = frame.direction * config.step_mm;
+  const auto max_steps =
+      static_cast<std::uint64_t>(2.0 * diag_mm / config.step_mm);
+
+  std::unordered_map<std::uint64_t, double> dose_map;
+  double wed_cm = 0.0;
+  bool entered = false;
+  for (std::uint64_t s = 0; s < max_steps; ++s) {
+    cursor = cursor + step_vec;
+    const VoxelIndex center = g.nearest_voxel(cursor);
+    if (!g.contains(center)) {
+      if (entered) {
+        break;
+      }
+      continue;
+    }
+    entered = true;
+    const double sp = phantom.stopping_power(g.linear_index(center));
+    wed_cm += sp * config.step_mm / 10.0;
+    if (sp <= 0.0) {
+      continue;
+    }
+    const double dd = model.depth_dose(wed_cm);
+    if (dd <= 0.0) {
+      continue;
+    }
+    // Photon penumbra: roughly constant width (source size + scatter).
+    const double sigma_mm =
+        std::max(config.lateral_sigma0_mm, 0.8 * config.step_mm);
+    const double cutoff_mm = config.lateral_cutoff_sigmas * sigma_mm;
+    const auto reach = static_cast<std::int64_t>(cutoff_mm / g.spacing()) + 1;
+    const double inv_two_sigma2 = 1.0 / (2.0 * sigma_mm * sigma_mm);
+    for (std::int64_t du = -reach; du <= reach; ++du) {
+      for (std::int64_t dv = -reach; dv <= reach; ++dv) {
+        const double off_u = static_cast<double>(du) * g.spacing();
+        const double off_v = static_cast<double>(dv) * g.spacing();
+        const double r2 = off_u * off_u + off_v * off_v;
+        if (r2 > cutoff_mm * cutoff_mm) {
+          continue;
+        }
+        const Vec3 p = cursor + frame.u_axis * off_u + frame.v_axis * off_v;
+        const VoxelIndex v = g.nearest_voxel(p);
+        if (!g.contains(v)) {
+          continue;
+        }
+        dose_map[g.linear_index(v)] +=
+            dd * std::exp(-r2 * inv_two_sigma2) * config.step_mm / 10.0;
+      }
+    }
+  }
+
+  std::vector<Deposit> deposits;
+  deposits.reserve(dose_map.size());
+  double max_dose = 0.0;
+  for (const auto& [voxel, dose] : dose_map) {
+    deposits.push_back(Deposit{voxel, dose});
+    max_dose = std::max(max_dose, dose);
+  }
+  std::sort(deposits.begin(), deposits.end(),
+            [](const Deposit& a, const Deposit& b) { return a.voxel < b.voxel; });
+  std::vector<Deposit> out;
+  out.reserve(deposits.size());
+  const double prune_abs = config.prune_rel * max_dose;
+  for (Deposit d : deposits) {
+    d.dose *= std::max(0.0, 1.0 + rng.normal(0.0, config.mc_noise_rel));
+    if (d.dose > prune_abs) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GeneratedBeam generate_photon_dose_matrix(const Phantom& phantom,
+                                          double gantry_angle_deg,
+                                          const BeamConfig& beam_config,
+                                          const TransportConfig& transport_config,
+                                          const PhotonModel& model,
+                                          std::uint64_t seed) {
+  GeneratedBeam out;
+  out.gantry_angle_deg = gantry_angle_deg;
+  const BeamFrame frame = phantom::make_beam_frame(phantom, gantry_angle_deg);
+  out.spots = generate_photon_beamlets(phantom, frame, beam_config);
+  PD_CHECK_MSG(out.spots.size() < (std::uint64_t{1} << 32),
+               "too many beamlets for 32-bit columns");
+
+  sparse::CooMatrix<double> coo;
+  coo.num_rows = phantom.grid().num_voxels();
+  coo.num_cols = out.spots.size();
+  Rng master(seed);
+  for (std::uint32_t col = 0; col < out.spots.size(); ++col) {
+    Rng beamlet_rng = master.fork();
+    for (const Deposit& d :
+         transport_beamlet(phantom, frame, out.spots[col], model,
+                           transport_config, beamlet_rng)) {
+      coo.entries.push_back(sparse::CooEntry<double>{
+          static_cast<std::uint32_t>(d.voxel), col, d.dose});
+    }
+  }
+  out.matrix = sparse::coo_to_csr(coo);
+  return out;
+}
+
+}  // namespace pd::mc

@@ -1,0 +1,46 @@
+#pragma once
+// Photon-beam dose model (paper §II-A: photon and proton treatments produce
+// dose deposition matrices "with different characteristics because the dose
+// deposition and physics differ").
+//
+// Megavoltage photons have no Bragg peak: dose builds up over the first
+// ~1.5 cm (electron equilibrium) and then decays exponentially through the
+// whole patient.  A photon beam therefore needs no energy layers — one
+// beamlet per lateral position — and every beamlet deposits along its entire
+// path, giving matrices that are *denser* with *longer columns* than proton
+// matrices on the same geometry.  This module exists to demonstrate exactly
+// that structural contrast (tests assert it).
+
+#include <cstdint>
+
+#include "mc/generator.hpp"
+#include "mc/pencilbeam.hpp"
+#include "phantom/beam.hpp"
+#include "phantom/phantom.hpp"
+
+namespace pd::mc {
+
+/// Analytic MV-photon depth-dose: build-up to d_max, exponential beyond.
+struct PhotonModel {
+  double buildup_depth_cm = 1.5;      ///< d_max (~6 MV).
+  double attenuation_per_cm = 0.046;  ///< Effective linear attenuation.
+
+  /// Relative dose at water-equivalent depth `depth_cm` (1.0 at d_max).
+  double depth_dose(double depth_cm) const;
+};
+
+/// One beamlet (matrix column) per lateral BEV cell covering the target
+/// outline plus margin; `layer` is always 0 and `energy_mev` holds the
+/// nominal accelerating potential (unused by the transport).
+std::vector<phantom::Spot> generate_photon_beamlets(
+    const phantom::Phantom& phantom, const phantom::BeamFrame& frame,
+    const phantom::BeamConfig& config);
+
+/// Photon analogue of generate_dose_matrix: columns are fluence beamlets.
+GeneratedBeam generate_photon_dose_matrix(
+    const phantom::Phantom& phantom, double gantry_angle_deg,
+    const phantom::BeamConfig& beam_config,
+    const TransportConfig& transport_config, const PhotonModel& model,
+    std::uint64_t seed);
+
+}  // namespace pd::mc

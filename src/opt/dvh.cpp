@@ -1,0 +1,107 @@
+#include "opt/dvh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pd::opt {
+
+Dvh Dvh::from_doses(std::vector<double> voxel_doses) {
+  PD_CHECK_MSG(!voxel_doses.empty(), "DVH: structure has no voxels");
+  Dvh dvh;
+  dvh.sorted_doses_ = std::move(voxel_doses);
+  std::sort(dvh.sorted_doses_.begin(), dvh.sorted_doses_.end());
+  return dvh;
+}
+
+Dvh Dvh::for_roi(const phantom::Phantom& phantom, phantom::Roi roi,
+                 std::span<const double> dose) {
+  PD_CHECK_MSG(dose.size() == phantom.grid().num_voxels(),
+               "DVH: dose grid size mismatch");
+  std::vector<double> doses;
+  for (const std::uint64_t v : phantom.voxels_with_roi(roi)) {
+    doses.push_back(dose[v]);
+  }
+  return from_doses(std::move(doses));
+}
+
+double Dvh::volume_at_dose(double dose_gy) const {
+  // Fraction of voxels with dose >= dose_gy.
+  const auto it = std::lower_bound(sorted_doses_.begin(), sorted_doses_.end(),
+                                   dose_gy);
+  return static_cast<double>(sorted_doses_.end() - it) /
+         static_cast<double>(sorted_doses_.size());
+}
+
+double Dvh::dose_at_volume(double volume_fraction) const {
+  PD_CHECK_MSG(volume_fraction >= 0.0 && volume_fraction <= 1.0,
+               "DVH: volume fraction out of [0, 1]");
+  if (volume_fraction <= 0.0) {
+    return max_dose();
+  }
+  // The hottest `volume_fraction` of voxels: index from the top.
+  const auto n = static_cast<double>(sorted_doses_.size());
+  auto idx = static_cast<std::size_t>(std::ceil(n * (1.0 - volume_fraction)));
+  idx = std::min(idx, sorted_doses_.size() - 1);
+  return sorted_doses_[idx];
+}
+
+double Dvh::min_dose() const { return sorted_doses_.front(); }
+double Dvh::max_dose() const { return sorted_doses_.back(); }
+
+double Dvh::mean_dose() const {
+  double sum = 0.0;
+  for (const double d : sorted_doses_) {
+    sum += d;
+  }
+  return sum / static_cast<double>(sorted_doses_.size());
+}
+
+std::vector<Dvh::Point> Dvh::curve(std::size_t points) const {
+  PD_CHECK_MSG(points >= 2, "DVH curve needs >= 2 points");
+  std::vector<Point> out;
+  out.reserve(points);
+  const double hi = max_dose();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double d = hi * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back(Point{d, volume_at_dose(d)});
+  }
+  return out;
+}
+
+double homogeneity_index(const Dvh& target_dvh) {
+  const double d2 = target_dvh.dose_at_volume(0.02);
+  const double d98 = target_dvh.dose_at_volume(0.98);
+  const double d50 = target_dvh.dose_at_volume(0.50);
+  PD_CHECK_MSG(d50 > 0.0, "homogeneity index undefined for a zero median dose");
+  return (d2 - d98) / d50;
+}
+
+double conformity_index(const phantom::Phantom& phantom,
+                        std::span<const double> dose, double prescription_gy) {
+  PD_CHECK_MSG(dose.size() == phantom.grid().num_voxels(),
+               "conformity: dose grid size mismatch");
+  PD_CHECK_MSG(prescription_gy > 0.0, "conformity: prescription must be positive");
+  std::uint64_t isodose_total = 0;    // voxels receiving >= prescription
+  std::uint64_t isodose_in_target = 0;
+  std::uint64_t target_total = 0;
+  for (std::uint64_t v = 0; v < dose.size(); ++v) {
+    const bool in_target = phantom.roi(v) == phantom::Roi::kTarget;
+    target_total += in_target;
+    if (dose[v] >= prescription_gy) {
+      ++isodose_total;
+      isodose_in_target += in_target;
+    }
+  }
+  PD_CHECK_MSG(target_total > 0, "conformity: phantom has no target");
+  if (isodose_total == 0) {
+    return 0.0;
+  }
+  // Paddick: (TV_PIV)^2 / (TV * PIV).
+  const double tv_piv = static_cast<double>(isodose_in_target);
+  return tv_piv * tv_piv /
+         (static_cast<double>(target_total) * static_cast<double>(isodose_total));
+}
+
+}  // namespace pd::opt

@@ -1,0 +1,62 @@
+#pragma once
+// Dose-volume histograms and plan-quality metrics.
+//
+// The DVH is the standard clinical evaluation of a treatment plan: for each
+// structure, the fraction of its volume receiving at least a given dose.
+// The planning loop the paper accelerates is judged by these curves, so the
+// library ships them: cumulative DVH per ROI, the D_x / V_x point metrics
+// clinicians quote (e.g. D95 = dose covering 95% of the target), and the
+// homogeneity / conformity indices used to compare plans.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "phantom/phantom.hpp"
+
+namespace pd::opt {
+
+/// Cumulative dose-volume histogram of one structure.
+class Dvh {
+ public:
+  /// Build from the dose values of the structure's voxels.
+  static Dvh from_doses(std::vector<double> voxel_doses);
+
+  /// Build for a ROI of a phantom given the full dose grid.
+  static Dvh for_roi(const phantom::Phantom& phantom, phantom::Roi roi,
+                     std::span<const double> dose);
+
+  std::size_t voxel_count() const { return sorted_doses_.size(); }
+
+  /// V(d): fraction of the volume receiving at least dose d.
+  double volume_at_dose(double dose_gy) const;
+
+  /// D(v): minimum dose received by the hottest fraction v of the volume —
+  /// e.g. dose_at_volume(0.95) is the clinical D95.
+  double dose_at_volume(double volume_fraction) const;
+
+  double min_dose() const;
+  double max_dose() const;
+  double mean_dose() const;
+
+  /// Sampled cumulative curve: `points` pairs (dose, volume fraction),
+  /// linearly spaced in dose from 0 to max.
+  struct Point {
+    double dose = 0.0;
+    double volume_fraction = 0.0;
+  };
+  std::vector<Point> curve(std::size_t points = 50) const;
+
+ private:
+  std::vector<double> sorted_doses_;  ///< ascending
+};
+
+/// Homogeneity index of the target dose: (D2% - D98%) / D50% — 0 is ideal.
+double homogeneity_index(const Dvh& target_dvh);
+
+/// Paddick-style conformity: how much of the prescription isodose volume is
+/// inside the target.  Needs the whole dose grid.
+double conformity_index(const phantom::Phantom& phantom,
+                        std::span<const double> dose, double prescription_gy);
+
+}  // namespace pd::opt

@@ -1,0 +1,84 @@
+#include "opt/gamma.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pd::opt {
+
+GammaResult gamma_analysis(const phantom::VoxelGrid& grid,
+                           std::span<const double> reference,
+                           std::span<const double> evaluated,
+                           const GammaCriteria& criteria, double dose_norm) {
+  PD_CHECK_MSG(reference.size() == grid.num_voxels(),
+               "gamma: reference size mismatch");
+  PD_CHECK_MSG(evaluated.size() == grid.num_voxels(),
+               "gamma: evaluated size mismatch");
+  PD_CHECK_MSG(criteria.dose_tolerance_fraction > 0.0,
+               "gamma: dose tolerance must be positive");
+  PD_CHECK_MSG(criteria.distance_tolerance_mm > 0.0,
+               "gamma: distance tolerance must be positive");
+
+  if (dose_norm <= 0.0) {
+    for (const double d : reference) {
+      dose_norm = std::max(dose_norm, d);
+    }
+  }
+  PD_CHECK_MSG(dose_norm > 0.0, "gamma: reference dose is identically zero");
+
+  const double dd_abs = criteria.dose_tolerance_fraction * dose_norm;
+  const double dta = criteria.distance_tolerance_mm;
+  const double threshold = criteria.low_dose_threshold_fraction * dose_norm;
+
+  // Search radius: beyond 2*DTA the distance term alone exceeds γ = 2, the
+  // cap we report, so a fixed neighbourhood suffices.
+  const auto reach =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                    std::ceil(2.0 * dta / grid.spacing())));
+
+  GammaResult result;
+  double gamma_sum = 0.0;
+  for (std::uint64_t v = 0; v < grid.num_voxels(); ++v) {
+    if (reference[v] < threshold && evaluated[v] < threshold) {
+      continue;
+    }
+    const phantom::VoxelIndex c = grid.from_linear(v);
+    double best_sq = std::numeric_limits<double>::infinity();
+    for (std::int64_t dk = -reach; dk <= reach && best_sq > 1.0; ++dk) {
+      for (std::int64_t dj = -reach; dj <= reach && best_sq > 1.0; ++dj) {
+        for (std::int64_t di = -reach; di <= reach && best_sq > 1.0; ++di) {
+          const phantom::VoxelIndex u{c.i + di, c.j + dj, c.k + dk};
+          if (!grid.contains(u)) {
+            continue;
+          }
+          const double dist_mm =
+              grid.spacing() * std::sqrt(static_cast<double>(di * di + dj * dj +
+                                                             dk * dk));
+          const double dist_term = dist_mm / dta;
+          if (dist_term * dist_term >= best_sq) {
+            continue;
+          }
+          const double dd =
+              (evaluated[v] - reference[grid.linear_index(u)]) / dd_abs;
+          best_sq = std::min(best_sq, dist_term * dist_term + dd * dd);
+        }
+      }
+    }
+    const double gamma = std::min(2.0, std::sqrt(best_sq));
+    ++result.evaluated;
+    result.passed += (gamma <= 1.0);
+    gamma_sum += gamma;
+    result.max_gamma = std::max(result.max_gamma, gamma);
+  }
+  result.pass_rate = result.evaluated == 0
+                         ? 1.0
+                         : static_cast<double>(result.passed) /
+                               static_cast<double>(result.evaluated);
+  result.mean_gamma = result.evaluated == 0
+                          ? 0.0
+                          : gamma_sum / static_cast<double>(result.evaluated);
+  return result;
+}
+
+}  // namespace pd::opt

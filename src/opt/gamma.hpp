@@ -1,0 +1,47 @@
+#pragma once
+// Gamma analysis — the clinical standard for comparing dose distributions
+// (Low et al., Med. Phys. 1998).
+//
+// A voxel passes if some nearby reference voxel agrees within a combined
+// dose-difference (ΔD, % of prescription) and distance-to-agreement (DTA, mm)
+// tolerance:  γ(v) = min over neighbours u of
+//     sqrt( (dist(v,u)/DTA)^2 + ((D_eval(v) - D_ref(u))/ΔD)^2 )  <= 1.
+//
+// The paper asserts half-precision matrix storage is clinically safe; gamma
+// pass rates are how a clinic would verify that claim, so the library ships
+// the tool (and `ablation_value_type` reports γ(1%,1mm) pass rates for every
+// 16-bit storage format).
+
+#include <cstdint>
+#include <span>
+
+#include "phantom/grid.hpp"
+
+namespace pd::opt {
+
+struct GammaCriteria {
+  double dose_tolerance_fraction = 0.01;  ///< ΔD as a fraction of dose_norm.
+  double distance_tolerance_mm = 1.0;     ///< DTA.
+  /// Voxels below this fraction of dose_norm are skipped (standard
+  /// low-dose-threshold, usually 10%).
+  double low_dose_threshold_fraction = 0.10;
+};
+
+struct GammaResult {
+  std::uint64_t evaluated = 0;  ///< Voxels above the low-dose threshold.
+  std::uint64_t passed = 0;
+  double pass_rate = 0.0;       ///< passed / evaluated (1.0 if none evaluated).
+  double mean_gamma = 0.0;      ///< Mean γ over evaluated voxels (capped at 2).
+  double max_gamma = 0.0;       ///< Max γ over evaluated voxels (capped at 2).
+};
+
+/// Compare an evaluated dose grid against a reference on the same voxel
+/// grid.  `dose_norm` is the normalization dose (commonly the prescription
+/// or the reference maximum; pass 0 to use the reference maximum).
+GammaResult gamma_analysis(const phantom::VoxelGrid& grid,
+                           std::span<const double> reference,
+                           std::span<const double> evaluated,
+                           const GammaCriteria& criteria = {},
+                           double dose_norm = 0.0);
+
+}  // namespace pd::opt

@@ -1,0 +1,87 @@
+#include "opt/objective.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pd::opt {
+
+void DoseObjective::add_term(ObjectiveTerm term) {
+  PD_CHECK_MSG(!term.voxels.empty(), "objective term has no voxels");
+  PD_CHECK_MSG(term.weight >= 0.0, "objective term has negative weight");
+  terms_.push_back(std::move(term));
+}
+
+double DoseObjective::value(std::span<const double> dose) const {
+  double total = 0.0;
+  for (const ObjectiveTerm& term : terms_) {
+    double acc = 0.0;
+    for (const std::uint64_t v : term.voxels) {
+      PD_ASSERT(v < dose.size());
+      const double d = dose[v];
+      if (term.type == ObjectiveTerm::Type::kUniformDose) {
+        const double e = d - term.dose_level;
+        acc += e * e;
+      } else {
+        const double e = std::max(0.0, d - term.dose_level);
+        acc += e * e;
+      }
+    }
+    total += term.weight * acc / static_cast<double>(term.voxels.size());
+  }
+  return total;
+}
+
+std::vector<double> DoseObjective::dose_gradient(
+    std::span<const double> dose) const {
+  std::vector<double> grad(dose.size(), 0.0);
+  for (const ObjectiveTerm& term : terms_) {
+    const double scale = 2.0 * term.weight / static_cast<double>(term.voxels.size());
+    for (const std::uint64_t v : term.voxels) {
+      const double d = dose[v];
+      if (term.type == ObjectiveTerm::Type::kUniformDose) {
+        grad[v] += scale * (d - term.dose_level);
+      } else if (d > term.dose_level) {
+        grad[v] += scale * (d - term.dose_level);
+      }
+    }
+  }
+  return grad;
+}
+
+DoseObjective DoseObjective::standard_goals(const phantom::Phantom& phantom,
+                                            double prescription_gy,
+                                            double oar_tolerance_gy) {
+  PD_CHECK_MSG(prescription_gy > 0.0, "prescription must be positive");
+  DoseObjective obj;
+
+  ObjectiveTerm target;
+  target.type = ObjectiveTerm::Type::kUniformDose;
+  target.voxels = phantom.voxels_with_roi(phantom::Roi::kTarget);
+  target.dose_level = prescription_gy;
+  target.weight = 100.0;
+  obj.add_term(std::move(target));
+
+  const auto oars = phantom.voxels_with_roi(phantom::Roi::kOar);
+  if (!oars.empty()) {
+    ObjectiveTerm oar;
+    oar.type = ObjectiveTerm::Type::kMaxDose;
+    oar.voxels = oars;
+    oar.dose_level = oar_tolerance_gy;
+    oar.weight = 50.0;
+    obj.add_term(std::move(oar));
+  }
+
+  const auto tissue = phantom.voxels_with_roi(phantom::Roi::kTissue);
+  if (!tissue.empty()) {
+    ObjectiveTerm normal;
+    normal.type = ObjectiveTerm::Type::kMaxDose;
+    normal.voxels = tissue;
+    normal.dose_level = 0.5 * prescription_gy;
+    normal.weight = 5.0;
+    obj.add_term(std::move(normal));
+  }
+  return obj;
+}
+
+}  // namespace pd::opt

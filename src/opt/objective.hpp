@@ -1,0 +1,52 @@
+#pragma once
+// Treatment-plan objective functions (paper §I/§II: the optimizer whose inner
+// loop the dose calculation serves).
+//
+// The objective is the standard quadratic planning form: promote a uniform
+// prescription dose in the target and penalize dose above tolerance in
+// organs at risk.  Both terms are differentiable in the dose, and the chain
+// rule through dose = D·x gives the gradient D^T (∂f/∂dose) — so one
+// optimizer iteration costs one SpMV and one transposed SpMV, which is why
+// the paper's kernel sits on the clinical critical path.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "phantom/phantom.hpp"
+
+namespace pd::opt {
+
+struct ObjectiveTerm {
+  enum class Type {
+    kUniformDose,  ///< weight · mean((d_v - level)^2) over voxels.
+    kMaxDose,      ///< weight · mean(max(0, d_v - level)^2) over voxels.
+  };
+  Type type = Type::kUniformDose;
+  std::vector<std::uint64_t> voxels;
+  double dose_level = 0.0;  ///< Gy.
+  double weight = 1.0;
+};
+
+class DoseObjective {
+ public:
+  void add_term(ObjectiveTerm term);
+  const std::vector<ObjectiveTerm>& terms() const { return terms_; }
+
+  /// f(dose).
+  double value(std::span<const double> dose) const;
+
+  /// ∂f/∂dose (same length as dose).
+  std::vector<double> dose_gradient(std::span<const double> dose) const;
+
+  /// Standard clinical goals for a phantom: uniform prescription in the
+  /// target, max-dose tolerance on OARs, low dose in normal tissue.
+  static DoseObjective standard_goals(const phantom::Phantom& phantom,
+                                      double prescription_gy,
+                                      double oar_tolerance_gy);
+
+ private:
+  std::vector<ObjectiveTerm> terms_;
+};
+
+}  // namespace pd::opt

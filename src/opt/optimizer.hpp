@@ -1,0 +1,68 @@
+#pragma once
+// Spot-weight optimization: projected gradient descent with backtracking
+// line search over non-negative spot weights.
+//
+// This is the downstream consumer that motivates the paper: each iteration
+// computes dose = D·x (the paper's kernel) and gradient = D^T (∂f/∂dose)
+// (the same kernel on the transposed matrix), so dose-calculation throughput
+// directly bounds planning time.  Both products run through DoseEngine on
+// the simulated GPU; the run is deterministic, and because the engine's
+// kernel is schedule-independent, re-running a plan reproduces it bitwise.
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "kernels/dose_engine.hpp"
+#include "opt/objective.hpp"
+#include "sparse/csr.hpp"
+
+namespace pd::opt {
+
+/// Search-direction strategy.  Real treatment-planning systems (RayStation's
+/// optimizer included) use quasi-Newton methods; L-BFGS needs far fewer
+/// iterations than steepest descent on the ill-conditioned quadratic
+/// objectives of planning — each saved iteration is one fewer forward +
+/// transposed SpMV pair.
+enum class OptimizerMethod {
+  kProjectedGradient,
+  kLbfgs,  ///< Projected L-BFGS (two-loop recursion + non-negativity projection).
+};
+
+struct OptimizerConfig {
+  OptimizerMethod method = OptimizerMethod::kProjectedGradient;
+  unsigned max_iterations = 50;
+  double initial_step = 1.0;
+  double step_shrink = 0.5;
+  unsigned max_backtracks = 20;
+  unsigned lbfgs_history = 8;        ///< Stored (s, y) pairs.
+  double gradient_tolerance = 1e-8;  ///< Stop when ||proj grad||_inf is below.
+  kernels::DoseEngine::Mode mode = kernels::DoseEngine::Mode::kHalfDouble;
+};
+
+struct OptimizerResult {
+  std::vector<double> spot_weights;
+  std::vector<double> dose;
+  std::vector<double> objective_history;  ///< One value per accepted iterate.
+  unsigned iterations = 0;
+  bool converged = false;
+  std::uint64_t spmv_count = 0;  ///< Forward + transposed products performed.
+};
+
+class PlanOptimizer {
+ public:
+  /// D is the dose deposition matrix (rows = voxels, cols = spots); the
+  /// optimizer builds forward and transposed engines on `device`.
+  PlanOptimizer(const sparse::CsrF64& D, DoseObjective objective,
+                gpusim::DeviceSpec device, OptimizerConfig config = {});
+
+  OptimizerResult optimize();
+
+ private:
+  DoseObjective objective_;
+  OptimizerConfig config_;
+  kernels::DoseEngine forward_;
+  kernels::DoseEngine transpose_;
+};
+
+}  // namespace pd::opt

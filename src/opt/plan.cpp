@@ -1,0 +1,117 @@
+#include "opt/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/reference.hpp"
+
+namespace pd::opt {
+
+std::size_t TreatmentPlan::add_beam(std::string name, double gantry_angle_deg,
+                                    sparse::CsrF64 matrix) {
+  matrix.validate();
+  if (beams_.empty()) {
+    num_voxels_ = matrix.num_rows;
+  } else {
+    PD_CHECK_MSG(matrix.num_rows == num_voxels_,
+                 "plan: beams must share the dose grid");
+  }
+  PD_CHECK_MSG(total_spots_ + matrix.num_cols <= (std::uint64_t{1} << 32),
+               "plan: total spot count exceeds 32-bit columns");
+  BeamInfo info;
+  info.name = std::move(name);
+  info.gantry_angle_deg = gantry_angle_deg;
+  info.first_spot = static_cast<std::uint32_t>(total_spots_);
+  info.num_spots = static_cast<std::uint32_t>(matrix.num_cols);
+  total_spots_ += matrix.num_cols;
+  beams_.push_back(std::move(info));
+  matrices_.push_back(std::move(matrix));
+  return beams_.size() - 1;
+}
+
+const TreatmentPlan::BeamInfo& TreatmentPlan::beam(std::size_t index) const {
+  PD_CHECK_MSG(index < beams_.size(), "plan: beam index out of range");
+  return beams_[index];
+}
+
+sparse::CsrF64 TreatmentPlan::combined_matrix() const {
+  PD_CHECK_MSG(!beams_.empty(), "plan: no beams added");
+  sparse::CooMatrix<double> coo;
+  coo.num_rows = num_voxels_;
+  coo.num_cols = total_spots_;
+  std::uint64_t nnz = 0;
+  for (const auto& m : matrices_) {
+    nnz += m.nnz();
+  }
+  coo.entries.reserve(nnz);
+  for (std::size_t b = 0; b < beams_.size(); ++b) {
+    const auto& m = matrices_[b];
+    const std::uint32_t offset = beams_[b].first_spot;
+    for (std::uint64_t r = 0; r < m.num_rows; ++r) {
+      for (std::uint32_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+        coo.entries.push_back(sparse::CooEntry<double>{
+            static_cast<std::uint32_t>(r), offset + m.col_idx[k], m.values[k]});
+      }
+    }
+  }
+  return sparse::coo_to_csr(coo);
+}
+
+std::pair<std::size_t, std::uint32_t> TreatmentPlan::locate_spot(
+    std::uint32_t global) const {
+  PD_CHECK_MSG(global < total_spots_, "plan: spot index out of range");
+  for (std::size_t b = 0; b < beams_.size(); ++b) {
+    if (global < beams_[b].first_spot + beams_[b].num_spots) {
+      return {b, global - beams_[b].first_spot};
+    }
+  }
+  throw Error("plan: spot mapping corrupted");
+}
+
+std::vector<double> TreatmentPlan::beam_weights(
+    std::size_t beam_index, const std::vector<double>& global) const {
+  PD_CHECK_MSG(beam_index < beams_.size(), "plan: beam index out of range");
+  PD_CHECK_MSG(global.size() == total_spots_, "plan: weight vector size mismatch");
+  const BeamInfo& info = beams_[beam_index];
+  return std::vector<double>(global.begin() + info.first_spot,
+                             global.begin() + info.first_spot + info.num_spots);
+}
+
+std::vector<std::vector<double>> TreatmentPlan::per_beam_dose(
+    const std::vector<double>& global_weights) const {
+  PD_CHECK_MSG(global_weights.size() == total_spots_,
+               "plan: weight vector size mismatch");
+  std::vector<std::vector<double>> doses;
+  doses.reserve(beams_.size());
+  for (std::size_t b = 0; b < beams_.size(); ++b) {
+    std::vector<double> dose(num_voxels_, 0.0);
+    sparse::reference_spmv(matrices_[b], beam_weights(b, global_weights),
+                           dose);
+    doses.push_back(std::move(dose));
+  }
+  return doses;
+}
+
+std::size_t TreatmentPlan::apply_minimum_spot_weight(
+    std::vector<double>& weights, double min_weight_fraction) {
+  PD_CHECK_MSG(min_weight_fraction >= 0.0 && min_weight_fraction < 1.0,
+               "plan: min weight fraction must be in [0, 1)");
+  double max_w = 0.0;
+  for (const double w : weights) {
+    max_w = std::max(max_w, w);
+  }
+  const double min_w = min_weight_fraction * max_w;
+  std::size_t modified = 0;
+  for (double& w : weights) {
+    if (w > 0.0 && w < min_w) {
+      // Round to whichever deliverable value (0 or min) is closer.
+      w = (w < 0.5 * min_w) ? 0.0 : min_w;
+      ++modified;
+    }
+  }
+  return modified;
+}
+
+}  // namespace pd::opt

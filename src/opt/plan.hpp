@@ -1,0 +1,69 @@
+#pragma once
+// TreatmentPlan — multi-beam plan composition.
+//
+// A clinical plan delivers several beams (four for the paper's liver case,
+// two for the prostate case); the optimizer works on ALL their spots at
+// once.  TreatmentPlan owns the per-beam dose deposition matrices, exposes
+// the combined block matrix [D_1 | D_2 | ... | D_B] the optimizer needs, maps
+// between global spot indices and (beam, local spot), and applies the
+// machine-deliverability post-processing step (minimum monitor units: spots
+// below a deliverable weight are rounded to zero or to the minimum).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pd::opt {
+
+class TreatmentPlan {
+ public:
+  struct BeamInfo {
+    std::string name;
+    double gantry_angle_deg = 0.0;
+    std::uint32_t first_spot = 0;  ///< Global column index of this beam's spot 0.
+    std::uint32_t num_spots = 0;
+  };
+
+  /// Add one beam's dose deposition matrix.  All beams must share the dose
+  /// grid (row count).  Returns the beam index.
+  std::size_t add_beam(std::string name, double gantry_angle_deg,
+                       sparse::CsrF64 matrix);
+
+  std::size_t num_beams() const { return beams_.size(); }
+  std::uint64_t num_voxels() const { return num_voxels_; }
+  std::uint64_t total_spots() const { return total_spots_; }
+  const BeamInfo& beam(std::size_t index) const;
+
+  /// The combined matrix (columns of beam b occupy
+  /// [first_spot, first_spot + num_spots)).
+  sparse::CsrF64 combined_matrix() const;
+
+  /// Map a global spot index to (beam index, local spot index).
+  std::pair<std::size_t, std::uint32_t> locate_spot(std::uint32_t global) const;
+
+  /// Slice a global weight vector into the given beam's weights.
+  std::vector<double> beam_weights(std::size_t beam_index,
+                                   const std::vector<double>& global) const;
+
+  /// Each beam's contribution to the total dose for the given weights
+  /// (host evaluation; one entry per beam, each of length num_voxels()).
+  std::vector<std::vector<double>> per_beam_dose(
+      const std::vector<double>& global_weights) const;
+
+  /// Machine deliverability: spots with weight below `min_weight *
+  /// max_weight` cannot be delivered.  Each is either zeroed or raised to
+  /// the minimum, whichever changes its value less.  Returns the number of
+  /// modified spots.
+  static std::size_t apply_minimum_spot_weight(std::vector<double>& weights,
+                                               double min_weight_fraction);
+
+ private:
+  std::vector<BeamInfo> beams_;
+  std::vector<sparse::CsrF64> matrices_;
+  std::uint64_t num_voxels_ = 0;
+  std::uint64_t total_spots_ = 0;
+};
+
+}  // namespace pd::opt

@@ -1,0 +1,154 @@
+#include "opt/robust.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+
+namespace pd::opt {
+
+RobustPlanOptimizer::RobustPlanOptimizer(std::vector<sparse::CsrF64> scenarios,
+                                         DoseObjective objective,
+                                         gpusim::DeviceSpec device,
+                                         RobustConfig config,
+                                         std::vector<double> weights)
+    : objective_(std::move(objective)),
+      config_(config),
+      scenario_weights_(std::move(weights)) {
+  PD_CHECK_MSG(!scenarios.empty(), "robust: need at least one scenario");
+  const std::uint64_t cols = scenarios.front().num_cols;
+  const std::uint64_t rows = scenarios.front().num_rows;
+  for (const auto& s : scenarios) {
+    PD_CHECK_MSG(s.num_cols == cols,
+                 "robust: scenarios must share the spot set");
+    PD_CHECK_MSG(s.num_rows == rows,
+                 "robust: scenarios must share the dose grid");
+  }
+  if (scenario_weights_.empty()) {
+    scenario_weights_.assign(scenarios.size(),
+                             1.0 / static_cast<double>(scenarios.size()));
+  }
+  PD_CHECK_MSG(scenario_weights_.size() == scenarios.size(),
+               "robust: weight count must equal scenario count");
+  for (const double w : scenario_weights_) {
+    PD_CHECK_MSG(w >= 0.0, "robust: negative scenario weight");
+  }
+
+  for (auto& s : scenarios) {
+    transpose_.push_back(std::make_unique<kernels::DoseEngine>(
+        sparse::transpose(s), device, config_.precision));
+    forward_.push_back(std::make_unique<kernels::DoseEngine>(
+        std::move(s), device, config_.precision));
+  }
+}
+
+double RobustPlanOptimizer::combine(
+    const std::vector<double>& per_scenario) const {
+  if (config_.mode == RobustMode::kWorstCase) {
+    return *std::max_element(per_scenario.begin(), per_scenario.end());
+  }
+  double acc = 0.0;
+  for (std::size_t k = 0; k < per_scenario.size(); ++k) {
+    acc += scenario_weights_[k] * per_scenario[k];
+  }
+  return acc;
+}
+
+RobustPlanOptimizer::Evaluation RobustPlanOptimizer::evaluate(
+    const std::vector<double>& x, std::uint64_t* spmv_count) {
+  Evaluation ev;
+  ev.doses.reserve(forward_.size());
+  for (auto& engine : forward_) {
+    ev.doses.push_back(engine->compute(x));
+    ++*spmv_count;
+    ev.per_scenario.push_back(objective_.value(ev.doses.back()));
+  }
+  ev.robust_value = combine(ev.per_scenario);
+  return ev;
+}
+
+RobustResult RobustPlanOptimizer::optimize() {
+  RobustResult result;
+  const std::uint64_t num_spots = forward_.front()->num_spots();
+  std::vector<double> x(num_spots, 1.0);
+
+  Evaluation current = evaluate(x, &result.spmv_count);
+  result.objective_history.push_back(current.robust_value);
+
+  double step = config_.initial_step;
+  for (unsigned it = 0; it < config_.max_iterations; ++it) {
+    // Robust (sub)gradient in spot-weight space.
+    std::vector<double> gx(num_spots, 0.0);
+    if (config_.mode == RobustMode::kWorstCase) {
+      // Smoothed minimax: softmax-weighted scenario gradients.  A pure
+      // subgradient (gradient of the single argmax scenario) oscillates
+      // between active scenarios and converges poorly; the log-sum-exp
+      // smoothing is the standard fix and needs the same K transposed
+      // SpMVs per iteration.
+      const double f_max = *std::max_element(current.per_scenario.begin(),
+                                             current.per_scenario.end());
+      const double tau = std::max(1e-12, 0.05 * std::fabs(f_max));
+      std::vector<double> soft(current.per_scenario.size());
+      double norm = 0.0;
+      for (std::size_t k = 0; k < soft.size(); ++k) {
+        soft[k] = std::exp((current.per_scenario[k] - f_max) / tau);
+        norm += soft[k];
+      }
+      for (std::size_t k = 0; k < soft.size(); ++k) {
+        soft[k] /= norm;
+        if (soft[k] < 1e-6) {
+          continue;  // scenario far from active: skip its transpose product
+        }
+        const auto gdose = objective_.dose_gradient(current.doses[k]);
+        const auto gk = transpose_[k]->compute(gdose);
+        ++result.spmv_count;
+        for (std::uint64_t i = 0; i < num_spots; ++i) {
+          gx[i] += soft[k] * gk[i];
+        }
+      }
+    } else {
+      for (std::size_t k = 0; k < forward_.size(); ++k) {
+        if (scenario_weights_[k] == 0.0) {
+          continue;
+        }
+        const auto gdose = objective_.dose_gradient(current.doses[k]);
+        const auto gk = transpose_[k]->compute(gdose);
+        ++result.spmv_count;
+        for (std::uint64_t i = 0; i < num_spots; ++i) {
+          gx[i] += scenario_weights_[k] * gk[i];
+        }
+      }
+    }
+
+    // Projected backtracking step.
+    bool accepted = false;
+    for (unsigned bt = 0; bt < config_.max_backtracks; ++bt) {
+      std::vector<double> x_new(num_spots);
+      for (std::uint64_t i = 0; i < num_spots; ++i) {
+        x_new[i] = std::max(0.0, x[i] - step * gx[i]);
+      }
+      Evaluation trial = evaluate(x_new, &result.spmv_count);
+      if (trial.robust_value < current.robust_value) {
+        x = std::move(x_new);
+        current = std::move(trial);
+        accepted = true;
+        step *= 1.2;
+        break;
+      }
+      step *= config_.step_shrink;
+    }
+    ++result.iterations;
+    result.objective_history.push_back(current.robust_value);
+    if (!accepted) {
+      break;
+    }
+  }
+
+  result.spot_weights = std::move(x);
+  result.scenario_doses = std::move(current.doses);
+  result.final_scenario_objectives = std::move(current.per_scenario);
+  return result;
+}
+
+}  // namespace pd::opt

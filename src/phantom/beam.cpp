@@ -1,0 +1,161 @@
+#include "phantom/beam.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace pd::phantom {
+
+namespace {
+// Bortfeld range–energy fit for protons in water: R[cm] = alpha * E[MeV]^p.
+constexpr double kAlpha = 0.0022;
+constexpr double kP = 1.77;
+}  // namespace
+
+BeamFrame make_beam_frame(const Phantom& phantom, double gantry_angle_deg) {
+  const double theta = gantry_angle_deg * M_PI / 180.0;
+  BeamFrame frame;
+  frame.direction = {std::cos(theta), std::sin(theta), 0.0};
+  frame.u_axis = {-std::sin(theta), std::cos(theta), 0.0};
+  frame.v_axis = {0.0, 0.0, 1.0};
+  frame.isocenter = phantom.roi_centroid(Roi::kTarget);
+  return frame;
+}
+
+double proton_range_cm(double energy_mev) {
+  PD_CHECK_MSG(energy_mev > 0.0, "proton_range_cm: non-positive energy");
+  return kAlpha * std::pow(energy_mev, kP);
+}
+
+double proton_energy_mev(double range_cm) {
+  PD_CHECK_MSG(range_cm > 0.0, "proton_energy_mev: non-positive range");
+  return std::pow(range_cm / kAlpha, 1.0 / kP);
+}
+
+double water_equivalent_depth_cm(const Phantom& phantom, const BeamFrame& frame,
+                                 const Vec3& p, double step_mm) {
+  const VoxelGrid& g = phantom.grid();
+  // March from p backwards along the beam until leaving the grid, summing
+  // stopping power · step.  Marching backwards avoids having to find the
+  // entry point explicitly.
+  double wed_mm = 0.0;
+  Vec3 cursor = p;
+  const Vec3 back = frame.direction * (-step_mm);
+  // Generous bound on the path length: the grid diagonal.
+  const double diag_mm =
+      std::sqrt(static_cast<double>(g.nx() * g.nx() + g.ny() * g.ny() +
+                                    g.nz() * g.nz())) *
+      g.spacing();
+  const auto max_steps = static_cast<std::uint64_t>(diag_mm / step_mm) + 2;
+  for (std::uint64_t s = 0; s < max_steps; ++s) {
+    const VoxelIndex v = g.nearest_voxel(cursor);
+    if (!g.contains(v)) {
+      break;
+    }
+    wed_mm += phantom.stopping_power(g.linear_index(v)) * step_mm;
+    cursor = cursor + back;
+  }
+  return wed_mm / 10.0;
+}
+
+std::vector<Spot> generate_spots(const Phantom& phantom, const BeamFrame& frame,
+                                 const BeamConfig& config) {
+  PD_CHECK_MSG(config.spot_spacing_mm > 0.0, "spot spacing must be positive");
+  PD_CHECK_MSG(config.layer_spacing_mm > 0.0, "layer spacing must be positive");
+
+  // Bin target voxels into BEV lattice cells; per cell track the local
+  // water-equivalent depth span.
+  struct DepthSpan {
+    double min_cm = 1e30;
+    double max_cm = -1e30;
+  };
+  std::map<std::pair<std::int64_t, std::int64_t>, DepthSpan> cells;
+
+  const VoxelGrid& g = phantom.grid();
+  for (std::uint64_t vox = 0; vox < g.num_voxels(); ++vox) {
+    if (phantom.roi(vox) != Roi::kTarget) {
+      continue;
+    }
+    const Vec3 p = g.voxel_center(g.from_linear(vox));
+    double u = 0.0, v = 0.0;
+    frame.project(p, u, v);
+    const double wed = water_equivalent_depth_cm(phantom, frame, p);
+
+    // The voxel claims every lattice cell within the lateral margin, so the
+    // spot outline extends slightly beyond the target (paper Figure 1).
+    const auto reach =
+        static_cast<std::int64_t>(config.lateral_margin_mm / config.spot_spacing_mm);
+    const auto cu = static_cast<std::int64_t>(std::llround(u / config.spot_spacing_mm));
+    const auto cv = static_cast<std::int64_t>(std::llround(v / config.spot_spacing_mm));
+    for (std::int64_t du = -reach; du <= reach; ++du) {
+      for (std::int64_t dv = -reach; dv <= reach; ++dv) {
+        DepthSpan& span = cells[{cu + du, cv + dv}];
+        span.min_cm = std::min(span.min_cm, wed);
+        span.max_cm = std::max(span.max_cm, wed);
+      }
+    }
+  }
+  PD_CHECK_MSG(!cells.empty(), "generate_spots: phantom has no target voxels");
+
+  // One energy layer per layer_spacing of water-equivalent depth, spanning
+  // the local target depth range plus one layer of margin on each side.
+  // Depths snap to a beam-wide ladder (multiples of the layer spacing), the
+  // way a real machine's discrete energy selection works, so lateral
+  // positions share their energy layers.
+  std::vector<Spot> spots;
+  const double layer_cm = config.layer_spacing_mm / 10.0;
+  for (const auto& [cell, span] : cells) {
+    const auto k_lo = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::floor((span.min_cm - layer_cm) /
+                                                layer_cm)));
+    const auto k_hi = static_cast<std::int64_t>(
+        std::ceil((span.max_cm + layer_cm) / layer_cm));
+    for (std::int64_t k = k_lo; k <= k_hi; ++k) {
+      Spot s;
+      s.u_mm = static_cast<double>(cell.first) * config.spot_spacing_mm;
+      s.v_mm = static_cast<double>(cell.second) * config.spot_spacing_mm;
+      s.energy_mev = proton_energy_mev(static_cast<double>(k) * layer_cm);
+      s.layer = static_cast<std::uint32_t>(k - k_lo);
+      spots.push_back(s);
+    }
+  }
+  return spots;
+}
+
+std::vector<Spot> scanline_order(std::vector<Spot> spots) {
+  // Deepest layer first (energies descend), then serpentine over (v, u).
+  std::sort(spots.begin(), spots.end(), [](const Spot& a, const Spot& b) {
+    if (a.energy_mev != b.energy_mev) {
+      return a.energy_mev > b.energy_mev;
+    }
+    if (a.v_mm != b.v_mm) {
+      return a.v_mm < b.v_mm;
+    }
+    return a.u_mm < b.u_mm;
+  });
+  // Reverse every second v-row within each energy layer (the serpentine).
+  std::size_t i = 0;
+  while (i < spots.size()) {
+    const double energy = spots[i].energy_mev;
+    bool flip = false;
+    while (i < spots.size() && spots[i].energy_mev == energy) {
+      const double v = spots[i].v_mm;
+      std::size_t j = i;
+      while (j < spots.size() && spots[j].energy_mev == energy &&
+             spots[j].v_mm == v) {
+        ++j;
+      }
+      if (flip) {
+        std::reverse(spots.begin() + static_cast<std::ptrdiff_t>(i),
+                     spots.begin() + static_cast<std::ptrdiff_t>(j));
+      }
+      flip = !flip;
+      i = j;
+    }
+  }
+  return spots;
+}
+
+}  // namespace pd::phantom

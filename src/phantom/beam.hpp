@@ -1,0 +1,81 @@
+#pragma once
+// Beam geometry and pencil-beam-scanning spot generation.
+//
+// A beam is defined by its gantry angle; spots live on a lattice in the
+// beam's-eye-view (BEV) plane (paper Figure 1), with one spot per (lateral
+// position, energy layer).  The spots are the *columns* of the dose
+// deposition matrix.  Energies are chosen per lateral position so the Bragg
+// peaks sweep the target's water-equivalent depth span — which is what makes
+// deep voxels receive dose from many layers and produces the heavy-tailed
+// row lengths of Figure 2.
+
+#include <cstdint>
+#include <vector>
+
+#include "phantom/phantom.hpp"
+
+namespace pd::phantom {
+
+/// Scanning parameters for one treatment beam.
+struct BeamConfig {
+  double gantry_angle_deg = 0.0;
+  double spot_spacing_mm = 5.0;    ///< Lateral lattice pitch in the BEV.
+  double layer_spacing_mm = 6.0;   ///< Water-equivalent distance between layers.
+  double lateral_margin_mm = 6.0;  ///< Margin around the target outline.
+};
+
+/// Orthonormal beam frame.  The beam travels along `direction`; (u, v) span
+/// the BEV plane.
+struct BeamFrame {
+  Vec3 direction;
+  Vec3 u_axis;
+  Vec3 v_axis;
+  Vec3 isocenter;
+
+  /// BEV coordinates of a patient-space point.
+  void project(const Vec3& p, double& u, double& v) const {
+    const Vec3 d = p - isocenter;
+    u = d.dot(u_axis);
+    v = d.dot(v_axis);
+  }
+
+  /// Patient-space point at BEV (u, v), depth t along the beam from the
+  /// isocenter plane.
+  Vec3 unproject(double u, double v, double t) const {
+    return isocenter + u_axis * u + v_axis * v + direction * t;
+  }
+};
+
+/// One pencil-beam spot: lateral BEV position + beam energy.
+struct Spot {
+  double u_mm = 0.0;
+  double v_mm = 0.0;
+  double energy_mev = 0.0;
+  std::uint32_t layer = 0;
+};
+
+/// Gantry rotates in the axial (x–y) plane; v is the patient axis z.
+BeamFrame make_beam_frame(const Phantom& phantom, double gantry_angle_deg);
+
+/// Proton range–energy relation R = alpha·E^p (Bortfeld), R in cm of water.
+double proton_range_cm(double energy_mev);
+double proton_energy_mev(double range_cm);
+
+/// Water-equivalent depth (cm) of patient point `p` along the beam: stopping
+/// power integrated from grid entry to p with step `step_mm`.
+double water_equivalent_depth_cm(const Phantom& phantom, const BeamFrame& frame,
+                                 const Vec3& p, double step_mm = 1.0);
+
+/// Generate the spot list for a beam: a BEV lattice clipped to the target
+/// outline (+margin), with energy layers per lateral position spanning the
+/// local target depth range.
+std::vector<Spot> generate_spots(const Phantom& phantom, const BeamFrame& frame,
+                                 const BeamConfig& config);
+
+/// Order spots the way the machine delivers them (paper Figure 1): energy
+/// layers from deepest (highest energy) to shallowest, and within a layer a
+/// serpentine raster — rows of constant v scanned in alternating u
+/// direction, so the beam never jumps across the field.
+std::vector<Spot> scanline_order(std::vector<Spot> spots);
+
+}  // namespace pd::phantom

@@ -1,0 +1,46 @@
+#include "phantom/grid.hpp"
+
+#include <cmath>
+
+namespace pd::phantom {
+
+double Vec3::norm() const { return std::sqrt(dot(*this)); }
+
+Vec3 Vec3::normalized() const {
+  const double n = norm();
+  PD_CHECK_MSG(n > 0.0, "normalizing zero vector");
+  return {x / n, y / n, z / n};
+}
+
+VoxelGrid::VoxelGrid(std::int64_t nx, std::int64_t ny, std::int64_t nz,
+                     double spacing_mm, Vec3 origin)
+    : nx_(nx), ny_(ny), nz_(nz), spacing_(spacing_mm), origin_(origin) {
+  PD_CHECK_MSG(nx > 0 && ny > 0 && nz > 0, "VoxelGrid: dimensions must be positive");
+  PD_CHECK_MSG(spacing_mm > 0.0, "VoxelGrid: spacing must be positive");
+}
+
+VoxelIndex VoxelGrid::from_linear(std::uint64_t idx) const {
+  PD_ASSERT(idx < num_voxels());
+  VoxelIndex v;
+  v.i = static_cast<std::int64_t>(idx % static_cast<std::uint64_t>(nx_));
+  const std::uint64_t rest = idx / static_cast<std::uint64_t>(nx_);
+  v.j = static_cast<std::int64_t>(rest % static_cast<std::uint64_t>(ny_));
+  v.k = static_cast<std::int64_t>(rest / static_cast<std::uint64_t>(ny_));
+  return v;
+}
+
+VoxelIndex VoxelGrid::nearest_voxel(const Vec3& p) const {
+  VoxelIndex v;
+  v.i = static_cast<std::int64_t>(std::llround((p.x - origin_.x) / spacing_));
+  v.j = static_cast<std::int64_t>(std::llround((p.y - origin_.y) / spacing_));
+  v.k = static_cast<std::int64_t>(std::llround((p.z - origin_.z) / spacing_));
+  return v;
+}
+
+Vec3 VoxelGrid::grid_center() const {
+  return {origin_.x + spacing_ * static_cast<double>(nx_ - 1) / 2.0,
+          origin_.y + spacing_ * static_cast<double>(ny_ - 1) / 2.0,
+          origin_.z + spacing_ * static_cast<double>(nz_ - 1) / 2.0};
+}
+
+}  // namespace pd::phantom

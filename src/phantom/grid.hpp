@@ -1,0 +1,84 @@
+#pragma once
+// Voxel grid geometry: the dose grid whose voxels are the *rows* of the dose
+// deposition matrix.
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace pd::phantom {
+
+/// 3D vector in patient coordinates (millimetres).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm() const;
+  Vec3 normalized() const;
+};
+
+/// Integer voxel coordinate.
+struct VoxelIndex {
+  std::int64_t i = 0;
+  std::int64_t j = 0;
+  std::int64_t k = 0;
+};
+
+/// Regular voxel grid: `dims` voxels of `spacing` mm, with `origin` at the
+/// centre of voxel (0,0,0).
+class VoxelGrid {
+ public:
+  VoxelGrid(std::int64_t nx, std::int64_t ny, std::int64_t nz, double spacing_mm,
+            Vec3 origin = {});
+
+  std::int64_t nx() const { return nx_; }
+  std::int64_t ny() const { return ny_; }
+  std::int64_t nz() const { return nz_; }
+  double spacing() const { return spacing_; }
+  const Vec3& origin() const { return origin_; }
+
+  std::uint64_t num_voxels() const {
+    return static_cast<std::uint64_t>(nx_) * ny_ * nz_;
+  }
+
+  double voxel_volume_cm3() const {
+    const double s_cm = spacing_ / 10.0;
+    return s_cm * s_cm * s_cm;
+  }
+
+  bool contains(const VoxelIndex& v) const {
+    return v.i >= 0 && v.i < nx_ && v.j >= 0 && v.j < ny_ && v.k >= 0 && v.k < nz_;
+  }
+
+  std::uint64_t linear_index(const VoxelIndex& v) const {
+    PD_ASSERT(contains(v));
+    return static_cast<std::uint64_t>((v.k * ny_ + v.j) * nx_ + v.i);
+  }
+
+  VoxelIndex from_linear(std::uint64_t idx) const;
+
+  /// Centre of a voxel in patient coordinates.
+  Vec3 voxel_center(const VoxelIndex& v) const {
+    return {origin_.x + static_cast<double>(v.i) * spacing_,
+            origin_.y + static_cast<double>(v.j) * spacing_,
+            origin_.z + static_cast<double>(v.k) * spacing_};
+  }
+
+  /// Nearest voxel to a point (may be outside the grid; check contains()).
+  VoxelIndex nearest_voxel(const Vec3& p) const;
+
+  /// Geometric centre of the whole grid.
+  Vec3 grid_center() const;
+
+ private:
+  std::int64_t nx_, ny_, nz_;
+  double spacing_;
+  Vec3 origin_;
+};
+
+}  // namespace pd::phantom

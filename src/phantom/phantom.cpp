@@ -1,0 +1,136 @@
+#include "phantom/phantom.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pd::phantom {
+
+Phantom::Phantom(VoxelGrid grid, std::string name)
+    : grid_(grid), name_(std::move(name)) {
+  density_.assign(grid_.num_voxels(), 0.0);
+  roi_.assign(grid_.num_voxels(), Roi::kAir);
+}
+
+void Phantom::paint(const Ellipsoid& shape, Roi roi, double stopping_power) {
+  PD_CHECK_MSG(stopping_power >= 0.0, "paint: negative stopping power");
+  const VoxelGrid& g = grid_;
+  // Bounding box of the ellipsoid, clipped to the grid.
+  const VoxelIndex lo = g.nearest_voxel(shape.center - shape.radii);
+  const VoxelIndex hi = g.nearest_voxel(shape.center + shape.radii);
+  for (std::int64_t k = std::max<std::int64_t>(lo.k, 0);
+       k <= std::min<std::int64_t>(hi.k, g.nz() - 1); ++k) {
+    for (std::int64_t j = std::max<std::int64_t>(lo.j, 0);
+         j <= std::min<std::int64_t>(hi.j, g.ny() - 1); ++j) {
+      for (std::int64_t i = std::max<std::int64_t>(lo.i, 0);
+           i <= std::min<std::int64_t>(hi.i, g.nx() - 1); ++i) {
+        const VoxelIndex v{i, j, k};
+        if (shape.contains(g.voxel_center(v))) {
+          const std::uint64_t idx = g.linear_index(v);
+          density_[idx] = stopping_power;
+          roi_[idx] = roi;
+        }
+      }
+    }
+  }
+}
+
+void Phantom::fill_background(Roi roi, double stopping_power) {
+  for (std::uint64_t v = 0; v < grid_.num_voxels(); ++v) {
+    density_[v] = stopping_power;
+    roi_[v] = roi;
+  }
+}
+
+std::vector<std::uint64_t> Phantom::voxels_with_roi(Roi roi) const {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t v = 0; v < roi_.size(); ++v) {
+    if (roi_[v] == roi) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Phantom::count_roi(Roi roi) const {
+  std::uint64_t n = 0;
+  for (const Roi r : roi_) {
+    if (r == roi) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Vec3 Phantom::roi_centroid(Roi roi) const {
+  Vec3 acc;
+  std::uint64_t n = 0;
+  for (std::uint64_t v = 0; v < roi_.size(); ++v) {
+    if (roi_[v] == roi) {
+      acc = acc + grid_.voxel_center(grid_.from_linear(v));
+      ++n;
+    }
+  }
+  PD_CHECK_MSG(n > 0, "roi_centroid: ROI is empty");
+  return acc * (1.0 / static_cast<double>(n));
+}
+
+Phantom make_liver_phantom(std::int64_t nx, std::int64_t ny, std::int64_t nz,
+                           double spacing_mm) {
+  VoxelGrid grid(nx, ny, nz, spacing_mm);
+  Phantom p(grid, "liver");
+  const Vec3 c = grid.grid_center();
+  const double sx = static_cast<double>(nx) * spacing_mm;
+  const double sy = static_cast<double>(ny) * spacing_mm;
+  const double sz = static_cast<double>(nz) * spacing_mm;
+
+  // Torso: soft tissue filling most of the grid.
+  p.paint(Ellipsoid{c, {0.46 * sx, 0.42 * sy, 0.55 * sz}}, Roi::kTissue, 1.0);
+  // Right lung lobe above the liver (low stopping power).
+  p.paint(Ellipsoid{{c.x - 0.18 * sx, c.y - 0.10 * sy, c.z + 0.28 * sz},
+                    {0.16 * sx, 0.18 * sy, 0.22 * sz}},
+          Roi::kLung, 0.30);
+  // Vertebral column (bone) behind the target.
+  p.paint(Ellipsoid{{c.x, c.y + 0.28 * sy, c.z}, {0.06 * sx, 0.07 * sy, 0.5 * sz}},
+          Roi::kBone, 1.70);
+  // Spinal-cord OAR inside the column.
+  p.paint(Ellipsoid{{c.x, c.y + 0.28 * sy, c.z}, {0.02 * sx, 0.025 * sy, 0.5 * sz}},
+          Roi::kOar, 1.05);
+  // Liver target: off-centre in the right abdomen.  Large (as liver tumours
+  // often are): the beam corridors must irradiate ~30% of the dose grid to
+  // match the paper's 70% empty-row fraction.
+  p.paint(Ellipsoid{{c.x - 0.10 * sx, c.y - 0.04 * sy, c.z - 0.02 * sz},
+                    {0.24 * sx, 0.22 * sy, 0.26 * sz}},
+          Roi::kTarget, 1.05);
+  return p;
+}
+
+Phantom make_prostate_phantom(std::int64_t nx, std::int64_t ny, std::int64_t nz,
+                              double spacing_mm) {
+  VoxelGrid grid(nx, ny, nz, spacing_mm);
+  Phantom p(grid, "prostate");
+  const Vec3 c = grid.grid_center();
+  const double sx = static_cast<double>(nx) * spacing_mm;
+  const double sy = static_cast<double>(ny) * spacing_mm;
+  const double sz = static_cast<double>(nz) * spacing_mm;
+
+  // Pelvis: soft tissue.
+  p.paint(Ellipsoid{c, {0.47 * sx, 0.42 * sy, 0.55 * sz}}, Roi::kTissue, 1.0);
+  // Femoral heads on both lateral sides (the parallel-opposed beams pass
+  // close to these).
+  p.paint(Ellipsoid{{c.x - 0.32 * sx, c.y, c.z}, {0.09 * sx, 0.12 * sy, 0.16 * sz}},
+          Roi::kBone, 1.75);
+  p.paint(Ellipsoid{{c.x + 0.32 * sx, c.y, c.z}, {0.09 * sx, 0.12 * sy, 0.16 * sz}},
+          Roi::kBone, 1.75);
+  // Bladder OAR anterior, rectum OAR posterior of the target.
+  p.paint(Ellipsoid{{c.x, c.y - 0.16 * sy, c.z}, {0.11 * sx, 0.10 * sy, 0.10 * sz}},
+          Roi::kOar, 1.0);
+  p.paint(Ellipsoid{{c.x, c.y + 0.15 * sy, c.z}, {0.07 * sx, 0.07 * sy, 0.12 * sz}},
+          Roi::kOar, 1.0);
+  // Prostate target: central; sized so the two opposed corridors cover ~30%
+  // of the (cropped) pelvic dose grid, per the paper's Figure 2.
+  p.paint(Ellipsoid{c, {0.16 * sx, 0.16 * sy, 0.20 * sz}}, Roi::kTarget, 1.02);
+  return p;
+}
+
+}  // namespace pd::phantom

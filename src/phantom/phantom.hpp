@@ -1,0 +1,82 @@
+#pragma once
+// Synthetic CT phantoms.
+//
+// The paper uses real patient CTs (a liver case and a prostate case) that are
+// not publicly available; we substitute parametric phantoms built from
+// ellipsoidal organs with realistic relative stopping powers.  What matters
+// for reproducing the paper is the *structure* the geometry induces in the
+// dose deposition matrix (rows = voxels ≫ cols = spots, ~70% rows never hit,
+// heavy-tailed row lengths); organ shapes and densities only need to be
+// anatomically plausible.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "phantom/grid.hpp"
+
+namespace pd::phantom {
+
+/// Region-of-interest label per voxel.
+enum class Roi : std::uint8_t {
+  kAir = 0,
+  kTissue,
+  kLung,
+  kBone,
+  kTarget,   ///< The tumor (planning target volume).
+  kOar,      ///< Organ at risk adjacent to the target.
+};
+
+/// Axis-aligned ellipsoid, the primitive organs are composed from.
+struct Ellipsoid {
+  Vec3 center;
+  Vec3 radii;  ///< Semi-axes in mm.
+
+  bool contains(const Vec3& p) const {
+    const double dx = (p.x - center.x) / radii.x;
+    const double dy = (p.y - center.y) / radii.y;
+    const double dz = (p.z - center.z) / radii.z;
+    return dx * dx + dy * dy + dz * dz <= 1.0;
+  }
+};
+
+/// A voxelized patient: relative (to water) proton stopping power and ROI
+/// labels per voxel.
+class Phantom {
+ public:
+  Phantom(VoxelGrid grid, std::string name);
+
+  const VoxelGrid& grid() const { return grid_; }
+  const std::string& name() const { return name_; }
+
+  double stopping_power(std::uint64_t voxel) const { return density_[voxel]; }
+  Roi roi(std::uint64_t voxel) const { return roi_[voxel]; }
+
+  void paint(const Ellipsoid& shape, Roi roi, double stopping_power);
+  void fill_background(Roi roi, double stopping_power);
+
+  std::vector<std::uint64_t> voxels_with_roi(Roi roi) const;
+  std::uint64_t count_roi(Roi roi) const;
+
+  /// Centroid of a ROI in patient coordinates (beam targeting).
+  Vec3 roi_centroid(Roi roi) const;
+
+ private:
+  VoxelGrid grid_;
+  std::string name_;
+  std::vector<double> density_;
+  std::vector<Roi> roi_;
+};
+
+/// Liver-like phantom: large tissue volume, rib (bone) shell fragments, a
+/// target deep in the right abdomen, spinal-cord OAR.  `lateral_voxels` and
+/// `axial_voxels` size the grid (the scaled-down Table I rows).
+Phantom make_liver_phantom(std::int64_t nx, std::int64_t ny, std::int64_t nz,
+                           double spacing_mm);
+
+/// Prostate-like phantom: smaller pelvic volume, femoral heads (bone),
+/// central target, rectum/bladder OARs.
+Phantom make_prostate_phantom(std::int64_t nx, std::int64_t ny, std::int64_t nz,
+                              double spacing_mm);
+
+}  // namespace pd::phantom

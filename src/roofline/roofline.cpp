@@ -1,0 +1,103 @@
+#include "roofline/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace pd::roofline {
+
+double RooflineModel::attainable_gflops(double oi) const {
+  PD_CHECK_MSG(oi > 0.0, "roofline: OI must be positive");
+  return std::min(peak_gflops, oi * peak_bw_gbs);
+}
+
+double RooflineModel::ridge_oi() const { return peak_gflops / peak_bw_gbs; }
+
+RooflineModel make_roofline(const gpusim::DeviceSpec& spec,
+                            gpusim::FlopPrecision precision) {
+  RooflineModel m;
+  m.device_name = spec.name;
+  m.peak_bw_gbs = spec.peak_bw_gbs;
+  m.peak_gflops = precision == gpusim::FlopPrecision::kFp64
+                      ? spec.peak_fp64_gflops
+                      : spec.peak_fp32_gflops;
+  return m;
+}
+
+double roofline_fraction(const RooflineModel& model, const RooflinePoint& p) {
+  const double roof = model.attainable_gflops(p.oi);
+  return roof > 0.0 ? p.gflops / roof : 0.0;
+}
+
+std::string ascii_roofline(const RooflineModel& model,
+                           const std::vector<RooflinePoint>& points, int width,
+                           int height) {
+  PD_CHECK_MSG(width >= 20 && height >= 8, "ascii_roofline: canvas too small");
+
+  // Log ranges covering the points and the ridge.
+  double oi_min = model.ridge_oi(), oi_max = model.ridge_oi();
+  double gf_min = model.peak_gflops, gf_max = model.peak_gflops;
+  for (const RooflinePoint& p : points) {
+    oi_min = std::min(oi_min, p.oi);
+    oi_max = std::max(oi_max, p.oi);
+    gf_min = std::min(gf_min, p.gflops);
+    gf_max = std::max(gf_max, p.gflops);
+  }
+  oi_min /= 2.0;
+  oi_max *= 2.0;
+  gf_min /= 2.0;
+  gf_max *= 2.0;
+
+  const double lx0 = std::log10(oi_min), lx1 = std::log10(oi_max);
+  const double ly0 = std::log10(gf_min), ly1 = std::log10(gf_max);
+  auto col_of = [&](double oi) {
+    return static_cast<int>((std::log10(oi) - lx0) / (lx1 - lx0) * (width - 1));
+  };
+  auto row_of = [&](double gf) {
+    return (height - 1) -
+           static_cast<int>((std::log10(gf) - ly0) / (ly1 - ly0) * (height - 1));
+  };
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  auto plot = [&](int r, int c, char ch) {
+    if (r >= 0 && r < height && c >= 0 && c < width) {
+      canvas[r][c] = ch;
+    }
+  };
+
+  // Roofline itself.
+  for (int c = 0; c < width; ++c) {
+    const double oi = std::pow(10.0, lx0 + (lx1 - lx0) * c / (width - 1));
+    plot(row_of(model.attainable_gflops(oi)), c, '-');
+  }
+  plot(row_of(model.peak_gflops), col_of(model.ridge_oi()), '+');
+
+  // Measured points, labeled 1..9/a..z.
+  std::ostringstream legend;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const char mark = i < 9 ? static_cast<char>('1' + i)
+                            : static_cast<char>('a' + (i - 9));
+    plot(row_of(points[i].gflops), col_of(points[i].oi), mark);
+    legend << "  [" << mark << "] " << points[i].label << ": OI="
+           << pd::fmt_double(points[i].oi, 3) << " FLOP/B, "
+           << pd::fmt_double(points[i].gflops, 1) << " GFLOP/s ("
+           << pd::fmt_percent(roofline_fraction(model, points[i]), 1)
+           << " of roof)\n";
+  }
+
+  std::ostringstream os;
+  os << "Roofline: " << model.device_name << " (peak "
+     << pd::fmt_double(model.peak_gflops, 0) << " GFLOP/s, "
+     << pd::fmt_double(model.peak_bw_gbs, 0) << " GB/s, ridge at OI="
+     << pd::fmt_double(model.ridge_oi(), 2) << ")\n";
+  for (const std::string& line : canvas) {
+    os << '|' << line << '\n';
+  }
+  os << '+' << std::string(width, '-') << "  (log OI ->)\n" << legend.str();
+  return os.str();
+}
+
+}  // namespace pd::roofline

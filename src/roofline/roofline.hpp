@@ -1,0 +1,44 @@
+#pragma once
+// Roofline model (Williams, Waterman & Patterson, CACM 2009) — the analysis
+// behind the paper's Figure 3.
+
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/perf.hpp"
+
+namespace pd::roofline {
+
+struct RooflineModel {
+  std::string device_name;
+  double peak_bw_gbs = 0.0;
+  double peak_gflops = 0.0;
+
+  /// Attainable GFLOP/s at operational intensity `oi` (FLOP/byte).
+  double attainable_gflops(double oi) const;
+
+  /// The ridge point: OI where the kernel stops being bandwidth-bound.
+  double ridge_oi() const;
+};
+
+/// Build the model for a device at a given FLOP precision.
+RooflineModel make_roofline(const gpusim::DeviceSpec& spec,
+                            gpusim::FlopPrecision precision);
+
+struct RooflinePoint {
+  std::string label;
+  double oi = 0.0;
+  double gflops = 0.0;
+};
+
+/// Fraction of the roofline achieved by a measured point.
+double roofline_fraction(const RooflineModel& model, const RooflinePoint& p);
+
+/// Log-log ASCII rendering of the roofline with the measured points — the
+/// textual analogue of Figure 3.
+std::string ascii_roofline(const RooflineModel& model,
+                           const std::vector<RooflinePoint>& points,
+                           int width = 72, int height = 20);
+
+}  // namespace pd::roofline

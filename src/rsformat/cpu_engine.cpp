@@ -1,0 +1,81 @@
+#include "rsformat/cpu_engine.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pd::rsformat {
+
+namespace {
+
+/// Accumulate columns [col_begin, col_end) into `scratch`.
+void accumulate_columns(const RsMatrix& m, std::span<const double> x,
+                        std::span<double> scratch, std::uint32_t col_begin,
+                        std::uint32_t col_end) {
+  for (std::uint32_t c = col_begin; c < col_end; ++c) {
+    const double weight = x[c];
+    if (weight == 0.0) {
+      continue;  // unweighted spot deposits nothing
+    }
+    m.for_each_in_column(c, [&](std::uint64_t row, double value) {
+      scratch[row] += value * weight;
+    });
+  }
+}
+
+}  // namespace
+
+void cpu_compute_dose_serial(const RsMatrix& matrix, std::span<const double> x,
+                             std::span<double> y) {
+  PD_CHECK_MSG(x.size() == matrix.num_cols(), "cpu dose: x size mismatch");
+  PD_CHECK_MSG(y.size() == matrix.num_rows(), "cpu dose: y size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  accumulate_columns(matrix, x, y, 0,
+                     static_cast<std::uint32_t>(matrix.num_cols()));
+}
+
+void cpu_compute_dose(const RsMatrix& matrix, std::span<const double> x,
+                      std::span<double> y, unsigned num_threads) {
+  PD_CHECK_MSG(num_threads > 0, "cpu dose: need at least one thread");
+  PD_CHECK_MSG(x.size() == matrix.num_cols(), "cpu dose: x size mismatch");
+  PD_CHECK_MSG(y.size() == matrix.num_rows(), "cpu dose: y size mismatch");
+  if (num_threads == 1) {
+    cpu_compute_dose_serial(matrix, x, y);
+    return;
+  }
+
+  const auto cols = static_cast<std::uint32_t>(matrix.num_cols());
+  num_threads = std::min<unsigned>(num_threads, std::max<std::uint32_t>(cols, 1));
+
+  // One private scratch dose array per thread: no shared writes, hence no
+  // races and no atomics — the design the paper's GPU Baseline has to give
+  // up (and with it, bitwise reproducibility).
+  std::vector<std::vector<double>> scratch(
+      num_threads, std::vector<double>(matrix.num_rows(), 0.0));
+
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  const std::uint32_t chunk = (cols + num_threads - 1) / num_threads;
+  for (unsigned t = 0; t < num_threads; ++t) {
+    const std::uint32_t begin = std::min(cols, t * chunk);
+    const std::uint32_t end = std::min(cols, begin + chunk);
+    workers.emplace_back([&, t, begin, end] {
+      accumulate_columns(matrix, x, scratch[t], begin, end);
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  // Deterministic reduction in ascending thread order.
+  std::fill(y.begin(), y.end(), 0.0);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    for (std::size_t r = 0; r < y.size(); ++r) {
+      y[r] += scratch[t][r];
+    }
+  }
+}
+
+}  // namespace pd::rsformat

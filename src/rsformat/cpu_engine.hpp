@@ -1,0 +1,29 @@
+#pragma once
+// The RayStation-style CPU dose engine.
+//
+// This is the algorithm the paper ports to GPU as the "GPU Baseline": the
+// dose vector y = D·x is accumulated column-by-column (one spot at a time),
+// parallelized over columns, with *per-thread scratch dose arrays* so that
+// concurrent threads never write the same voxel — the race-free design the
+// paper credits for the CPU code's bitwise reproducibility (§IV).  The
+// scratch arrays are combined at the end in fixed thread order, so for a
+// given (matrix, x, num_threads) the result is bitwise identical on every
+// run.
+
+#include <cstdint>
+#include <span>
+
+#include "rsformat/rsmatrix.hpp"
+
+namespace pd::rsformat {
+
+/// Compute y = D·x on the compressed matrix with `num_threads` workers, each
+/// owning a private scratch dose array; deterministic reduction.
+void cpu_compute_dose(const RsMatrix& matrix, std::span<const double> x,
+                      std::span<double> y, unsigned num_threads = 4);
+
+/// Sequential single-scratch variant (reference and num_threads==1 path).
+void cpu_compute_dose_serial(const RsMatrix& matrix, std::span<const double> x,
+                             std::span<double> y);
+
+}  // namespace pd::rsformat

@@ -1,0 +1,198 @@
+#include "rsformat/rsmatrix.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <fstream>
+
+#include "sparse/coo.hpp"
+
+namespace pd::rsformat {
+
+RsMatrix RsMatrix::from_csr(const sparse::CsrF64& csr) {
+  csr.validate();
+  RsMatrix m;
+  m.num_rows_ = csr.num_rows;
+  m.num_cols_ = csr.num_cols;
+
+  // Column-oriented traversal: gather (row, value) per column.
+  std::vector<std::uint32_t> col_counts(csr.num_cols, 0);
+  for (const std::uint32_t c : csr.col_idx) {
+    ++col_counts[c];
+  }
+  std::vector<std::uint64_t> col_start(csr.num_cols + 1, 0);
+  for (std::uint64_t c = 0; c < csr.num_cols; ++c) {
+    col_start[c + 1] = col_start[c] + col_counts[c];
+  }
+  struct Entry {
+    std::uint32_t row;
+    double value;
+  };
+  std::vector<Entry> entries(csr.nnz());
+  {
+    std::vector<std::uint64_t> cursor(col_start.begin(), col_start.end() - 1);
+    for (std::uint64_t r = 0; r < csr.num_rows; ++r) {
+      for (std::uint32_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+        entries[cursor[csr.col_idx[k]]++] =
+            Entry{static_cast<std::uint32_t>(r), csr.values[k]};
+      }
+    }
+  }
+
+  m.col_ptr_.assign(csr.num_cols + 1, 0);
+  m.col_first_row_.assign(csr.num_cols, 0);
+  m.col_scale_.assign(csr.num_cols, 0.0f);
+
+  for (std::uint64_t c = 0; c < csr.num_cols; ++c) {
+    const std::uint64_t begin = col_start[c];
+    const std::uint64_t end = col_start[c + 1];
+    double col_max = 0.0;
+    for (std::uint64_t k = begin; k < end; ++k) {
+      PD_CHECK_MSG(entries[k].value >= 0.0,
+                   "RsMatrix: dose values must be non-negative");
+      col_max = std::max(col_max, entries[k].value);
+    }
+    const double scale = col_max > 0.0 ? col_max / 65535.0 : 1.0;
+    m.col_scale_[c] = static_cast<float>(scale);
+
+    std::uint32_t prev_row = 0;
+    for (std::uint64_t k = begin; k < end; ++k) {
+      const std::uint32_t row = entries[k].row;
+      std::uint64_t gap = (k == begin) ? 0 : row - prev_row;
+      if (k == begin) {
+        m.col_first_row_[c] = row;
+      }
+      while (gap >= kEscape) {
+        m.deltas_.push_back(kEscape);
+        m.qvalues_.push_back(0);
+        gap -= kEscapeAdvance;
+      }
+      m.deltas_.push_back(static_cast<std::uint16_t>(gap));
+      const double scaled = entries[k].value / scale;
+      const auto q = static_cast<std::uint16_t>(
+          std::min<long long>(65535, std::llround(scaled)));
+      m.qvalues_.push_back(q);
+      prev_row = row;
+      ++m.nnz_;
+    }
+    m.col_ptr_[c + 1] = m.deltas_.size();
+  }
+  return m;
+}
+
+sparse::CsrF64 RsMatrix::to_csr() const {
+  sparse::CooMatrix<double> coo;
+  coo.num_rows = num_rows_;
+  coo.num_cols = num_cols_;
+  coo.entries.reserve(nnz_);
+  for (std::uint32_t c = 0; c < num_cols_; ++c) {
+    for_each_in_column(c, [&](std::uint64_t row, double value) {
+      coo.entries.push_back(sparse::CooEntry<double>{
+          static_cast<std::uint32_t>(row), c, value});
+    });
+  }
+  return sparse::coo_to_csr(coo);
+}
+
+namespace {
+constexpr std::array<char, 4> kRsMagic = {'P', 'D', 'R', 'S'};
+constexpr std::uint32_t kRsVersion = 1;
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  PD_CHECK_MSG(static_cast<bool>(is), "rsformat read: truncated stream");
+  return v;
+}
+
+template <typename T>
+void put_vec(std::ostream& os, const std::vector<T>& v) {
+  put<std::uint64_t>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> get_vec(std::istream& is) {
+  const auto n = get<std::uint64_t>(is);
+  PD_CHECK_MSG(n <= (std::uint64_t{1} << 33),
+               "rsformat read: implausible array length (corrupt file?)");
+  std::vector<T> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  PD_CHECK_MSG(static_cast<bool>(is), "rsformat read: truncated array");
+  return v;
+}
+}  // namespace
+
+void RsMatrix::write_binary(std::ostream& os) const {
+  os.write(kRsMagic.data(), kRsMagic.size());
+  put(os, kRsVersion);
+  put<std::uint64_t>(os, num_rows_);
+  put<std::uint64_t>(os, num_cols_);
+  put<std::uint64_t>(os, nnz_);
+  put_vec(os, col_ptr_);
+  put_vec(os, col_first_row_);
+  put_vec(os, col_scale_);
+  put_vec(os, deltas_);
+  put_vec(os, qvalues_);
+}
+
+void RsMatrix::write_binary_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  PD_CHECK_MSG(os.is_open(), "cannot open for writing: " + path);
+  write_binary(os);
+}
+
+RsMatrix RsMatrix::read_binary(std::istream& is) {
+  std::array<char, 4> magic{};
+  is.read(magic.data(), magic.size());
+  PD_CHECK_MSG(static_cast<bool>(is) && magic == kRsMagic,
+               "rsformat read: bad magic (not a PDRS file)");
+  PD_CHECK_MSG(get<std::uint32_t>(is) == kRsVersion,
+               "rsformat read: unsupported version");
+  RsMatrix m;
+  m.num_rows_ = get<std::uint64_t>(is);
+  m.num_cols_ = get<std::uint64_t>(is);
+  m.nnz_ = get<std::uint64_t>(is);
+  m.col_ptr_ = get_vec<std::uint64_t>(is);
+  m.col_first_row_ = get_vec<std::uint32_t>(is);
+  m.col_scale_ = get_vec<float>(is);
+  m.deltas_ = get_vec<std::uint16_t>(is);
+  m.qvalues_ = get_vec<std::uint16_t>(is);
+  // Structural consistency of the container.
+  PD_CHECK_MSG(m.col_ptr_.size() == m.num_cols_ + 1,
+               "rsformat read: col_ptr size mismatch");
+  PD_CHECK_MSG(m.col_first_row_.size() == m.num_cols_,
+               "rsformat read: first-row size mismatch");
+  PD_CHECK_MSG(m.col_scale_.size() == m.num_cols_,
+               "rsformat read: scale size mismatch");
+  PD_CHECK_MSG(m.deltas_.size() == m.qvalues_.size(),
+               "rsformat read: stream size mismatch");
+  PD_CHECK_MSG(!m.col_ptr_.empty() && m.col_ptr_.front() == 0 &&
+                   m.col_ptr_.back() == m.deltas_.size(),
+               "rsformat read: col_ptr inconsistent with streams");
+  return m;
+}
+
+RsMatrix RsMatrix::read_binary_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PD_CHECK_MSG(is.is_open(), "cannot open for reading: " + path);
+  return read_binary(is);
+}
+
+std::uint64_t RsMatrix::bytes() const {
+  return deltas_.size() * sizeof(std::uint16_t) +
+         qvalues_.size() * sizeof(std::uint16_t) +
+         col_ptr_.size() * sizeof(std::uint64_t) +
+         col_first_row_.size() * sizeof(std::uint32_t) +
+         col_scale_.size() * sizeof(float);
+}
+
+}  // namespace pd::rsformat

@@ -1,0 +1,100 @@
+#pragma once
+// "RayStation-like" custom compressed dose-matrix format.
+//
+// The paper's input matrices come from RayStation's proprietary compressed
+// storage, "developed for CPUs at a time when memory was scarce", with
+// 16 bits per matrix entry; the paper converts it to CSR for the GPU kernels
+// and ports the CPU algorithm that runs directly on the custom format.
+// This class is our concrete stand-in with the same salient properties:
+//
+//  * column-oriented — one compressed record per *spot* (the MC engine
+//    produces dose per spot, i.e. per matrix column),
+//  * 16-bit fixed-point values with one float scale per column,
+//  * delta-encoded row indices (uint16 gaps with an escape code for larger
+//    jumps), exploiting the spatial clustering of a spot's deposits,
+//  * lossy: quantization error is bounded by scale/2 = col_max/131070,
+//    mirroring the half-precision storage error of the GPU path.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace pd::rsformat {
+
+class RsMatrix {
+ public:
+  /// Escape code in the delta stream: advance kEscapeAdvance rows, no entry.
+  static constexpr std::uint16_t kEscape = 0xffff;
+  static constexpr std::uint32_t kEscapeAdvance = 0xfffe;
+
+  RsMatrix() = default;
+
+  /// Compress a CSR matrix (values must be non-negative, as doses are).
+  static RsMatrix from_csr(const sparse::CsrF64& csr);
+
+  /// Decompress to CSR (the paper's RayStation-to-CSR conversion step).
+  sparse::CsrF64 to_csr() const;
+
+  std::uint64_t num_rows() const { return num_rows_; }
+  std::uint64_t num_cols() const { return num_cols_; }
+  std::uint64_t nnz() const { return nnz_; }
+
+  /// Stored bytes (entry streams + per-column headers).
+  std::uint64_t bytes() const;
+
+  /// Decode column `col`, invoking fn(row, value) in ascending row order.
+  template <typename Fn>
+  void for_each_in_column(std::uint32_t col, Fn&& fn) const {
+    PD_CHECK_MSG(col < num_cols_, "RsMatrix: column out of range");
+    std::uint64_t row = col_first_row_[col];
+    const double scale = col_scale_[col];
+    // The first entry is stored with delta 0 (relative to col_first_row);
+    // escapes advance the cursor and the following delta carries the rest of
+    // the gap, so decoding is uniform.
+    for (std::uint64_t k = col_ptr_[col]; k < col_ptr_[col + 1]; ++k) {
+      const std::uint16_t delta = deltas_[k];
+      if (delta == kEscape) {
+        row += kEscapeAdvance;
+        continue;
+      }
+      row += delta;
+      fn(row, static_cast<double>(qvalues_[k]) * scale);
+    }
+  }
+
+  // Raw streams — exposed for the GPU Baseline kernel, which (like the
+  // paper's port) runs directly on the compressed representation.
+  const std::vector<std::uint64_t>& col_ptr() const { return col_ptr_; }
+  const std::vector<std::uint32_t>& col_first_row() const { return col_first_row_; }
+  const std::vector<float>& col_scale() const { return col_scale_; }
+  const std::vector<std::uint16_t>& deltas() const { return deltas_; }
+  const std::vector<std::uint16_t>& qvalues() const { return qvalues_; }
+
+  /// Largest quantization error this matrix can have introduced, per column.
+  double max_abs_error(std::uint32_t col) const {
+    return static_cast<double>(col_scale_[col]) * 0.5;
+  }
+
+  /// Binary serialization ("PDRS" container) — the clinical engine caches
+  /// compressed matrices between planning sessions.
+  void write_binary(std::ostream& os) const;
+  void write_binary_file(const std::string& path) const;
+  static RsMatrix read_binary(std::istream& is);
+  static RsMatrix read_binary_file(const std::string& path);
+
+ private:
+  std::uint64_t num_rows_ = 0;
+  std::uint64_t num_cols_ = 0;
+  std::uint64_t nnz_ = 0;  ///< real entries (escapes excluded)
+  std::vector<std::uint64_t> col_ptr_;
+  std::vector<std::uint32_t> col_first_row_;
+  std::vector<float> col_scale_;
+  std::vector<std::uint16_t> deltas_;
+  std::vector<std::uint16_t> qvalues_;
+};
+
+}  // namespace pd::rsformat

@@ -1,0 +1,58 @@
+#pragma once
+// Precision and index-width conversions between CSR instantiations.
+//
+// value narrowing double -> Half is the paper's core storage decision
+// (16-bit matrix entries); index narrowing uint32 -> uint16 is the paper's
+// §V "future work" optimization (our Ablation A) and is only legal when
+// num_cols <= 65536 — true for the prostate cases, not the liver cases, just
+// as the paper notes.
+
+#include <cstdint>
+#include <limits>
+
+#include "fp16/half.hpp"
+#include "sparse/csr.hpp"
+
+namespace pd::sparse {
+
+/// Convert the value type (RNE rounding on narrowing), preserving structure.
+template <typename VTo, typename VFrom, typename I>
+CsrMatrix<VTo, I> convert_values(const CsrMatrix<VFrom, I>& in) {
+  CsrMatrix<VTo, I> out;
+  out.num_rows = in.num_rows;
+  out.num_cols = in.num_cols;
+  out.row_ptr = in.row_ptr;
+  out.col_idx = in.col_idx;
+  out.values.reserve(in.values.size());
+  for (const VFrom& v : in.values) {
+    out.values.push_back(static_cast<VTo>(static_cast<double>(v)));
+  }
+  return out;
+}
+
+/// Narrow column indices; throws pd::Error if any column does not fit.
+template <typename ITo, typename V, typename IFrom>
+CsrMatrix<V, ITo> narrow_col_index(const CsrMatrix<V, IFrom>& in) {
+  PD_CHECK_MSG(in.num_cols <= std::uint64_t{std::numeric_limits<ITo>::max()} + 1,
+               "narrow_col_index: matrix has more columns than the index type "
+               "can address");
+  CsrMatrix<V, ITo> out;
+  out.num_rows = in.num_rows;
+  out.num_cols = in.num_cols;
+  out.row_ptr = in.row_ptr;
+  out.values = in.values;
+  out.col_idx.reserve(in.col_idx.size());
+  for (const IFrom c : in.col_idx) {
+    out.col_idx.push_back(static_cast<ITo>(c));
+  }
+  return out;
+}
+
+/// Whether the 16-bit column-index optimization applies (paper §V: prostate
+/// yes, liver "not much larger than 65535" — no).
+template <typename V, typename I>
+bool fits_u16_columns(const CsrMatrix<V, I>& m) {
+  return m.num_cols <= 65536;
+}
+
+}  // namespace pd::sparse

@@ -1,0 +1,64 @@
+#pragma once
+// Compressed Sparse Row storage.
+//
+// The paper converts RayStation's custom format to CSR and builds all GPU
+// kernels on it.  Value type V is a template parameter because the central
+// idea of the paper is a *mixed-precision* CSR (binary16 values, binary64
+// vectors); index type I is templated because the paper's §V analysis
+// identifies narrowing the 4-byte column indices to 16 bits as the next
+// optimization (our Ablation A).  Row offsets are 32-bit, as in the paper
+// ("one index of four bytes per row").
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pd::sparse {
+
+template <typename V, typename I = std::uint32_t>
+struct CsrMatrix {
+  using value_type = V;
+  using index_type = I;
+
+  std::uint64_t num_rows = 0;
+  std::uint64_t num_cols = 0;
+  std::vector<std::uint32_t> row_ptr;  ///< num_rows + 1 offsets.
+  std::vector<I> col_idx;              ///< nnz column indices, row-major.
+  std::vector<V> values;               ///< nnz values, row-major.
+
+  std::uint64_t nnz() const { return values.size(); }
+
+  std::uint64_t row_nnz(std::uint64_t row) const {
+    return row_ptr[row + 1] - row_ptr[row];
+  }
+
+  /// Storage footprint of the three arrays (the paper's Table I "size").
+  std::uint64_t bytes() const {
+    return row_ptr.size() * sizeof(std::uint32_t) + col_idx.size() * sizeof(I) +
+           values.size() * sizeof(V);
+  }
+
+  /// Structural validation; throws pd::Error on inconsistency.
+  void validate() const {
+    PD_CHECK_MSG(row_ptr.size() == num_rows + 1, "CSR: row_ptr size mismatch");
+    PD_CHECK_MSG(col_idx.size() == values.size(), "CSR: col/value size mismatch");
+    PD_CHECK_MSG(row_ptr.empty() || row_ptr.front() == 0,
+                 "CSR: row_ptr must start at 0");
+    PD_CHECK_MSG(!row_ptr.empty() && row_ptr.back() == values.size(),
+                 "CSR: row_ptr must end at nnz");
+    for (std::size_t r = 0; r + 1 < row_ptr.size(); ++r) {
+      PD_CHECK_MSG(row_ptr[r] <= row_ptr[r + 1], "CSR: row_ptr not monotone");
+    }
+    for (const I c : col_idx) {
+      PD_CHECK_MSG(static_cast<std::uint64_t>(c) < num_cols,
+                   "CSR: column index out of range");
+    }
+  }
+};
+
+/// Common instantiations.
+using CsrF64 = CsrMatrix<double>;
+using CsrF32 = CsrMatrix<float>;
+
+}  // namespace pd::sparse

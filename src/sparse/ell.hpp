@@ -1,0 +1,71 @@
+#pragma once
+// ELLPACK storage (paper §II-C "future work"; our Ablation B).
+//
+// Every row is padded to the same width and stored column-major so that
+// thread-per-row SIMT access is fully coalesced.  ELLPACK is catastrophic for
+// the dose matrices' skewed row lengths (one 16k-long row pads everything),
+// which is exactly what the ablation demonstrates; a width cap guards
+// against accidentally materializing such a blow-up.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace pd::sparse {
+
+template <typename V, typename I = std::uint32_t>
+struct EllMatrix {
+  std::uint64_t num_rows = 0;
+  std::uint64_t num_cols = 0;
+  std::uint64_t width = 0;    ///< Padded row width (max row nnz).
+  std::uint64_t stored_nnz = 0;
+  /// Column-major num_rows × width; padding uses col 0 / value 0.
+  std::vector<I> col_idx;
+  std::vector<V> values;
+
+  std::uint64_t padded_entries() const { return num_rows * width; }
+
+  /// Fraction of stored entries that are padding.
+  double padding_overhead() const {
+    return padded_entries() == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(stored_nnz) /
+                           static_cast<double>(padded_entries());
+  }
+
+  std::uint64_t bytes() const {
+    return col_idx.size() * sizeof(I) + values.size() * sizeof(V);
+  }
+};
+
+/// Convert CSR to ELLPACK.  Throws if the padded size would exceed
+/// `max_padded_entries` (default 1 Gi entries) — the guard that makes the
+/// liver matrices' 16k-wide rows an explicit failure rather than an OOM.
+template <typename V, typename I>
+EllMatrix<V, I> csr_to_ell(const CsrMatrix<V, I>& csr,
+                           std::uint64_t max_padded_entries = (1ull << 30)) {
+  EllMatrix<V, I> ell;
+  ell.num_rows = csr.num_rows;
+  ell.num_cols = csr.num_cols;
+  for (std::uint64_t r = 0; r < csr.num_rows; ++r) {
+    ell.width = std::max<std::uint64_t>(ell.width, csr.row_nnz(r));
+  }
+  PD_CHECK_MSG(ell.num_rows * ell.width <= max_padded_entries,
+               "csr_to_ell: padded ELLPACK size exceeds the configured cap");
+  ell.stored_nnz = csr.nnz();
+  ell.col_idx.assign(ell.padded_entries(), I{0});
+  ell.values.assign(ell.padded_entries(), V{});
+  for (std::uint64_t r = 0; r < csr.num_rows; ++r) {
+    std::uint64_t slot = 0;
+    for (std::uint32_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k, ++slot) {
+      // Column-major: entry (r, slot) at slot * num_rows + r.
+      ell.col_idx[slot * ell.num_rows + r] = csr.col_idx[k];
+      ell.values[slot * ell.num_rows + r] = csr.values[k];
+    }
+  }
+  return ell;
+}
+
+}  // namespace pd::sparse

@@ -1,0 +1,157 @@
+#include "sparse/io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+
+namespace pd::sparse {
+
+namespace {
+constexpr std::array<char, 4> kMagic = {'P', 'D', 'S', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  PD_CHECK_MSG(static_cast<bool>(is), "binary read: truncated stream");
+  return value;
+}
+
+template <typename T>
+void write_vec(std::ostream& os, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  // Guard against corrupted headers demanding absurd allocations.
+  PD_CHECK_MSG(n <= (std::uint64_t{1} << 33),
+               "binary read: implausible array length (corrupt file?)");
+  std::vector<T> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  PD_CHECK_MSG(static_cast<bool>(is), "binary read: truncated array");
+  return v;
+}
+}  // namespace
+
+void write_matrix_market(std::ostream& os, const CsrF64& m) {
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << "% exported by protondose\n";
+  os << m.num_rows << ' ' << m.num_cols << ' ' << m.nnz() << '\n';
+  os << std::setprecision(17);
+  for (std::uint64_t r = 0; r < m.num_rows; ++r) {
+    for (std::uint32_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+      os << (r + 1) << ' ' << (m.col_idx[k] + 1) << ' ' << m.values[k] << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrF64& m) {
+  std::ofstream os(path);
+  PD_CHECK_MSG(os.is_open(), "cannot open for writing: " + path);
+  write_matrix_market(os, m);
+}
+
+CsrF64 read_matrix_market(std::istream& is) {
+  std::string line;
+  PD_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
+               "MatrixMarket: empty stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  PD_CHECK_MSG(banner == "%%MatrixMarket", "MatrixMarket: bad banner");
+  PD_CHECK_MSG(object == "matrix" && format == "coordinate",
+               "MatrixMarket: only coordinate matrices supported");
+  PD_CHECK_MSG(field == "real" || field == "integer",
+               "MatrixMarket: only real/integer fields supported");
+  PD_CHECK_MSG(symmetry == "general",
+               "MatrixMarket: only general symmetry supported");
+
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] != '%') {
+      break;
+    }
+  }
+  std::istringstream dims(line);
+  std::uint64_t rows = 0, cols = 0, nnz = 0;
+  dims >> rows >> cols >> nnz;
+  PD_CHECK_MSG(static_cast<bool>(dims), "MatrixMarket: bad dimension line");
+
+  CooMatrix<double> coo;
+  coo.num_rows = rows;
+  coo.num_cols = cols;
+  coo.entries.reserve(nnz);
+  for (std::uint64_t i = 0; i < nnz; ++i) {
+    std::uint64_t r = 0, c = 0;
+    double v = 0.0;
+    is >> r >> c >> v;
+    PD_CHECK_MSG(static_cast<bool>(is), "MatrixMarket: truncated entry list");
+    PD_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                 "MatrixMarket: coordinate out of range");
+    coo.entries.push_back(CooEntry<double>{static_cast<std::uint32_t>(r - 1),
+                                           static_cast<std::uint32_t>(c - 1), v});
+  }
+  return coo_to_csr(coo);
+}
+
+CsrF64 read_matrix_market_file(const std::string& path) {
+  std::ifstream is(path);
+  PD_CHECK_MSG(is.is_open(), "cannot open for reading: " + path);
+  return read_matrix_market(is);
+}
+
+void write_binary(std::ostream& os, const CsrF64& m) {
+  os.write(kMagic.data(), kMagic.size());
+  write_pod(os, kVersion);
+  write_pod<std::uint64_t>(os, m.num_rows);
+  write_pod<std::uint64_t>(os, m.num_cols);
+  write_vec(os, m.row_ptr);
+  write_vec(os, m.col_idx);
+  write_vec(os, m.values);
+}
+
+void write_binary_file(const std::string& path, const CsrF64& m) {
+  std::ofstream os(path, std::ios::binary);
+  PD_CHECK_MSG(os.is_open(), "cannot open for writing: " + path);
+  write_binary(os, m);
+}
+
+CsrF64 read_binary(std::istream& is) {
+  std::array<char, 4> magic{};
+  is.read(magic.data(), magic.size());
+  PD_CHECK_MSG(static_cast<bool>(is) && magic == kMagic,
+               "binary read: bad magic (not a PDSM file)");
+  const auto version = read_pod<std::uint32_t>(is);
+  PD_CHECK_MSG(version == kVersion, "binary read: unsupported version");
+  CsrF64 m;
+  m.num_rows = read_pod<std::uint64_t>(is);
+  m.num_cols = read_pod<std::uint64_t>(is);
+  m.row_ptr = read_vec<std::uint32_t>(is);
+  m.col_idx = read_vec<std::uint32_t>(is);
+  m.values = read_vec<double>(is);
+  m.validate();
+  return m;
+}
+
+CsrF64 read_binary_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PD_CHECK_MSG(is.is_open(), "cannot open for reading: " + path);
+  return read_binary(is);
+}
+
+}  // namespace pd::sparse

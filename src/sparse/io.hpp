@@ -1,0 +1,28 @@
+#pragma once
+// Matrix I/O: Matrix Market (coordinate, real, general) for interchange with
+// other tools, and a fast binary container for caching generated dose
+// deposition matrices between benchmark runs.
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace pd::sparse {
+
+/// Write in MatrixMarket coordinate format (1-based indices).
+void write_matrix_market(std::ostream& os, const CsrF64& m);
+void write_matrix_market_file(const std::string& path, const CsrF64& m);
+
+/// Read MatrixMarket coordinate real general; throws pd::Error on malformed
+/// headers, out-of-range coordinates, or truncated entry lists.
+CsrF64 read_matrix_market(std::istream& is);
+CsrF64 read_matrix_market_file(const std::string& path);
+
+/// Binary container ("PDSM" magic, version, dims, raw arrays, little-endian).
+void write_binary(std::ostream& os, const CsrF64& m);
+void write_binary_file(const std::string& path, const CsrF64& m);
+CsrF64 read_binary(std::istream& is);
+CsrF64 read_binary_file(const std::string& path);
+
+}  // namespace pd::sparse

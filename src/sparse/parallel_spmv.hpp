@@ -1,0 +1,24 @@
+#pragma once
+// Deterministic multithreaded host SpMV.
+//
+// A design contrast the paper's §IV turns on: RayStation's CPU engine
+// parallelizes over *columns* (one compressed record per spot), which races
+// on the output and forces per-thread scratch dose arrays; the GPU port has
+// to fall back to atomics and loses reproducibility.  Parallelizing over
+// *rows* instead — exactly what CSR and the paper's GPU kernel do — needs no
+// scratch and no atomics: threads own disjoint output slices, and every row
+// is accumulated in the same order regardless of the thread count, so the
+// result is bitwise identical to the serial reference for ANY thread count.
+
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace pd::sparse {
+
+/// y = A·x with `num_threads` workers over an nnz-balanced row partition.
+/// Bitwise identical to reference_spmv for every thread count.
+void parallel_spmv(const CsrF64& A, std::span<const double> x,
+                   std::span<double> y, unsigned num_threads);
+
+}  // namespace pd::sparse

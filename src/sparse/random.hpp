@@ -1,0 +1,90 @@
+#pragma once
+// Random sparse-matrix generators for the property-based test sweeps: the
+// kernels must agree with the reference on *any* structure, not just dose
+// matrices, so tests draw from several structural families.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace pd::sparse {
+
+/// Shape of the randomly generated row-length distribution.
+enum class RandomStructure {
+  kUniform,     ///< i.i.d. uniform row lengths.
+  kSkewed,      ///< Heavy-tailed (pareto-ish) lengths, like the dose matrices.
+  kManyEmpty,   ///< ~70% empty rows, the Figure 2 regime.
+  kBanded,      ///< Clustered column indices around the diagonal band.
+};
+
+/// Generate a random CSR matrix with values in [0.01, 1] (positive, like
+/// dose) — deterministic in (seed, parameters).
+inline CsrF64 random_csr(Rng& rng, std::uint64_t rows, std::uint64_t cols,
+                         double target_mean_row_nnz,
+                         RandomStructure structure = RandomStructure::kUniform) {
+  CooMatrix<double> coo;
+  coo.num_rows = rows;
+  coo.num_cols = cols;
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    std::uint64_t len = 0;
+    switch (structure) {
+      case RandomStructure::kUniform:
+        len = rng.uniform_index(
+            static_cast<std::uint64_t>(2.0 * target_mean_row_nnz) + 1);
+        break;
+      case RandomStructure::kSkewed: {
+        // Pareto-like: most rows short, occasional very long row.
+        const double u = rng.uniform(1e-4, 1.0);
+        len = static_cast<std::uint64_t>(target_mean_row_nnz * 0.4 /
+                                         std::pow(u, 0.7));
+        break;
+      }
+      case RandomStructure::kManyEmpty:
+        len = rng.uniform() < 0.7
+                  ? 0
+                  : rng.uniform_index(static_cast<std::uint64_t>(
+                        6.0 * target_mean_row_nnz) + 1);
+        break;
+      case RandomStructure::kBanded:
+        len = rng.uniform_index(
+            static_cast<std::uint64_t>(2.0 * target_mean_row_nnz) + 1);
+        break;
+    }
+    len = std::min<std::uint64_t>(len, cols);
+    for (std::uint64_t k = 0; k < len; ++k) {
+      std::uint64_t c;
+      if (structure == RandomStructure::kBanded) {
+        const auto center = static_cast<double>(r) * static_cast<double>(cols) /
+                            static_cast<double>(rows);
+        const double offset = rng.normal(0.0, target_mean_row_nnz);
+        auto signed_col = static_cast<std::int64_t>(center + offset);
+        signed_col = std::clamp<std::int64_t>(signed_col, 0,
+                                              static_cast<std::int64_t>(cols) - 1);
+        c = static_cast<std::uint64_t>(signed_col);
+      } else {
+        c = rng.uniform_index(cols);
+      }
+      coo.entries.push_back(CooEntry<double>{static_cast<std::uint32_t>(r),
+                                             static_cast<std::uint32_t>(c),
+                                             rng.uniform(0.01, 1.0)});
+    }
+  }
+  return coo_to_csr(coo);  // duplicate (r,c) pairs are merged
+}
+
+/// Random dense vector with entries in [lo, hi).
+inline std::vector<double> random_vector(Rng& rng, std::uint64_t n,
+                                         double lo = 0.0, double hi = 1.0) {
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    x = rng.uniform(lo, hi);
+  }
+  return v;
+}
+
+}  // namespace pd::sparse

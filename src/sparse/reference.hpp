@@ -1,0 +1,84 @@
+#pragma once
+// Host reference SpMV implementations.
+//
+// Two references, for two different jobs:
+//  * reference_spmv       — plain sequential left-to-right accumulation in
+//    double; the accuracy gold standard.
+//  * warp_order_spmv      — accumulates each row in *exactly* the order the
+//    paper's warp-per-row kernel does (32 strided lane accumulators folded by
+//    a fixed tree reduction).  Simulated kernels must match this bitwise,
+//    which is the strongest possible statement of the paper's §II-D
+//    reproducibility requirement.
+
+#include <cstdint>
+#include <span>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace pd::sparse {
+
+/// Accumulation order of the vector (warp-per-row) kernel for one row:
+/// lane l sums elements start+l, start+l+32, ... and the 32 lane partials are
+/// folded by the shfl_down butterfly (offsets 16, 8, 4, 2, 1).
+template <typename V, typename I>
+double warp_order_row_dot(const CsrMatrix<V, I>& m, std::span<const double> x,
+                          std::uint64_t row) {
+  double lanes[32] = {};
+  const std::uint32_t start = m.row_ptr[row];
+  const std::uint32_t end = m.row_ptr[row + 1];
+  for (std::uint32_t k = start; k < end; ++k) {
+    const unsigned lane = (k - start) % 32;
+    lanes[lane] += static_cast<double>(m.values[k]) * x[m.col_idx[k]];
+  }
+  for (unsigned offset = 16; offset > 0; offset /= 2) {
+    for (unsigned i = 0; i < offset; ++i) {
+      lanes[i] += lanes[i + offset];
+    }
+  }
+  return lanes[0];
+}
+
+/// Sequential gold-standard SpMV, double accumulation.
+template <typename V, typename I>
+void reference_spmv(const CsrMatrix<V, I>& m, std::span<const double> x,
+                    std::span<double> y) {
+  PD_CHECK_MSG(x.size() == m.num_cols, "reference_spmv: x size mismatch");
+  PD_CHECK_MSG(y.size() == m.num_rows, "reference_spmv: y size mismatch");
+  for (std::uint64_t r = 0; r < m.num_rows; ++r) {
+    double acc = 0.0;
+    for (std::uint32_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+      acc += static_cast<double>(m.values[k]) * x[m.col_idx[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+/// SpMV in the exact accumulation order of the simulated vector kernel.
+template <typename V, typename I>
+void warp_order_spmv(const CsrMatrix<V, I>& m, std::span<const double> x,
+                     std::span<double> y) {
+  PD_CHECK_MSG(x.size() == m.num_cols, "warp_order_spmv: x size mismatch");
+  PD_CHECK_MSG(y.size() == m.num_rows, "warp_order_spmv: y size mismatch");
+  for (std::uint64_t r = 0; r < m.num_rows; ++r) {
+    y[r] = warp_order_row_dot(m, x, r);
+  }
+}
+
+/// Single-precision sequential SpMV (float accumulate, float vectors) —
+/// reference for the "Single" kernel family where everything is binary32.
+template <typename V, typename I>
+void reference_spmv_f32(const CsrMatrix<V, I>& m, std::span<const float> x,
+                        std::span<float> y) {
+  PD_CHECK_MSG(x.size() == m.num_cols, "reference_spmv_f32: x size mismatch");
+  PD_CHECK_MSG(y.size() == m.num_rows, "reference_spmv_f32: y size mismatch");
+  for (std::uint64_t r = 0; r < m.num_rows; ++r) {
+    float acc = 0.0f;
+    for (std::uint32_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+      acc += static_cast<float>(m.values[k]) * x[m.col_idx[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+}  // namespace pd::sparse

@@ -1,0 +1,116 @@
+#pragma once
+// SELL-C-σ storage (Kreutzer et al., SIAM SISC 2014) — the second format the
+// paper defers to future work; our Ablation B.
+//
+// Rows are sorted by length inside windows of σ rows, grouped into chunks of
+// C rows, and each chunk is padded only to its own longest row.  With C equal
+// to the warp size this keeps SIMT lanes coalesced like ELLPACK while the
+// σ-scoped sorting contains the padding that the dose matrices' skewed rows
+// would otherwise cause.
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+
+namespace pd::sparse {
+
+template <typename V, typename I = std::uint32_t>
+struct SellCsMatrix {
+  std::uint64_t num_rows = 0;
+  std::uint64_t num_cols = 0;
+  std::uint32_t chunk_height = 32;  ///< C.
+  std::uint32_t sort_window = 1;    ///< σ (1 == no reordering).
+  std::uint64_t stored_nnz = 0;
+
+  std::vector<std::uint64_t> chunk_ptr;   ///< chunk start offsets into arrays.
+  std::vector<std::uint32_t> chunk_width; ///< padded width per chunk.
+  std::vector<I> col_idx;                 ///< per chunk: width × C, lane-major.
+  std::vector<V> values;
+  std::vector<std::uint32_t> row_perm;    ///< storage row -> original row.
+
+  std::uint64_t num_chunks() const { return chunk_width.size(); }
+
+  double padding_overhead() const {
+    const auto padded = static_cast<double>(values.size());
+    return padded == 0.0 ? 0.0 : 1.0 - static_cast<double>(stored_nnz) / padded;
+  }
+
+  std::uint64_t bytes() const {
+    return chunk_ptr.size() * sizeof(std::uint64_t) +
+           chunk_width.size() * sizeof(std::uint32_t) +
+           row_perm.size() * sizeof(std::uint32_t) +
+           col_idx.size() * sizeof(I) + values.size() * sizeof(V);
+  }
+};
+
+template <typename V, typename I>
+SellCsMatrix<V, I> csr_to_sellcs(const CsrMatrix<V, I>& csr,
+                                 std::uint32_t chunk_height = 32,
+                                 std::uint32_t sort_window = 1024) {
+  PD_CHECK_MSG(chunk_height > 0, "SELL-C-σ: chunk height must be positive");
+  PD_CHECK_MSG(sort_window % chunk_height == 0,
+               "SELL-C-σ: σ must be a multiple of C");
+  SellCsMatrix<V, I> m;
+  m.num_rows = csr.num_rows;
+  m.num_cols = csr.num_cols;
+  m.chunk_height = chunk_height;
+  m.sort_window = sort_window;
+  m.stored_nnz = csr.nnz();
+
+  // σ-scoped descending-length sort (stable: preserves row order for ties).
+  m.row_perm.resize(csr.num_rows);
+  std::iota(m.row_perm.begin(), m.row_perm.end(), 0u);
+  for (std::uint64_t w = 0; w < csr.num_rows; w += sort_window) {
+    const std::uint64_t end = std::min<std::uint64_t>(w + sort_window, csr.num_rows);
+    std::stable_sort(m.row_perm.begin() + w, m.row_perm.begin() + end,
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return csr.row_nnz(a) > csr.row_nnz(b);
+                     });
+  }
+
+  const std::uint64_t chunks =
+      (csr.num_rows + chunk_height - 1) / chunk_height;
+  m.chunk_ptr.resize(chunks + 1, 0);
+  m.chunk_width.resize(chunks, 0);
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    std::uint32_t width = 0;
+    for (std::uint32_t l = 0; l < chunk_height; ++l) {
+      const std::uint64_t sr = c * chunk_height + l;
+      if (sr < csr.num_rows) {
+        width = std::max<std::uint32_t>(
+            width, static_cast<std::uint32_t>(csr.row_nnz(m.row_perm[sr])));
+      }
+    }
+    m.chunk_width[c] = width;
+    m.chunk_ptr[c + 1] =
+        m.chunk_ptr[c] + static_cast<std::uint64_t>(width) * chunk_height;
+  }
+
+  m.col_idx.assign(m.chunk_ptr.back(), I{0});
+  m.values.assign(m.chunk_ptr.back(), V{});
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    for (std::uint32_t l = 0; l < chunk_height; ++l) {
+      const std::uint64_t sr = c * chunk_height + l;
+      if (sr >= csr.num_rows) {
+        continue;
+      }
+      const std::uint32_t orig = m.row_perm[sr];
+      std::uint64_t j = 0;
+      for (std::uint32_t k = csr.row_ptr[orig]; k < csr.row_ptr[orig + 1];
+           ++k, ++j) {
+        // Lane-major inside the chunk: element j of lane l at
+        // chunk_ptr[c] + j * C + l.
+        const std::uint64_t slot = m.chunk_ptr[c] + j * chunk_height + l;
+        m.col_idx[slot] = csr.col_idx[k];
+        m.values[slot] = csr.values[k];
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace pd::sparse

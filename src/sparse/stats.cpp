@@ -1,0 +1,89 @@
+#include "sparse/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace pd::sparse {
+
+double MatrixStats::row_length_cdf(std::uint64_t x) const {
+  return empirical_cdf(sorted_nonempty_lengths, x);
+}
+
+MatrixStats stats_from_row_lengths(std::uint64_t rows, std::uint64_t cols,
+                                   const std::vector<std::uint64_t>& lengths) {
+  PD_CHECK_MSG(lengths.size() == rows, "stats: row-length vector size mismatch");
+  MatrixStats s;
+  s.rows = rows;
+  s.cols = cols;
+  std::uint64_t below_warp = 0;
+  for (const std::uint64_t len : lengths) {
+    s.nnz += len;
+    if (len == 0) {
+      ++s.empty_rows;
+    } else {
+      s.sorted_nonempty_lengths.push_back(len);
+      s.max_row_nnz = std::max(s.max_row_nnz, len);
+      if (len < 32) {
+        ++below_warp;
+      }
+    }
+  }
+  std::sort(s.sorted_nonempty_lengths.begin(), s.sorted_nonempty_lengths.end());
+  if (rows > 0) {
+    s.empty_row_fraction =
+        static_cast<double>(s.empty_rows) / static_cast<double>(rows);
+    s.mean_nnz_per_row = static_cast<double>(s.nnz) / static_cast<double>(rows);
+  }
+  if (rows > 0 && cols > 0) {
+    s.density = static_cast<double>(s.nnz) /
+                (static_cast<double>(rows) * static_cast<double>(cols));
+  }
+  const std::uint64_t nonempty = rows - s.empty_rows;
+  if (nonempty > 0) {
+    s.mean_nnz_per_nonempty_row =
+        static_cast<double>(s.nnz) / static_cast<double>(nonempty);
+    s.frac_nonempty_below_warp =
+        static_cast<double>(below_warp) / static_cast<double>(nonempty);
+    s.row_skew = static_cast<double>(s.max_row_nnz) / s.mean_nnz_per_nonempty_row;
+  }
+  return s;
+}
+
+std::vector<CdfPoint> cumulative_row_length_histogram(const MatrixStats& stats,
+                                                      std::size_t points) {
+  PD_CHECK_MSG(points >= 2, "cumulative histogram needs >= 2 points");
+  std::vector<CdfPoint> out;
+  if (stats.sorted_nonempty_lengths.empty()) {
+    return out;
+  }
+  const double lo = 1.0;
+  const double hi = static_cast<double>(stats.max_row_nnz);
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto x = static_cast<std::uint64_t>(
+        std::llround(lo * std::pow(hi / lo, t)));
+    if (!out.empty() && out.back().row_length == x) {
+      continue;
+    }
+    out.push_back(CdfPoint{x, stats.row_length_cdf(x)});
+  }
+  return out;
+}
+
+const std::vector<PaperMatrixInfo>& paper_table1() {
+  static const std::vector<PaperMatrixInfo> kTable = {
+      {"Liver 1", 2.97e6, 6.80e4, 1.48e9, 0.70},
+      {"Liver 2", 2.97e6, 6.77e4, 1.28e9, 0.70},
+      {"Liver 3", 2.97e6, 6.99e4, 1.39e9, 0.70},
+      {"Liver 4", 2.97e6, 6.32e4, 1.84e9, 0.70},
+      {"Prostate 1", 1.03e6, 5.09e3, 9.50e7, 0.70},
+      {"Prostate 2", 1.03e6, 4.96e3, 9.51e7, 0.70},
+  };
+  return kTable;
+}
+
+}  // namespace pd::sparse

@@ -1,0 +1,83 @@
+#pragma once
+// Matrix-structure statistics — the quantities in the paper's Table I and
+// Figure 2 (rows/cols/nnz/density/size, row-length distribution, cumulative
+// row-length histogram, fraction of non-empty rows shorter than one warp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pd::sparse {
+
+struct MatrixStats {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t nnz = 0;
+  double density = 0.0;                ///< nnz / (rows · cols) — Table I "non-zero ratio".
+  std::uint64_t empty_rows = 0;
+  double empty_row_fraction = 0.0;     ///< Paper: ~70% for both cases.
+  double mean_nnz_per_row = 0.0;
+  double mean_nnz_per_nonempty_row = 0.0;
+  std::uint64_t max_row_nnz = 0;
+  /// Fraction of *non-empty* rows with fewer than 32 non-zeros — the paper's
+  /// "rows violating the one-warp-per-row efficiency assumption" (5.6% liver,
+  /// 14.2% prostate).
+  double frac_nonempty_below_warp = 0.0;
+  double row_skew = 0.0;               ///< max / mean non-empty row length.
+
+  /// Sorted non-empty row lengths (ascending) for CDF evaluation.
+  std::vector<std::uint64_t> sorted_nonempty_lengths;
+
+  /// CSR byte size for given value/column-index widths (Table I "size (GB)"
+  /// uses 2-byte values + 4-byte columns + 4-byte row offsets).
+  std::uint64_t csr_bytes(std::size_t value_bytes, std::size_t col_bytes) const {
+    return nnz * (value_bytes + col_bytes) + (rows + 1) * 4;
+  }
+
+  /// Cumulative fraction of non-empty rows with length <= x (Figure 2).
+  double row_length_cdf(std::uint64_t x) const;
+};
+
+template <typename V, typename I>
+std::vector<std::uint64_t> row_lengths(const CsrMatrix<V, I>& csr) {
+  std::vector<std::uint64_t> lens(csr.num_rows);
+  for (std::uint64_t r = 0; r < csr.num_rows; ++r) {
+    lens[r] = csr.row_nnz(r);
+  }
+  return lens;
+}
+
+MatrixStats stats_from_row_lengths(std::uint64_t rows, std::uint64_t cols,
+                                   const std::vector<std::uint64_t>& lengths);
+
+template <typename V, typename I>
+MatrixStats compute_stats(const CsrMatrix<V, I>& csr) {
+  return stats_from_row_lengths(csr.num_rows, csr.num_cols, row_lengths(csr));
+}
+
+/// One point of the Figure 2 cumulative histogram.
+struct CdfPoint {
+  std::uint64_t row_length = 0;
+  double cumulative_fraction = 0.0;
+};
+
+/// Log-spaced cumulative row-length histogram over non-empty rows.
+std::vector<CdfPoint> cumulative_row_length_histogram(const MatrixStats& stats,
+                                                      std::size_t points = 24);
+
+/// Known structural facts of the paper's full-size matrices (Table I),
+/// used for analytic full-scale model evaluation without materializing 9 GB.
+struct PaperMatrixInfo {
+  std::string name;
+  double rows;
+  double cols;
+  double nnz;
+  double empty_row_fraction;  ///< From Figure 2: ~0.70.
+};
+
+/// The six beams of Table I.
+const std::vector<PaperMatrixInfo>& paper_table1();
+
+}  // namespace pd::sparse

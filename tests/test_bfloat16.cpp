@@ -1,0 +1,89 @@
+// Tests for the bfloat16 storage alternative.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "fp16/bfloat16.hpp"
+#include "fp16/half.hpp"
+
+namespace pd {
+namespace {
+
+TEST(Bfloat16, SizeIsTwoBytes) { EXPECT_EQ(sizeof(Bfloat16), 2u); }
+
+TEST(Bfloat16, ExhaustiveBitRoundTrip) {
+  for (std::uint32_t bits = 0; bits <= 0xffff; ++bits) {
+    const Bfloat16 b = Bfloat16::from_bits(static_cast<std::uint16_t>(bits));
+    if (b.is_nan()) {
+      continue;
+    }
+    EXPECT_EQ(Bfloat16(b.to_float()).bits(), b.bits()) << bits;
+  }
+}
+
+TEST(Bfloat16, KnownValues) {
+  EXPECT_EQ(Bfloat16(1.0f).bits(), 0x3f80);
+  EXPECT_EQ(Bfloat16(-2.0f).bits(), 0xc000);
+  EXPECT_EQ(Bfloat16(0.0f).bits(), 0x0000);
+  EXPECT_TRUE(Bfloat16(0.0f) == Bfloat16(-0.0f));
+}
+
+TEST(Bfloat16, RoundToNearestEven) {
+  // 1 + 2^-8 is halfway between 1.0 and 1 + 2^-7: ties to even (1.0).
+  EXPECT_EQ(Bfloat16(1.0f + std::ldexp(1.0f, -8)).bits(), 0x3f80);
+  // Just above the tie rounds up.
+  EXPECT_EQ(Bfloat16(std::nextafter(1.0f + std::ldexp(1.0f, -8), 2.0f)).bits(),
+            0x3f81);
+  // 1 + 3*2^-8 ties to the even mantissa 0x02.
+  EXPECT_EQ(Bfloat16(1.0f + 3.0f * std::ldexp(1.0f, -8)).bits(), 0x3f82);
+}
+
+TEST(Bfloat16, SpecialsPropagate) {
+  EXPECT_TRUE(Bfloat16(std::numeric_limits<float>::infinity()).is_inf());
+  EXPECT_TRUE(Bfloat16(std::numeric_limits<float>::quiet_NaN()).is_nan());
+  EXPECT_TRUE(std::isinf(std::numeric_limits<Bfloat16>::infinity().to_float()));
+  EXPECT_FALSE(Bfloat16::from_bits(0x7f80).is_nan());
+  // Huge finite floats overflow to inf under RNE.
+  EXPECT_TRUE(Bfloat16(3.4e38f).is_inf());
+}
+
+TEST(Bfloat16, WiderRangeThanHalf) {
+  // bf16 represents 1e20; half overflows at 65504.
+  EXPECT_FALSE(Bfloat16(1e20f).is_inf());
+  EXPECT_TRUE(Half(1e20f).is_inf());
+}
+
+TEST(Bfloat16, CoarserPrecisionThanHalfInDoseRange) {
+  // In the dose-value range the half ulp is 8x finer (10 vs 7 mantissa bits).
+  Rng rng(5);
+  double bf_err = 0.0, half_err = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform(1e-3, 1.0);
+    bf_err = std::max(bf_err, std::fabs(Bfloat16(v).to_double() - v) / v);
+    half_err = std::max(half_err, std::fabs(Half(v).to_double() - v) / v);
+  }
+  EXPECT_GT(bf_err, 4.0 * half_err);
+  EXPECT_LE(bf_err, std::ldexp(1.0, -8) * 1.01);   // 0.5 ulp bound
+  EXPECT_LE(half_err, std::ldexp(1.0, -11) * 1.01);
+}
+
+TEST(Bfloat16, QuantizationWithinHalfUlp) {
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform(1e-4, 1e4);
+    const double q = Bfloat16(v).to_double();
+    EXPECT_LE(std::fabs(q - v), 0.5 * bfloat16_ulp(v) * (1 + 1e-12));
+  }
+}
+
+TEST(Bfloat16, ArithmeticRoundsThroughFloat) {
+  const Bfloat16 a(1.5f), b(2.25f);
+  EXPECT_EQ((a + b).bits(), Bfloat16(3.75f).bits());
+  EXPECT_EQ((a * b).bits(), Bfloat16(1.5f * 2.25f).bits());
+}
+
+}  // namespace
+}  // namespace pd

@@ -1,0 +1,133 @@
+// Tests for the case catalog: the generated matrices must reproduce the
+// structural properties of the paper's Table I / Figure 2 (these are the
+// substitution-fidelity gates promised in DESIGN.md).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "cases/cases.hpp"
+
+namespace pd::cases {
+namespace {
+
+TEST(CaseDefinitions, Catalog) {
+  const CaseDefinition liver = liver_case();
+  EXPECT_EQ(liver.num_beams(), 4u);  // Table I: four liver beams
+  const CaseDefinition prostate = prostate_case();
+  EXPECT_EQ(prostate.num_beams(), 2u);  // two parallel-opposed beams
+  // Parallel opposed means 180 degrees apart.
+  EXPECT_NEAR(std::fabs(prostate.gantry_angles_deg[0] -
+                        prostate.gantry_angles_deg[1]),
+              180.0, 1e-9);
+  EXPECT_THROW(liver_case(0.0), pd::Error);
+}
+
+TEST(CaseDefinitions, ScaleChangesGridSize) {
+  const CaseDefinition small = liver_case(0.125);
+  const CaseDefinition normal = liver_case(1.0);
+  EXPECT_LT(small.nx * small.ny * small.nz, normal.nx * normal.ny * normal.nz);
+}
+
+TEST(CaseDefinitions, UnknownCaseNameThrows) {
+  CaseDefinition def = liver_case();
+  def.name = "lung";
+  EXPECT_THROW(build_phantom(def), pd::Error);
+}
+
+TEST(ScaleFromEnv, ParsesAndValidates) {
+  unsetenv("PROTONDOSE_SCALE");
+  EXPECT_DOUBLE_EQ(scale_from_env(), 1.0);
+  setenv("PROTONDOSE_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(scale_from_env(), 0.5);
+  setenv("PROTONDOSE_SCALE", "-2", 1);
+  EXPECT_THROW(scale_from_env(), pd::Error);
+  unsetenv("PROTONDOSE_SCALE");
+}
+
+/// Shared small-scale generation (0.2 keeps this fast) for the structure
+/// gates below.
+class GeneratedStructure : public ::testing::Test {
+ protected:
+  static const std::vector<BeamDataset>& beams() {
+    static const std::vector<BeamDataset> kBeams = generate_all_beams(0.2);
+    return kBeams;
+  }
+};
+
+TEST_F(GeneratedStructure, SixBeamsInTableOrder) {
+  ASSERT_EQ(beams().size(), 6u);
+  EXPECT_EQ(beams()[0].label, "Liver 1");
+  EXPECT_EQ(beams()[5].label, "Prostate 2");
+  EXPECT_EQ(beams()[0].paper.name, "Liver 1");
+}
+
+TEST_F(GeneratedStructure, RowsVastlyExceedColumns) {
+  // Paper: rows are 40-200x the columns.  The mini cases keep rows >> cols.
+  for (const auto& ds : beams()) {
+    EXPECT_GT(static_cast<double>(ds.stats.rows) /
+                  static_cast<double>(ds.stats.cols),
+              4.0)
+        << ds.label;
+  }
+}
+
+TEST_F(GeneratedStructure, DensityInTheClinicalBand) {
+  // Paper: 0.6% - 2%.  Allow a wider band at mini scale.
+  for (const auto& ds : beams()) {
+    EXPECT_GT(ds.stats.density, 0.002) << ds.label;
+    EXPECT_LT(ds.stats.density, 0.06) << ds.label;
+  }
+}
+
+TEST_F(GeneratedStructure, MostRowsAreEmpty) {
+  // Paper Figure 2: ~70% of rows have length 0.  At the reduced test scale
+  // (0.2) the fixed-size pencil width covers relatively more of the grid, so
+  // the band is wider than at the default scale.
+  for (const auto& ds : beams()) {
+    EXPECT_GT(ds.stats.empty_row_fraction, 0.40) << ds.label;
+    EXPECT_LT(ds.stats.empty_row_fraction, 0.93) << ds.label;
+  }
+}
+
+TEST_F(GeneratedStructure, RowLengthsAreHeavyTailed) {
+  for (const auto& ds : beams()) {
+    EXPECT_GT(ds.stats.row_skew, 2.0) << ds.label;  // max >> mean
+  }
+}
+
+TEST_F(GeneratedStructure, ProstateHasMoreSubWarpRowsThanLiver) {
+  // Paper: 5.6% (liver) vs 14.2% (prostate) of non-empty rows below one warp.
+  const double liver = beams()[0].stats.frac_nonempty_below_warp;
+  const double prostate = beams()[4].stats.frac_nonempty_below_warp;
+  EXPECT_GT(prostate, liver);
+}
+
+TEST_F(GeneratedStructure, LiverRowsLongerOnAverage) {
+  EXPECT_GT(beams()[0].stats.mean_nnz_per_nonempty_row,
+            beams()[4].stats.mean_nnz_per_nonempty_row);
+}
+
+TEST_F(GeneratedStructure, ValuesAreNonNegative) {
+  for (const auto& ds : beams()) {
+    for (const double v : ds.beam.matrix.values) {
+      EXPECT_GE(v, 0.0);
+    }
+  }
+}
+
+TEST_F(GeneratedStructure, BeamsOfACaseDiffer) {
+  // Different gantry angles -> different matrices (different nnz patterns).
+  EXPECT_NE(beams()[0].beam.matrix.col_idx, beams()[1].beam.matrix.col_idx);
+}
+
+TEST_F(GeneratedStructure, LiverLargerThanProstate) {
+  // Table I: liver matrices dwarf prostate matrices.
+  EXPECT_GT(beams()[0].stats.nnz, 4 * beams()[4].stats.nnz);
+  EXPECT_GT(beams()[0].stats.rows, 2 * beams()[4].stats.rows);
+  EXPECT_GT(beams()[0].stats.cols, 4 * beams()[4].stats.cols);
+}
+
+}  // namespace
+}  // namespace pd::cases

@@ -1,0 +1,322 @@
+// Tests for src/common: RNG determinism and distributions, descriptive
+// statistics, text tables, CSV escaping, CLI parsing, unit conversions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace pd {
+namespace {
+
+// --- Rng -------------------------------------------------------------------
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += (a.next_u64() == b.next_u64());
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformEmptyIntervalThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), Error);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(3);
+  for (std::uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform_index(n), n);
+    }
+  }
+}
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(11);
+  std::array<int, 5> seen{};
+  for (int i = 0; i < 1000; ++i) {
+    seen[rng.uniform_index(5)]++;
+  }
+  for (const int count : seen) {
+    EXPECT_GT(count, 100);  // roughly uniform
+  }
+}
+
+TEST(Rng, NormalMomentsPlausible) {
+  Rng rng(99);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.normal(10.0, 0.5);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng a(5);
+  Rng fork = a.fork();
+  const std::uint64_t fork_first = fork.next_u64();
+  // Forking again from the same parent state gives a different stream.
+  Rng b(5);
+  (void)b.fork();
+  Rng fork2 = b.fork();
+  EXPECT_NE(fork_first, fork2.next_u64());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  rng.shuffle(v.data(), v.size());
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitMix64IsDeterministic) {
+  std::uint64_t s1 = 123, s2 = 123;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+// --- stats -----------------------------------------------------------------
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+}
+
+TEST(Stats, PercentileErrors) {
+  EXPECT_THROW(percentile({}, 50.0), Error);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, -1.0), Error);
+  EXPECT_THROW(percentile(v, 101.0), Error);
+}
+
+TEST(Stats, HistogramBinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-3.0);   // clamped to bin 0
+  h.add(42.0);   // clamped to bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Stats, HistogramCumulative) {
+  Histogram h(0.0, 4.0, 4);
+  h.add_count(0.5, 1);
+  h.add_count(1.5, 1);
+  h.add_count(2.5, 2);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(2), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 2.0);
+}
+
+TEST(Stats, HistogramInvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(Stats, EmpiricalCdf) {
+  const std::vector<std::uint64_t> sorted{1, 2, 2, 5, 9};
+  EXPECT_DOUBLE_EQ(empirical_cdf(sorted, 0), 0.0);
+  EXPECT_DOUBLE_EQ(empirical_cdf(sorted, 2), 0.6);
+  EXPECT_DOUBLE_EQ(empirical_cdf(sorted, 9), 1.0);
+  EXPECT_DOUBLE_EQ(empirical_cdf({}, 5), 0.0);
+}
+
+// --- table / csv -----------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"a", "long_header"});
+  t.add_row({"xxxx", "1"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("a     "), std::string::npos);
+  EXPECT_NE(s.find("xxxx"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.123, 1), "12.3%");
+  EXPECT_EQ(fmt_bytes(1024.0), "1.00 KiB");
+  EXPECT_EQ(fmt_bytes(512.0), "512 B");
+  EXPECT_NE(fmt_sci(12345.0, 2).find("e"), std::string::npos);
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b,c"});
+  EXPECT_EQ(os.str(), "a,\"b,c\"\n");
+}
+
+// --- cli -------------------------------------------------------------------
+
+TEST(Cli, ParsesOptionsAndFlags) {
+  CliParser cli("prog", "test");
+  cli.add_option("scale", "1.0", "scale");
+  cli.add_flag("verbose", "verbosity");
+  const char* argv[] = {"prog", "--scale", "2.5", "--verbose"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 2.5);
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, EqualsSyntaxAndDefaults) {
+  CliParser cli("prog", "test");
+  cli.add_option("n", "7", "count");
+  const char* argv[] = {"prog", "--n=9"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_int("n"), 9);
+
+  CliParser cli2("prog", "test");
+  cli2.add_option("n", "7", "count");
+  const char* argv2[] = {"prog"};
+  ASSERT_TRUE(cli2.parse(1, argv2));
+  EXPECT_EQ(cli2.get_int("n"), 7);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(cli.parse(3, argv), Error);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliParser cli("prog", "test");
+  cli.add_option("n", "7", "count");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(Cli, NonNumericValueThrows) {
+  CliParser cli("prog", "test");
+  cli.add_option("n", "7", "count");
+  const char* argv[] = {"prog", "--n", "abc"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW(cli.get_int("n"), Error);
+  EXPECT_THROW(cli.get_double("n"), Error);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+// --- units -----------------------------------------------------------------
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(gbytes_per_sec(2e9, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(gflops_per_sec(4e9, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(operational_intensity(2.0, 8.0), 0.25);
+  EXPECT_DOUBLE_EQ(seconds_for_bytes(1e9, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(seconds_for_flops(1e9, 1.0), 1.0);
+}
+
+TEST(Units, GuardsAgainstNonPositive) {
+  EXPECT_THROW(gbytes_per_sec(1.0, 0.0), Error);
+  EXPECT_THROW(operational_intensity(1.0, 0.0), Error);
+  EXPECT_THROW(seconds_for_bytes(1.0, 0.0), Error);
+}
+
+// --- error -----------------------------------------------------------------
+
+TEST(ErrorMacros, CheckCarriesContext) {
+  try {
+    PD_CHECK_MSG(false, "details here");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("details here"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pd

@@ -1,0 +1,113 @@
+// Tests for dose-volume histograms and plan-quality indices.
+
+#include <gtest/gtest.h>
+
+#include "opt/dvh.hpp"
+#include "phantom/phantom.hpp"
+
+namespace pd::opt {
+namespace {
+
+TEST(Dvh, VolumeAtDoseStepFunction) {
+  const Dvh dvh = Dvh::from_doses({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(dvh.volume_at_dose(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dvh.volume_at_dose(1.0), 1.0);   // >= 1.0: all
+  EXPECT_DOUBLE_EQ(dvh.volume_at_dose(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(dvh.volume_at_dose(4.0), 0.25);
+  EXPECT_DOUBLE_EQ(dvh.volume_at_dose(4.1), 0.0);
+}
+
+TEST(Dvh, DoseAtVolumeQuantiles) {
+  const Dvh dvh = Dvh::from_doses({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(dvh.dose_at_volume(1.0), 10.0);   // whole volume: min dose
+  EXPECT_DOUBLE_EQ(dvh.dose_at_volume(0.0), 50.0);   // hottest sliver: max
+  // Hottest 40% of five voxels is exactly {40, 50}: D40 = 40.
+  EXPECT_DOUBLE_EQ(dvh.dose_at_volume(0.4), 40.0);
+  EXPECT_DOUBLE_EQ(dvh.dose_at_volume(0.6), 30.0);
+  EXPECT_THROW(dvh.dose_at_volume(-0.1), pd::Error);
+  EXPECT_THROW(dvh.dose_at_volume(1.1), pd::Error);
+}
+
+TEST(Dvh, SummaryStatistics) {
+  const Dvh dvh = Dvh::from_doses({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(dvh.min_dose(), 1.0);
+  EXPECT_DOUBLE_EQ(dvh.max_dose(), 3.0);
+  EXPECT_DOUBLE_EQ(dvh.mean_dose(), 2.0);
+  EXPECT_EQ(dvh.voxel_count(), 3u);
+  EXPECT_THROW(Dvh::from_doses({}), pd::Error);
+}
+
+TEST(Dvh, CurveIsMonotoneNonIncreasing) {
+  const Dvh dvh = Dvh::from_doses({0.5, 1.0, 1.5, 2.0, 5.0, 5.5});
+  const auto curve = dvh.curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  EXPECT_DOUBLE_EQ(curve.front().volume_fraction, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].volume_fraction, curve[i - 1].volume_fraction);
+    EXPECT_GT(curve[i].dose, curve[i - 1].dose);
+  }
+  EXPECT_THROW(dvh.curve(1), pd::Error);
+}
+
+TEST(Dvh, ForRoiSelectsStructureVoxels) {
+  phantom::Phantom p(phantom::VoxelGrid(4, 4, 4, 5.0), "t");
+  p.fill_background(phantom::Roi::kTissue, 1.0);
+  p.paint(phantom::Ellipsoid{p.grid().grid_center(), {6.0, 6.0, 6.0}},
+          phantom::Roi::kTarget, 1.0);
+  std::vector<double> dose(p.grid().num_voxels(), 1.0);
+  for (const auto v : p.voxels_with_roi(phantom::Roi::kTarget)) {
+    dose[v] = 10.0;
+  }
+  const Dvh target = Dvh::for_roi(p, phantom::Roi::kTarget, dose);
+  EXPECT_DOUBLE_EQ(target.min_dose(), 10.0);
+  const Dvh tissue = Dvh::for_roi(p, phantom::Roi::kTissue, dose);
+  EXPECT_DOUBLE_EQ(tissue.max_dose(), 1.0);
+  std::vector<double> wrong(3);
+  EXPECT_THROW(Dvh::for_roi(p, phantom::Roi::kTarget, wrong), pd::Error);
+}
+
+TEST(HomogeneityIndex, ZeroForPerfectlyUniformDose) {
+  const Dvh uniform = Dvh::from_doses(std::vector<double>(100, 60.0));
+  EXPECT_DOUBLE_EQ(homogeneity_index(uniform), 0.0);
+}
+
+TEST(HomogeneityIndex, GrowsWithSpread) {
+  std::vector<double> tight, loose;
+  for (int i = 0; i < 100; ++i) {
+    tight.push_back(60.0 + 0.01 * i);
+    loose.push_back(50.0 + 0.2 * i);
+  }
+  EXPECT_LT(homogeneity_index(Dvh::from_doses(tight)),
+            homogeneity_index(Dvh::from_doses(loose)));
+}
+
+TEST(ConformityIndex, PerfectPlanScoresOne) {
+  phantom::Phantom p(phantom::VoxelGrid(6, 6, 6, 5.0), "t");
+  p.fill_background(phantom::Roi::kTissue, 1.0);
+  p.paint(phantom::Ellipsoid{p.grid().grid_center(), {8.0, 8.0, 8.0}},
+          phantom::Roi::kTarget, 1.0);
+  std::vector<double> dose(p.grid().num_voxels(), 0.0);
+  for (const auto v : p.voxels_with_roi(phantom::Roi::kTarget)) {
+    dose[v] = 60.0;
+  }
+  EXPECT_DOUBLE_EQ(conformity_index(p, dose, 60.0), 1.0);
+}
+
+TEST(ConformityIndex, SpillageLowersTheScore) {
+  phantom::Phantom p(phantom::VoxelGrid(6, 6, 6, 5.0), "t");
+  p.fill_background(phantom::Roi::kTissue, 1.0);
+  p.paint(phantom::Ellipsoid{p.grid().grid_center(), {8.0, 8.0, 8.0}},
+          phantom::Roi::kTarget, 1.0);
+  // Everything gets the prescription: terrible conformity.
+  std::vector<double> dose(p.grid().num_voxels(), 60.0);
+  const double ci = conformity_index(p, dose, 60.0);
+  EXPECT_GT(ci, 0.0);
+  EXPECT_LT(ci, 0.3);
+  // Nothing reaches the prescription: zero.
+  std::vector<double> cold(p.grid().num_voxels(), 1.0);
+  EXPECT_DOUBLE_EQ(conformity_index(p, cold, 60.0), 0.0);
+  EXPECT_THROW(conformity_index(p, dose, 0.0), pd::Error);
+}
+
+}  // namespace
+}  // namespace pd::opt

@@ -1,0 +1,178 @@
+// Tests for the software binary16 implementation: exhaustive round-trips,
+// round-to-nearest-even cases, specials, arithmetic, and the quantization
+// bound the dose matrices rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "fp16/half.hpp"
+
+namespace pd {
+namespace {
+
+TEST(Half, SizeIsTwoBytes) { EXPECT_EQ(sizeof(Half), 2u); }
+
+TEST(Half, ExhaustiveBitRoundTrip) {
+  // Every non-NaN binary16 value must survive half -> float -> half exactly.
+  int checked = 0;
+  for (std::uint32_t bits = 0; bits <= 0xffff; ++bits) {
+    const Half h = Half::from_bits(static_cast<std::uint16_t>(bits));
+    if (h.is_nan()) {
+      continue;
+    }
+    const Half back(h.to_float());
+    EXPECT_EQ(back.bits(), h.bits()) << "bits=" << bits;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 65536 - 2 * 1023);  // 2 * 1023 NaN payloads excluded
+}
+
+TEST(Half, ExhaustiveDoubleRoundTrip) {
+  for (std::uint32_t bits = 0; bits <= 0xffff; ++bits) {
+    const Half h = Half::from_bits(static_cast<std::uint16_t>(bits));
+    if (h.is_nan()) {
+      continue;
+    }
+    EXPECT_EQ(Half(h.to_double()).bits(), h.bits());
+  }
+}
+
+TEST(Half, KnownValues) {
+  EXPECT_EQ(Half(1.0f).bits(), 0x3c00);
+  EXPECT_EQ(Half(-2.0f).bits(), 0xc000);
+  EXPECT_EQ(Half(0.5f).bits(), 0x3800);
+  EXPECT_EQ(Half(65504.0f).bits(), 0x7bff);  // max finite
+  EXPECT_EQ(Half(0.0f).bits(), 0x0000);
+  EXPECT_EQ(Half(-0.0f).bits(), 0x8000);
+  EXPECT_FLOAT_EQ(Half::from_bits(0x3555).to_float(), 0.33325195f);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half; RNE keeps
+  // the even mantissa (1.0).
+  EXPECT_EQ(Half(1.0f + std::ldexp(1.0f, -11)).bits(), 0x3c00);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds to even
+  // mantissa 0x002 (1 + 2^-9).
+  EXPECT_EQ(Half(1.0f + 3.0f * std::ldexp(1.0f, -11)).bits(), 0x3c02);
+  // Just above halfway (one binary32 ulp past the tie) rounds up.
+  EXPECT_EQ(Half(std::nextafter(1.0f + std::ldexp(1.0f, -11), 2.0f)).bits(),
+            0x3c01);
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(Half(65520.0f).is_inf());   // rounds up past max finite
+  EXPECT_TRUE(Half(1e10f).is_inf());
+  EXPECT_TRUE(Half(-1e10f).is_inf());
+  EXPECT_TRUE(Half(-1e10f).signbit());
+  EXPECT_EQ(Half(65519.0f).bits(), 0x7bff);  // just below the rounding cut
+}
+
+TEST(Half, SubnormalsRepresented) {
+  const float min_sub = std::ldexp(1.0f, -24);
+  EXPECT_EQ(Half(min_sub).bits(), 0x0001);
+  EXPECT_TRUE(Half(min_sub).is_subnormal());
+  // Below half of the smallest subnormal: flush to zero by RNE.
+  EXPECT_EQ(Half(std::ldexp(1.0f, -26)).bits(), 0x0000);
+  // Subnormal round-trips exactly.
+  EXPECT_FLOAT_EQ(Half::from_bits(0x0001).to_float(), min_sub);
+  EXPECT_FLOAT_EQ(Half::from_bits(0x03ff).to_float(),
+                  1023.0f * std::ldexp(1.0f, -24));
+}
+
+TEST(Half, SubnormalRoundsUpToNormal) {
+  // Largest subnormal + half a step rounds into the smallest normal.
+  const float just_below_normal = std::ldexp(1.0f, -14) * 0.99999f;
+  EXPECT_EQ(Half(just_below_normal).bits(), 0x0400);
+}
+
+TEST(Half, NanAndInfPropagate) {
+  EXPECT_TRUE(Half(std::numeric_limits<float>::quiet_NaN()).is_nan());
+  EXPECT_TRUE(Half(std::numeric_limits<float>::infinity()).is_inf());
+  EXPECT_TRUE(std::isnan(Half::quiet_nan().to_float()));
+  EXPECT_TRUE(std::isinf(Half::infinity().to_float()));
+  EXPECT_FALSE(Half::infinity().is_nan());
+  EXPECT_FALSE(Half::quiet_nan().is_inf());
+}
+
+TEST(Half, ComparisonSemantics) {
+  using namespace pd::literals;
+  EXPECT_TRUE(1.0_h < 2.0_h);
+  EXPECT_TRUE(2.0_h >= 2.0_h);
+  EXPECT_TRUE(Half(0.0f) == Half(-0.0f));  // signed zeros compare equal
+  EXPECT_FALSE(Half::quiet_nan() == Half::quiet_nan());
+  EXPECT_TRUE(Half::quiet_nan() != Half::quiet_nan());
+  EXPECT_FALSE(Half::quiet_nan() < 1.0_h);
+}
+
+TEST(Half, ArithmeticMatchesFloat) {
+  Rng rng(1234);
+  for (int i = 0; i < 2000; ++i) {
+    const Half a(rng.uniform(-100.0, 100.0));
+    const Half b(rng.uniform(-100.0, 100.0));
+    EXPECT_EQ((a + b).bits(), Half(a.to_float() + b.to_float()).bits());
+    EXPECT_EQ((a * b).bits(), Half(a.to_float() * b.to_float()).bits());
+    EXPECT_EQ((a - b).bits(), Half(a.to_float() - b.to_float()).bits());
+  }
+}
+
+TEST(Half, CompoundAssignment) {
+  Half a(2.0f);
+  a += Half(3.0f);
+  EXPECT_FLOAT_EQ(a.to_float(), 5.0f);
+  a *= Half(2.0f);
+  EXPECT_FLOAT_EQ(a.to_float(), 10.0f);
+  a -= Half(4.0f);
+  EXPECT_FLOAT_EQ(a.to_float(), 6.0f);
+  a /= Half(3.0f);
+  EXPECT_FLOAT_EQ(a.to_float(), 2.0f);
+}
+
+TEST(Half, NegationFlipsSignOnly) {
+  EXPECT_EQ((-Half(1.5f)).bits(), Half(-1.5f).bits());
+  EXPECT_TRUE((-Half::zero()).signbit());
+}
+
+TEST(Half, QuantizationErrorBound) {
+  // Rounding any double to half must land within half_ulp/2 — this is the
+  // bound the mixed-precision dose calculation inherits.
+  Rng rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform(1e-4, 60000.0);
+    const double q = Half(v).to_double();
+    EXPECT_LE(std::fabs(q - v), 0.5 * half_ulp(v) * (1.0 + 1e-12)) << v;
+  }
+}
+
+TEST(Half, UlpValues) {
+  EXPECT_DOUBLE_EQ(half_ulp(1.0), std::ldexp(1.0, -10));
+  EXPECT_DOUBLE_EQ(half_ulp(2.0), std::ldexp(1.0, -9));
+  EXPECT_DOUBLE_EQ(half_ulp(1e-6), std::ldexp(1.0, -24));  // subnormal region
+}
+
+TEST(Half, NumericLimits) {
+  using L = std::numeric_limits<Half>;
+  EXPECT_TRUE(L::is_specialized);
+  EXPECT_EQ(L::max().bits(), 0x7bff);
+  EXPECT_EQ(L::min().bits(), 0x0400);
+  EXPECT_EQ(L::lowest().bits(), 0xfbff);
+  EXPECT_FLOAT_EQ(L::epsilon().to_float(), std::ldexp(1.0f, -10));
+  EXPECT_EQ(L::digits, 11);
+}
+
+TEST(Half, StreamOutput) {
+  std::ostringstream os;
+  os << Half(1.5f);
+  EXPECT_EQ(os.str(), "1.5");
+}
+
+TEST(Half, IntConstructor) {
+  EXPECT_EQ(Half(3).bits(), Half(3.0f).bits());
+  EXPECT_EQ(Half(-7).bits(), Half(-7.0f).bits());
+}
+
+}  // namespace
+}  // namespace pd

@@ -1,0 +1,117 @@
+// Tests for the gamma-analysis dose comparison.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "opt/gamma.hpp"
+
+namespace pd::opt {
+namespace {
+
+phantom::VoxelGrid grid() { return phantom::VoxelGrid(12, 12, 12, 2.0); }
+
+std::vector<double> gaussian_dose(const phantom::VoxelGrid& g,
+                                  double shift_mm = 0.0) {
+  std::vector<double> dose(g.num_voxels());
+  const auto c = g.grid_center();
+  for (std::uint64_t v = 0; v < g.num_voxels(); ++v) {
+    const auto p = g.voxel_center(g.from_linear(v));
+    const double dx = p.x - c.x - shift_mm;
+    const double dy = p.y - c.y;
+    const double dz = p.z - c.z;
+    dose[v] = 10.0 * std::exp(-(dx * dx + dy * dy + dz * dz) / 50.0);
+  }
+  return dose;
+}
+
+TEST(Gamma, IdenticalDosesPassEverywhere) {
+  const auto g = grid();
+  const auto dose = gaussian_dose(g);
+  const GammaResult r = gamma_analysis(g, dose, dose);
+  EXPECT_GT(r.evaluated, 0u);
+  EXPECT_DOUBLE_EQ(r.pass_rate, 1.0);
+  EXPECT_DOUBLE_EQ(r.max_gamma, 0.0);
+}
+
+TEST(Gamma, SmallDosePerturbationWithinTolerancePasses) {
+  const auto g = grid();
+  const auto ref = gaussian_dose(g);
+  auto eval = ref;
+  for (auto& d : eval) {
+    d *= 1.005;  // 0.5% scaling, within the 1% criterion
+  }
+  const GammaResult r = gamma_analysis(g, ref, eval);
+  EXPECT_DOUBLE_EQ(r.pass_rate, 1.0);
+  EXPECT_GT(r.mean_gamma, 0.0);
+}
+
+TEST(Gamma, LargeDoseErrorFails) {
+  const auto g = grid();
+  const auto ref = gaussian_dose(g);
+  auto eval = ref;
+  for (auto& d : eval) {
+    d *= 1.10;  // 10% error >> 1% tolerance, cannot be rescued by DTA
+  }
+  const GammaResult r = gamma_analysis(g, ref, eval);
+  EXPECT_LT(r.pass_rate, 0.5);
+  EXPECT_DOUBLE_EQ(r.max_gamma, 2.0);  // capped
+}
+
+TEST(Gamma, SpatialShiftWithinDtaPasses) {
+  const auto g = grid();
+  const auto ref = gaussian_dose(g);
+  // Shift by exactly one voxel (2 mm); DTA 3 mm should absorb it.
+  const auto eval = gaussian_dose(g, 2.0);
+  GammaCriteria loose;
+  loose.dose_tolerance_fraction = 0.02;
+  loose.distance_tolerance_mm = 3.0;
+  const GammaResult r = gamma_analysis(g, ref, eval, loose);
+  EXPECT_GT(r.pass_rate, 0.97);
+
+  // The same shift fails a tight 0.5% / 0.5 mm criterion.
+  GammaCriteria tight;
+  tight.dose_tolerance_fraction = 0.005;
+  tight.distance_tolerance_mm = 0.5;
+  const GammaResult tight_r = gamma_analysis(g, ref, eval, tight);
+  EXPECT_LT(tight_r.pass_rate, r.pass_rate);
+}
+
+TEST(Gamma, LowDoseVoxelsAreSkipped) {
+  const auto g = grid();
+  std::vector<double> ref(g.num_voxels(), 0.01);  // 0.1% of norm everywhere
+  ref[0] = 10.0;  // one hot voxel defines the norm
+  std::vector<double> eval = ref;
+  eval[5] = 0.02;  // large *relative* change in a low-dose voxel: ignored
+  const GammaResult r = gamma_analysis(g, ref, eval);
+  EXPECT_EQ(r.evaluated, 1u);  // only the hot voxel is above 10% threshold
+  EXPECT_DOUBLE_EQ(r.pass_rate, 1.0);
+}
+
+TEST(Gamma, ValidatesInputs) {
+  const auto g = grid();
+  const auto dose = gaussian_dose(g);
+  std::vector<double> wrong(3);
+  EXPECT_THROW(gamma_analysis(g, wrong, dose), pd::Error);
+  EXPECT_THROW(gamma_analysis(g, dose, wrong), pd::Error);
+  GammaCriteria bad;
+  bad.dose_tolerance_fraction = 0.0;
+  EXPECT_THROW(gamma_analysis(g, dose, dose, bad), pd::Error);
+  const std::vector<double> zeros(g.num_voxels(), 0.0);
+  EXPECT_THROW(gamma_analysis(g, zeros, zeros), pd::Error);
+}
+
+TEST(Gamma, ExplicitNormOverridesReferenceMax) {
+  const auto g = grid();
+  const auto ref = gaussian_dose(g);
+  auto eval = ref;
+  for (auto& d : eval) d += 0.05;  // 0.5% of 10 everywhere
+  // With norm = 10 the difference is 0.5% -> passes at 1%.
+  EXPECT_DOUBLE_EQ(gamma_analysis(g, ref, eval, {}, 10.0).pass_rate, 1.0);
+  // With norm = 1 the same difference is 5% -> fails at 1%.
+  EXPECT_LT(gamma_analysis(g, ref, eval, {}, 1.0).pass_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace pd::opt

@@ -1,0 +1,212 @@
+// Tests for the L2 sector-cache model and the warp coalescer: hit/miss
+// accounting, LRU eviction, write-back behaviour, and Nsight-style counters.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "gpusim/memory.hpp"
+
+namespace pd::gpusim {
+namespace {
+
+constexpr unsigned kSector = DeviceSpec::kSectorBytes;
+
+TEST(CacheModel, ColdMissThenHit) {
+  CacheModel cache(1024 * kSector, 4);
+  TrafficCounters tc;
+  EXPECT_FALSE(cache.access(100, false, tc));
+  EXPECT_TRUE(cache.access(100, false, tc));
+  EXPECT_EQ(tc.dram_read_bytes, kSector);
+  EXPECT_EQ(tc.l2_read_sectors, 2u);
+  EXPECT_EQ(tc.l2_read_hits, 1u);
+}
+
+TEST(CacheModel, LruEvictionWithinSet) {
+  // 2-way cache with 4 sets: sectors 0, 4, 8 all map to set 0.
+  CacheModel cache(8 * kSector, 2);
+  ASSERT_EQ(cache.sets(), 4u);
+  TrafficCounters tc;
+  cache.access(0, false, tc);
+  cache.access(4, false, tc);
+  cache.access(0, false, tc);   // touch 0 -> 4 becomes LRU
+  cache.access(8, false, tc);   // evicts 4
+  EXPECT_TRUE(cache.access(0, false, tc));
+  EXPECT_FALSE(cache.access(4, false, tc));  // was evicted
+}
+
+TEST(CacheModel, WriteBackOnDirtyEviction) {
+  CacheModel cache(8 * kSector, 2);
+  TrafficCounters tc;
+  cache.access(0, true, tc);  // dirty
+  cache.access(4, false, tc);
+  cache.access(8, false, tc);   // evicts dirty line 0
+  EXPECT_EQ(tc.dram_write_bytes, kSector);
+}
+
+TEST(CacheModel, CleanEvictionWritesNothing) {
+  CacheModel cache(8 * kSector, 2);
+  TrafficCounters tc;
+  cache.access(0, false, tc);
+  cache.access(4, false, tc);
+  cache.access(8, false, tc);
+  EXPECT_EQ(tc.dram_write_bytes, 0u);
+}
+
+TEST(CacheModel, FlushWritesDirtyOnce) {
+  CacheModel cache(1024 * kSector, 4);
+  TrafficCounters tc;
+  cache.access(1, true, tc);
+  cache.access(2, true, tc);
+  cache.access(3, false, tc);
+  cache.flush_dirty(tc);
+  EXPECT_EQ(tc.dram_write_bytes, 2 * kSector);
+  cache.flush_dirty(tc);  // idempotent
+  EXPECT_EQ(tc.dram_write_bytes, 2 * kSector);
+}
+
+TEST(CacheModel, InvalidateForgetsEverything) {
+  CacheModel cache(1024 * kSector, 4);
+  TrafficCounters tc;
+  cache.access(9, false, tc);
+  cache.invalidate();
+  EXPECT_FALSE(cache.access(9, false, tc));
+}
+
+TEST(CacheModel, RejectsDegenerateGeometry) {
+  EXPECT_THROW(CacheModel(0, 4), pd::Error);
+  EXPECT_THROW(CacheModel(kSector, 0), pd::Error);
+}
+
+TEST(MemoryModel, PerfectlyCoalescedWarpLoad) {
+  // 32 lanes x 4 bytes contiguous = 128 bytes = 4 sectors, one request.
+  MemoryModel mem(make_a100());
+  mem.begin_kernel();
+  alignas(64) static float data[32];
+  Lanes<std::uint64_t> addr;
+  for (unsigned i = 0; i < kWarpSize; ++i) {
+    addr[i] = reinterpret_cast<std::uint64_t>(&data[i]);
+  }
+  mem.warp_access(addr, sizeof(float), kFullMask, false);
+  const TrafficCounters tc = mem.counters();
+  EXPECT_EQ(tc.warp_requests, 1u);
+  EXPECT_EQ(tc.sectors_requested, 4u);
+  EXPECT_DOUBLE_EQ(tc.sectors_per_request(), 4.0);
+}
+
+TEST(MemoryModel, ScatteredGatherTouchesManySectors) {
+  MemoryModel mem(make_a100());
+  mem.begin_kernel();
+  alignas(32) static double data[32 * 64];
+  Lanes<std::uint64_t> addr;
+  for (unsigned i = 0; i < kWarpSize; ++i) {
+    addr[i] = reinterpret_cast<std::uint64_t>(&data[i * 64]);  // 512B stride
+  }
+  mem.warp_access(addr, sizeof(double), kFullMask, false);
+  EXPECT_EQ(mem.counters().sectors_requested, 32u);  // fully uncoalesced
+}
+
+TEST(MemoryModel, DuplicateLaneAddressesCoalesceToOneSector) {
+  MemoryModel mem(make_a100());
+  mem.begin_kernel();
+  alignas(32) static double one;
+  Lanes<std::uint64_t> addr;
+  for (unsigned i = 0; i < kWarpSize; ++i) {
+    addr[i] = reinterpret_cast<std::uint64_t>(&one);
+  }
+  mem.warp_access(addr, sizeof(double), kFullMask, false);
+  EXPECT_EQ(mem.counters().sectors_requested, 1u);
+}
+
+TEST(MemoryModel, MaskedLanesDoNotTouchMemory) {
+  MemoryModel mem(make_a100());
+  mem.begin_kernel();
+  alignas(32) static float data[32];
+  Lanes<std::uint64_t> addr;
+  for (unsigned i = 0; i < kWarpSize; ++i) {
+    addr[i] = reinterpret_cast<std::uint64_t>(&data[i]);
+  }
+  mem.warp_access(addr, sizeof(float), 0u, false);
+  EXPECT_EQ(mem.counters().warp_requests, 0u);
+  EXPECT_EQ(mem.counters().sectors_requested, 0u);
+}
+
+TEST(MemoryModel, StraddlingLaneCountsBothSectors) {
+  MemoryModel mem(make_a100());
+  mem.begin_kernel();
+  alignas(32) static std::uint8_t buf[128];
+  Lanes<std::uint64_t> addr;
+  // One active lane reading 8 bytes across a 32B boundary.
+  addr[0] = reinterpret_cast<std::uint64_t>(&buf[28]);
+  mem.warp_access(addr, 8, 0x1u, false);
+  EXPECT_EQ(mem.counters().sectors_requested, 2u);
+}
+
+TEST(MemoryModel, AtomicCountsRmwAndOp) {
+  MemoryModel mem(make_a100());
+  mem.begin_kernel();
+  alignas(32) static double cell;
+  mem.atomic_access(reinterpret_cast<std::uint64_t>(&cell), sizeof(double));
+  const TrafficCounters tc = mem.counters();
+  EXPECT_EQ(tc.l2_atomic_ops, 1u);
+  EXPECT_EQ(tc.l2_read_sectors, 1u);
+  EXPECT_EQ(tc.l2_write_sectors, 1u);
+}
+
+TEST(MemoryModel, EndKernelFlushesDirtyToDram) {
+  MemoryModel mem(make_a100());
+  mem.begin_kernel();
+  alignas(32) static double cell;
+  mem.scalar_access(reinterpret_cast<std::uint64_t>(&cell), sizeof(double), true);
+  const TrafficCounters tc = mem.end_kernel();
+  // write-allocate read + final writeback
+  EXPECT_EQ(tc.dram_read_bytes, kSector);
+  EXPECT_EQ(tc.dram_write_bytes, kSector);
+}
+
+TEST(MemoryModel, StreamingLargeArrayMissesEveryLine) {
+  // An array bigger than L2 touched twice: the second pass gets no reuse —
+  // the regime the paper's 9 GB matrices live in.
+  DeviceSpec tiny = make_a100();
+  tiny.l2_bytes = 64 * kSector;  // 2 KiB cache
+  MemoryModel mem(tiny);
+  mem.begin_kernel();
+  alignas(32) static std::uint8_t big[8192];
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t off = 0; off < sizeof(big); off += kSector) {
+      mem.scalar_access(reinterpret_cast<std::uint64_t>(&big[off]), 4, false);
+    }
+  }
+  const TrafficCounters tc = mem.counters();
+  EXPECT_EQ(tc.dram_read_bytes, 2 * sizeof(big));
+  EXPECT_EQ(tc.l2_read_hits, 0u);
+}
+
+TEST(MemoryModel, SmallArrayIsCacheResident) {
+  // The input vector regime: second pass is all hits.
+  MemoryModel mem(make_a100());
+  mem.begin_kernel();
+  alignas(32) static std::uint8_t small[4096];
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t off = 0; off < sizeof(small); off += kSector) {
+      mem.scalar_access(reinterpret_cast<std::uint64_t>(&small[off]), 4, false);
+    }
+  }
+  const TrafficCounters tc = mem.counters();
+  EXPECT_EQ(tc.dram_read_bytes, sizeof(small));
+  EXPECT_EQ(tc.l2_read_hits, sizeof(small) / kSector);
+}
+
+TEST(TrafficCounters, Accumulate) {
+  TrafficCounters a, b;
+  a.dram_read_bytes = 10;
+  a.warp_requests = 1;
+  b.dram_read_bytes = 5;
+  b.sectors_requested = 3;
+  a += b;
+  EXPECT_EQ(a.dram_read_bytes, 15u);
+  EXPECT_EQ(a.sectors_requested, 3u);
+  EXPECT_EQ(a.dram_bytes(), 15u);
+}
+
+}  // namespace
+}  // namespace pd::gpusim

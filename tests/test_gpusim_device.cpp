@@ -1,0 +1,95 @@
+// Tests for device descriptors and the occupancy calculator.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gpusim/device.hpp"
+
+namespace pd::gpusim {
+namespace {
+
+TEST(DeviceSpecs, PublishedNumbers) {
+  const DeviceSpec a100 = make_a100();
+  EXPECT_EQ(a100.name, "A100");
+  EXPECT_DOUBLE_EQ(a100.peak_bw_gbs, 1555.0);      // paper §V-B
+  EXPECT_DOUBLE_EQ(a100.peak_fp64_gflops, 9700.0); // paper §I: ~9.4-9.7 TF
+  EXPECT_EQ(a100.l2_bytes, 40ull * 1024 * 1024);   // paper §IV: 40 MB
+  EXPECT_EQ(a100.num_sms, 108u);
+
+  const DeviceSpec v100 = make_v100();
+  EXPECT_DOUBLE_EQ(v100.peak_bw_gbs, 897.0);
+  EXPECT_EQ(v100.l2_bytes, 6ull * 1024 * 1024);
+
+  const DeviceSpec p100 = make_p100();
+  EXPECT_DOUBLE_EQ(p100.peak_bw_gbs, 732.0);
+  EXPECT_EQ(p100.l2_bytes, 4ull * 1024 * 1024);
+}
+
+TEST(DeviceSpecs, CalibratedEfficienciesMatchPaperOrdering) {
+  // A100/V100 achieve 80-88% of peak in the paper; P100 only ~41%.
+  EXPECT_GT(make_a100().mem_efficiency, 0.8);
+  EXPECT_GT(make_v100().mem_efficiency, 0.8);
+  EXPECT_LT(make_p100().mem_efficiency, 0.5);
+}
+
+TEST(Occupancy, ThreadLimited) {
+  // 512 threads/block at 32 regs: 4 blocks x 512 = 2048 threads (100%).
+  const Occupancy occ = compute_occupancy(make_a100(), 512, 32);
+  EXPECT_EQ(occ.blocks_per_sm, 4u);
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+  EXPECT_EQ(occ.limiter, Occupancy::Limiter::kThreads);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  // The paper's half/double kernel footprint (40 regs) at 512 tpb:
+  // 65536 / (40*512) = 3 blocks -> 1536 threads = 75%.
+  const Occupancy occ = compute_occupancy(make_a100(), 512, 40);
+  EXPECT_EQ(occ.blocks_per_sm, 3u);
+  EXPECT_DOUBLE_EQ(occ.fraction, 0.75);
+  EXPECT_EQ(occ.limiter, Occupancy::Limiter::kRegisters);
+}
+
+TEST(Occupancy, BlockCountLimited) {
+  // 32-thread blocks: the 32-blocks/SM cap bites first -> 1024 threads = 50%.
+  const Occupancy occ = compute_occupancy(make_a100(), 32, 32);
+  EXPECT_EQ(occ.blocks_per_sm, 32u);
+  EXPECT_DOUBLE_EQ(occ.fraction, 0.5);
+  EXPECT_EQ(occ.limiter, Occupancy::Limiter::kBlocks);
+}
+
+TEST(Occupancy, Figure4Shape) {
+  // The Figure 4 sweep for the 40-register kernel: 512 tpb must be at least
+  // as good as every other candidate, with dips at 32 and 1024.
+  const DeviceSpec spec = make_a100();
+  const double occ512 = compute_occupancy(spec, 512, 40).fraction;
+  EXPECT_GT(occ512, compute_occupancy(spec, 32, 40).fraction);
+  EXPECT_GT(occ512, compute_occupancy(spec, 1024, 40).fraction);
+  EXPECT_GE(occ512, compute_occupancy(spec, 256, 40).fraction);
+  EXPECT_GE(occ512, compute_occupancy(spec, 128, 40).fraction);
+}
+
+TEST(Occupancy, InvalidConfigurations) {
+  const DeviceSpec spec = make_a100();
+  EXPECT_EQ(compute_occupancy(spec, 0, 32).limiter, Occupancy::Limiter::kInvalid);
+  EXPECT_EQ(compute_occupancy(spec, 48, 32).limiter,
+            Occupancy::Limiter::kInvalid);  // not a multiple of 32
+  EXPECT_EQ(compute_occupancy(spec, 2048, 32).limiter,
+            Occupancy::Limiter::kInvalid);  // above max threads per block
+  EXPECT_THROW(compute_occupancy(spec, 512, 0), pd::Error);
+}
+
+TEST(Occupancy, ExtremeRegisterPressureYieldsZeroBlocks) {
+  const Occupancy occ = compute_occupancy(make_a100(), 1024, 255);
+  EXPECT_EQ(occ.blocks_per_sm, 0u);
+  EXPECT_EQ(occ.limiter, Occupancy::Limiter::kInvalid);
+}
+
+TEST(Occupancy, LimiterNames) {
+  EXPECT_STREQ(to_string(Occupancy::Limiter::kThreads), "threads");
+  EXPECT_STREQ(to_string(Occupancy::Limiter::kRegisters), "registers");
+  EXPECT_STREQ(to_string(Occupancy::Limiter::kBlocks), "blocks");
+  EXPECT_STREQ(to_string(Occupancy::Limiter::kInvalid), "invalid");
+}
+
+}  // namespace
+}  // namespace pd::gpusim

@@ -1,0 +1,157 @@
+// Tests for the analytic performance model: term selection, monotonicity,
+// efficiency factors, calibration targets, and the CPU model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gpusim/perf.hpp"
+
+namespace pd::gpusim {
+namespace {
+
+PerfInput bandwidth_bound_input(double dram_bytes, double flops) {
+  PerfInput in;
+  in.stats.traffic.dram_read_bytes = static_cast<std::uint64_t>(dram_bytes);
+  in.stats.traffic.l2_read_sectors =
+      static_cast<std::uint64_t>(dram_bytes / 32.0);
+  in.stats.traffic.sectors_requested =
+      static_cast<std::uint64_t>(dram_bytes / 32.0);
+  in.stats.compute.flops = static_cast<std::uint64_t>(flops);
+  in.config = LaunchConfig::warp_per_item(1u << 20, 512, 40);
+  in.mean_work_per_warp = 2000.0;  // long rows: little MLP penalty
+  return in;
+}
+
+TEST(PerfModel, BandwidthBoundKernelNearPeak) {
+  const DeviceSpec spec = make_a100();
+  // A big SpMV-shaped workload: OI ~0.33, plenty of parallelism.
+  const double bytes = 9e9;
+  const PerfInput in = bandwidth_bound_input(bytes, 0.33 * bytes);
+  const PerfEstimate est = estimate_performance(spec, in);
+  EXPECT_GT(est.bandwidth_fraction, 0.75);  // paper: 80-87%
+  EXPECT_LT(est.bandwidth_fraction, 0.9);
+  EXPECT_GT(est.t_dram, est.t_flop);  // memory bound
+  EXPECT_DOUBLE_EQ(est.operational_intensity, 0.33);
+}
+
+TEST(PerfModel, TimeMonotoneInTraffic) {
+  const DeviceSpec spec = make_a100();
+  const PerfEstimate small =
+      estimate_performance(spec, bandwidth_bound_input(1e8, 3.3e7));
+  const PerfEstimate big =
+      estimate_performance(spec, bandwidth_bound_input(1e9, 3.3e8));
+  EXPECT_LT(small.seconds, big.seconds);
+}
+
+TEST(PerfModel, ShortRowsReduceAchievedBandwidth) {
+  const DeviceSpec spec = make_a100();
+  PerfInput in = bandwidth_bound_input(1e9, 3.3e8);
+  in.mean_work_per_warp = 2000.0;
+  const double long_rows = estimate_performance(spec, in).dram_gbs;
+  in.mean_work_per_warp = 40.0;
+  const double short_rows = estimate_performance(spec, in).dram_gbs;
+  EXPECT_LT(short_rows, long_rows);  // liver beats prostate, as in Figure 5
+}
+
+TEST(PerfModel, LowOccupancyReducesBandwidth) {
+  const DeviceSpec spec = make_a100();
+  PerfInput in = bandwidth_bound_input(1e9, 3.3e8);
+  in.config = LaunchConfig::warp_per_item(1u << 20, 512, 40);  // 75% occ
+  const double occ75 = estimate_performance(spec, in).dram_gbs;
+  in.config = LaunchConfig::warp_per_item(1u << 20, 32, 40);   // 50% occ
+  const double occ50 = estimate_performance(spec, in).dram_gbs;
+  EXPECT_LT(occ50, occ75);
+}
+
+TEST(PerfModel, TinyGridsAreLaunchBound) {
+  const DeviceSpec spec = make_a100();
+  PerfInput in = bandwidth_bound_input(1e5, 3.3e4);
+  in.config = LaunchConfig::warp_per_item(64, 512, 40);
+  const PerfEstimate est = estimate_performance(spec, in);
+  EXPECT_LT(est.bandwidth_fraction, 0.1);  // overhead dominates
+}
+
+TEST(PerfModel, AtomicsDominateTheBaseline) {
+  const DeviceSpec spec = make_a100();
+  PerfInput in = bandwidth_bound_input(4e9, 2e9);
+  in.stats.traffic.l2_atomic_ops = 1'000'000'000;  // one per nnz
+  const PerfEstimate est = estimate_performance(spec, in);
+  EXPECT_GT(est.t_atomic, est.t_dram);
+  EXPECT_GT(est.seconds, est.t_dram);
+}
+
+TEST(PerfModel, DevicesOrderAsInFigure7) {
+  // Same workload on the three GPUs: A100 > V100 > P100 throughput.
+  const PerfInput in = bandwidth_bound_input(2e9, 0.33 * 2e9);
+  const double a100 = estimate_performance(make_a100(), in).gflops;
+  const double v100 = estimate_performance(make_v100(), in).gflops;
+  const double p100 = estimate_performance(make_p100(), in).gflops;
+  EXPECT_GT(a100, v100);
+  EXPECT_GT(v100, p100);
+  // Figure 7: A100/V100 between 1.5x and 2x; V100/P100 around 2.5x.
+  EXPECT_GT(a100 / v100, 1.4);
+  EXPECT_LT(a100 / v100, 2.2);
+  EXPECT_GT(v100 / p100, 2.0);
+  EXPECT_LT(v100 / p100, 3.0);
+}
+
+TEST(PerfModel, Fp32PeakUsedForSingle) {
+  const DeviceSpec spec = make_a100();
+  // Compute-bound workload: tiny traffic, huge FLOPs.
+  PerfInput in = bandwidth_bound_input(1e6, 1e12);
+  in.precision = FlopPrecision::kFp64;
+  const double t64 = estimate_performance(spec, in).seconds;
+  in.precision = FlopPrecision::kFp32;
+  const double t32 = estimate_performance(spec, in).seconds;
+  EXPECT_GT(t64, t32);  // fp32 peak is ~2x fp64 on A100
+}
+
+TEST(PerfModel, InvalidLaunchConfigThrows) {
+  PerfInput in = bandwidth_bound_input(1e9, 1e8);
+  in.config.threads_per_block = 48;  // not a warp multiple
+  EXPECT_THROW(estimate_performance(make_a100(), in), pd::Error);
+}
+
+TEST(PerfModel, BreakdownConsistent) {
+  const DeviceSpec spec = make_a100();
+  const PerfInput in = bandwidth_bound_input(1e9, 3.3e8);
+  const PerfEstimate est = estimate_performance(spec, in);
+  const double max_term = std::max(
+      {est.t_dram, est.t_l2, est.t_atomic, est.t_issue, est.t_flop});
+  EXPECT_DOUBLE_EQ(est.seconds,
+                   spec.launch_overhead_s + est.t_dispatch + max_term);
+  EXPECT_GT(est.occupancy, 0.0);
+  EXPECT_LE(est.occupancy, 1.0);
+}
+
+TEST(CpuModel, CalibrationTargets) {
+  // Full-scale liver beam 1 on the i9-7940X: the paper reports the GPU
+  // Baseline is ~17x faster than the CPU engine, which puts the CPU at
+  // single-digit GFLOP/s.
+  const CpuSpec cpu = make_i9_7940x();
+  CpuWorkload w;
+  w.nnz = 1.48e9;
+  w.rows = 2.97e6;
+  w.stream_bytes = 4.0 * w.nnz;
+  w.flops = 2.0 * w.nnz;
+  const CpuEstimate est = estimate_cpu_performance(cpu, w);
+  EXPECT_GT(est.gflops, 3.0);
+  EXPECT_LT(est.gflops, 12.0);
+}
+
+TEST(CpuModel, MemoryAndCoreTermsBothMatter) {
+  const CpuSpec cpu = make_i9_7940x();
+  CpuWorkload w;
+  w.nnz = 1e9;
+  w.rows = 1e6;
+  w.stream_bytes = 4e9;
+  w.flops = 2e9;
+  const CpuEstimate est = estimate_cpu_performance(cpu, w);
+  EXPECT_GT(est.t_mem, 0.0);
+  EXPECT_GT(est.t_core, 0.0);
+  EXPECT_DOUBLE_EQ(est.seconds, std::max(est.t_mem, est.t_core));
+}
+
+}  // namespace
+}  // namespace pd::gpusim

@@ -1,0 +1,80 @@
+// Tests for the profiler-style kernel report.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/profile.hpp"
+
+namespace pd::gpusim {
+namespace {
+
+PerfEstimate base_estimate() {
+  PerfEstimate e;
+  e.t_dram = 1e-3;
+  e.t_l2 = 2e-4;
+  e.t_atomic = 0.0;
+  e.t_issue = 1e-4;
+  e.t_flop = 1e-5;
+  e.t_dispatch = 1e-6;
+  e.seconds = 4e-6 + e.t_dispatch + e.t_dram;
+  return e;
+}
+
+TEST(ProfileBound, ClassifiesEachTerm) {
+  PerfEstimate e = base_estimate();
+  EXPECT_EQ(classify_bound(e), BoundBy::kDram);
+  e.t_l2 = 2e-3;
+  EXPECT_EQ(classify_bound(e), BoundBy::kL2);
+  e.t_atomic = 3e-3;
+  EXPECT_EQ(classify_bound(e), BoundBy::kAtomics);
+  e.t_issue = 4e-3;
+  EXPECT_EQ(classify_bound(e), BoundBy::kIssue);
+  e.t_flop = 5e-3;
+  EXPECT_EQ(classify_bound(e), BoundBy::kFlops);
+}
+
+TEST(ProfileBound, TinyKernelsAreLaunchBound) {
+  PerfEstimate e;
+  e.t_dram = 1e-7;
+  e.t_dispatch = 1e-6;
+  e.seconds = 1.5e-6 + e.t_dispatch + e.t_dram;  // overheads dominate
+  EXPECT_EQ(classify_bound(e), BoundBy::kLaunch);
+}
+
+TEST(ProfileBound, Names) {
+  EXPECT_STREQ(to_string(BoundBy::kDram), "DRAM bandwidth");
+  EXPECT_STREQ(to_string(BoundBy::kAtomics), "L2 atomic throughput");
+  EXPECT_STREQ(to_string(BoundBy::kLaunch), "launch/dispatch overhead");
+}
+
+TEST(ProfileReport, ContainsAllSections) {
+  const DeviceSpec spec = make_a100();
+  PerfInput in;
+  in.stats.traffic.dram_read_bytes = 1 << 20;
+  in.stats.traffic.dram_write_bytes = 1 << 16;
+  in.stats.traffic.l2_read_sectors = 40000;
+  in.stats.traffic.l2_read_hits = 30000;
+  in.stats.traffic.sectors_requested = 40000;
+  in.stats.traffic.warp_requests = 10000;
+  in.stats.compute.flops = 500000;
+  in.stats.compute.active_lane_ops = 80;
+  in.stats.compute.total_lane_ops = 100;
+  in.stats.warps_launched = 1024;
+  in.stats.blocks_launched = 64;
+  in.config = LaunchConfig::warp_per_item(1024, 512, 40);
+  const PerfEstimate est = estimate_performance(spec, in);
+
+  const std::string report = profile_report(spec, in, est, "test_kernel");
+  for (const char* needle :
+       {"test_kernel", "A100", "Speed of light", "DRAM read", "L2 read hit",
+        "SIMT lane efficiency", "occupancy", "t_dram", "t_atomic",
+        "bound by", "operational intensity", "registers"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+  }
+  // 30000/40000 hits.
+  EXPECT_NE(report.find("75.0%"), std::string::npos);
+  // 80/100 lanes.
+  EXPECT_NE(report.find("80.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pd::gpusim

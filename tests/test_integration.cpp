@@ -1,0 +1,230 @@
+// End-to-end integration tests across module boundaries: synthetic patient ->
+// Monte Carlo dose matrix -> compressed clinical format -> GPU kernels ->
+// plan optimization, checking that all computation paths agree and that the
+// performance machinery produces sane figures on real (generated) data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cases/cases.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/analytic.hpp"
+#include "kernels/adaptive_csr.hpp"
+#include "kernels/baseline_gpu.hpp"
+#include "kernels/classical_csr.hpp"
+#include "kernels/dose_engine.hpp"
+#include "kernels/vector_csr.hpp"
+#include "opt/optimizer.hpp"
+#include "roofline/roofline.hpp"
+#include "rsformat/cpu_engine.hpp"
+#include "rsformat/rsmatrix.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/reference.hpp"
+
+namespace pd {
+namespace {
+
+/// One generated prostate beam, shared across the tests in this file.
+class Pipeline : public ::testing::Test {
+ protected:
+  static const mc::GeneratedBeam& beam() {
+    static const mc::GeneratedBeam kBeam = [] {
+      const auto def = cases::prostate_case(0.2);
+      const auto phantom = cases::build_phantom(def);
+      return cases::generate_beam(def, phantom, 0);
+    }();
+    return kBeam;
+  }
+
+  /// A liver beam at half scale: long rows and a big enough grid that the
+  /// GPU performance regime (Figure 5's ordering) is visible.  The tiny
+  /// prostate beam above is launch-overhead-bound by design — exactly the
+  /// size effect the paper discusses — so performance-shape assertions use
+  /// this one.
+  static const mc::GeneratedBeam& liver_beam() {
+    static const mc::GeneratedBeam kBeam = [] {
+      const auto def = cases::liver_case(0.5);
+      const auto phantom = cases::build_phantom(def);
+      return cases::generate_beam(def, phantom, 0);
+    }();
+    return kBeam;
+  }
+
+  static std::vector<double> unit_weights() {
+    return std::vector<double>(beam().matrix.num_cols, 1.0);
+  }
+};
+
+TEST_F(Pipeline, EveryComputePathAgreesOnTheDose) {
+  const auto& D = beam().matrix;
+  const auto x = unit_weights();
+
+  // Gold: exact double SpMV.
+  std::vector<double> gold(D.num_rows);
+  sparse::reference_spmv(D, x, gold);
+  double max_dose = 0.0;
+  for (const double d : gold) max_dose = std::max(max_dose, d);
+  ASSERT_GT(max_dose, 0.0);
+
+  // Path 1: the paper's kernel (half matrix, double vectors) on the GPU sim.
+  kernels::DoseEngine engine(sparse::CsrF64(D), gpusim::make_a100());
+  const auto y_hd = engine.compute(x);
+
+  // Path 2: the clinical CPU engine on the compressed format.
+  const rsformat::RsMatrix rs = rsformat::RsMatrix::from_csr(D);
+  std::vector<double> y_cpu(D.num_rows);
+  rsformat::cpu_compute_dose(rs, x, y_cpu, 4);
+
+  // Path 3: the GPU Baseline port on the compressed format.
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<double> y_base(D.num_rows);
+  kernels::run_baseline_gpu(gpu, rs, x, std::span<double>(y_base));
+
+  for (std::uint64_t r = 0; r < D.num_rows; ++r) {
+    const double tol = 2e-3 * max_dose;
+    EXPECT_NEAR(y_hd[r], gold[r], tol) << "half/double row " << r;
+    EXPECT_NEAR(y_cpu[r], gold[r], tol) << "cpu engine row " << r;
+    EXPECT_NEAR(y_base[r], gold[r], tol) << "gpu baseline row " << r;
+  }
+}
+
+TEST_F(Pipeline, DoseLandsInsideThePatient) {
+  const auto def = cases::prostate_case(0.2);
+  const auto phantom = cases::build_phantom(def);
+  const auto& D = beam().matrix;
+  std::vector<double> dose(D.num_rows);
+  sparse::reference_spmv(D, unit_weights(), dose);
+
+  // The hottest voxels must be in or near the target, not in air.
+  double max_dose = 0.0;
+  std::uint64_t hottest = 0;
+  for (std::uint64_t v = 0; v < dose.size(); ++v) {
+    if (dose[v] > max_dose) {
+      max_dose = dose[v];
+      hottest = v;
+    }
+  }
+  EXPECT_NE(phantom.roi(hottest), phantom::Roi::kAir);
+  const auto target = phantom.voxels_with_roi(phantom::Roi::kTarget);
+  double mean_target = 0.0;
+  for (const auto v : target) mean_target += dose[v];
+  mean_target /= static_cast<double>(target.size());
+  double mean_all = 0.0;
+  for (const double d : dose) mean_all += d;
+  mean_all /= static_cast<double>(dose.size());
+  EXPECT_GT(mean_target, 3.0 * mean_all);  // beams concentrate on the target
+}
+
+TEST_F(Pipeline, LibraryKernelsAgreeOnGeneratedMatrix) {
+  const auto m32 = sparse::convert_values<float>(beam().matrix);
+  std::vector<float> x32(m32.num_cols, 1.0f);
+  std::vector<float> gold(m32.num_rows);
+  sparse::reference_spmv_f32(m32, x32, gold);
+
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<float> y(m32.num_rows);
+  kernels::run_classical_csr(gpu, m32, x32, std::span<float>(y));
+  float max_dose = 0.0f;
+  for (const float d : gold) max_dose = std::max(max_dose, d);
+  for (std::uint64_t r = 0; r < m32.num_rows; ++r) {
+    EXPECT_NEAR(y[r], gold[r], 2e-3f * (1.0f + max_dose));
+  }
+  const auto items = kernels::build_adaptive_worklist(m32);
+  kernels::run_adaptive_csr(gpu, m32, items, x32, std::span<float>(y));
+  for (std::uint64_t r = 0; r < m32.num_rows; ++r) {
+    EXPECT_NEAR(y[r], gold[r], 2e-3f * (1.0f + max_dose));
+  }
+}
+
+TEST_F(Pipeline, PerformanceEstimatesAreOrderedLikeFigure5) {
+  // On the same generated beam: Half/Double beats Single beats Baseline.
+  const auto& D = liver_beam().matrix;
+  const std::vector<double> x(D.num_cols, 1.0);
+
+  kernels::DoseEngine hd(sparse::CsrF64(D), gpusim::make_a100(),
+                         kernels::DoseEngine::Mode::kHalfDouble);
+  hd.compute(x);
+  kernels::DoseEngine single(sparse::CsrF64(D), gpusim::make_a100(),
+                             kernels::DoseEngine::Mode::kSingle);
+  single.compute(x);
+
+  gpusim::Gpu gpu(gpusim::make_a100());
+  const rsformat::RsMatrix rs = rsformat::RsMatrix::from_csr(D);
+  std::vector<double> y(D.num_rows);
+  const kernels::SpmvRun base_run =
+      kernels::run_baseline_gpu(gpu, rs, x, std::span<double>(y));
+  gpusim::PerfInput base_in;
+  base_in.stats = base_run.stats;
+  base_in.config = base_run.config;
+  base_in.mean_work_per_warp =
+      static_cast<double>(D.nnz()) / static_cast<double>(D.num_cols);
+  const auto base_est = gpusim::estimate_performance(gpu.spec(), base_in);
+
+  const double hd_gflops = hd.last_estimate().gflops;
+  const double single_gflops = single.last_estimate().gflops;
+  EXPECT_GT(hd_gflops, single_gflops);
+  EXPECT_GT(single_gflops, base_est.gflops);
+  EXPECT_GT(hd_gflops / base_est.gflops, 1.5);  // the paper's headline ordering
+}
+
+TEST_F(Pipeline, MeasuredOiTracksTheAnalyticModel) {
+  const auto& D = liver_beam().matrix;
+  kernels::DoseEngine engine(sparse::CsrF64(D), gpusim::make_a100());
+  engine.compute(std::vector<double>(D.num_cols, 1.0));
+  const double measured = engine.last_run().stats.operational_intensity();
+  const auto stats = sparse::compute_stats(D);
+  const double analytic = kernels::analytic_operational_intensity(
+      kernels::KernelKind::kHalfDouble, kernels::Workload::from_stats(stats));
+  // The closed-form value is an infinite-cache *upper bound* (the paper's
+  // §V argument); the measured OI must sit just below it.
+  EXPECT_LE(measured, analytic * 1.02);
+  EXPECT_GE(measured, analytic * 0.70);
+}
+
+TEST_F(Pipeline, RooflinePlacesTheKernelInTheBandwidthRegion) {
+  const auto& D = beam().matrix;
+  kernels::DoseEngine engine(sparse::CsrF64(D), gpusim::make_a100());
+  engine.compute(unit_weights());
+  const auto est = engine.last_estimate();
+  const auto model =
+      roofline::make_roofline(gpusim::make_a100(), gpusim::FlopPrecision::kFp64);
+  EXPECT_LT(est.operational_intensity, model.ridge_oi());  // memory-bound
+  const double frac = roofline_fraction(
+      model, {"hd", est.operational_intensity, est.gflops});
+  EXPECT_GT(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+}
+
+TEST_F(Pipeline, OptimizerImprovesAClinicalObjective) {
+  const auto def = cases::prostate_case(0.2);
+  const auto phantom = cases::build_phantom(def);
+  const auto& D = beam().matrix;
+
+  std::vector<double> probe(D.num_rows);
+  sparse::reference_spmv(D, unit_weights(), probe);
+  double max_dose = 0.0;
+  for (const double d : probe) max_dose = std::max(max_dose, d);
+
+  auto goals = opt::DoseObjective::standard_goals(phantom, 0.5 * max_dose,
+                                                  0.2 * max_dose);
+  opt::OptimizerConfig cfg;
+  cfg.max_iterations = 12;
+  opt::PlanOptimizer optimizer(D, std::move(goals), gpusim::make_a100(), cfg);
+  const auto result = optimizer.optimize();
+  EXPECT_LT(result.objective_history.back(),
+            0.9 * result.objective_history.front());
+  EXPECT_GT(result.spmv_count, 10u);
+}
+
+TEST_F(Pipeline, CompressedFormatSavesMemoryOnClinicalData) {
+  const auto& D = beam().matrix;
+  const rsformat::RsMatrix rs = rsformat::RsMatrix::from_csr(D);
+  EXPECT_LT(rs.bytes(), D.bytes() / 2);  // ~4B/entry vs 12B/entry
+  const auto stats = sparse::compute_stats(D);
+  // Half-precision CSR (the GPU path): 6 bytes per nnz.
+  EXPECT_LT(stats.csr_bytes(2, 4), D.bytes());
+}
+
+}  // namespace
+}  // namespace pd

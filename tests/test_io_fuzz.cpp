@@ -1,0 +1,117 @@
+// Fuzz-style robustness tests: the matrix readers must reject arbitrary or
+// corrupted bytes with a pd::Error — never crash, hang, or allocate
+// unboundedly.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "sparse/io.hpp"
+#include "sparse/random.hpp"
+
+namespace pd::sparse {
+namespace {
+
+std::string random_bytes(Rng& rng, std::size_t n) {
+  std::string s(n, '\0');
+  for (auto& c : s) {
+    c = static_cast<char>(rng.uniform_index(256));
+  }
+  return s;
+}
+
+TEST(IoFuzz, RandomBytesNeverCrashBinaryReader) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t len = 1 + rng.uniform_index(256);
+    std::stringstream ss(random_bytes(rng, len),
+                         std::ios::in | std::ios::binary);
+    EXPECT_THROW(read_binary(ss), pd::Error) << "trial " << trial;
+  }
+}
+
+TEST(IoFuzz, RandomBytesWithValidMagicStillRejected) {
+  Rng rng(77);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string payload = "PDSM" + random_bytes(rng, 8 + rng.uniform_index(128));
+    std::stringstream ss(payload, std::ios::in | std::ios::binary);
+    EXPECT_THROW(read_binary(ss), pd::Error) << "trial " << trial;
+  }
+}
+
+TEST(IoFuzz, HugeDeclaredArrayLengthIsRejectedNotAllocated) {
+  // A header claiming 2^60 entries must be caught by the plausibility guard
+  // before any allocation is attempted.
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ss.write("PDSM", 4);
+  const std::uint32_t version = 1;
+  ss.write(reinterpret_cast<const char*>(&version), 4);
+  const std::uint64_t dims[2] = {4, 4};
+  ss.write(reinterpret_cast<const char*>(dims), 16);
+  const std::uint64_t absurd = std::uint64_t{1} << 60;
+  ss.write(reinterpret_cast<const char*>(&absurd), 8);
+  EXPECT_THROW(read_binary(ss), pd::Error);
+}
+
+TEST(IoFuzz, TruncationAtEveryPrefixLength) {
+  Rng rng(9);
+  const CsrF64 m = random_csr(rng, 12, 8, 3.0);
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(full, m);
+  const std::string bytes = full.str();
+  // Every strict prefix must throw (the final length must parse).
+  for (std::size_t len = 0; len < bytes.size(); len += 7) {
+    std::stringstream cut(bytes.substr(0, len), std::ios::in | std::ios::binary);
+    EXPECT_THROW(read_binary(cut), pd::Error) << "prefix " << len;
+  }
+  std::stringstream ok(bytes, std::ios::in | std::ios::binary);
+  EXPECT_NO_THROW(read_binary(ok));
+}
+
+TEST(IoFuzz, BitFlippedStructuralBytesAreRejectedOrEquivalent) {
+  // Flipping bytes in the structural region (header + row_ptr) must either
+  // throw or — if the flip hit padding/values — produce a validating matrix.
+  Rng rng(10);
+  const CsrF64 m = random_csr(rng, 20, 10, 4.0);
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(full, m);
+  const std::string bytes = full.str();
+  int rejected = 0, accepted = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string corrupt = bytes;
+    const std::size_t pos = rng.uniform_index(corrupt.size());
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^
+                                     (1 << rng.uniform_index(8)));
+    std::stringstream ss(corrupt, std::ios::in | std::ios::binary);
+    try {
+      const CsrF64 back = read_binary(ss);
+      back.validate();  // anything accepted must be structurally sound
+      ++accepted;
+    } catch (const pd::Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(rejected + accepted, 200);
+  EXPECT_GT(rejected, 0);  // structural corruption is actually caught
+}
+
+TEST(IoFuzz, MatrixMarketGarbageLines) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::stringstream ss(random_bytes(rng, 1 + rng.uniform_index(200)));
+    EXPECT_THROW(read_matrix_market(ss), pd::Error);
+  }
+}
+
+TEST(IoFuzz, MatrixMarketNegativeAndOverflowCoordinates) {
+  std::stringstream neg(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n-1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(neg), pd::Error);
+  std::stringstream huge(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n999999999999 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(huge), pd::Error);
+}
+
+}  // namespace
+}  // namespace pd::sparse

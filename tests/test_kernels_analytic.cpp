@@ -1,0 +1,172 @@
+// Tests for the closed-form traffic model — including the paper's own
+// headline number: an operational-intensity upper bound of ~0.332 for
+// Half/Double on liver beam 1 (§V).
+
+#include <gtest/gtest.h>
+
+#include "kernels/analytic.hpp"
+
+namespace pd::kernels {
+namespace {
+
+Workload liver1() {
+  return Workload::from_paper(sparse::paper_table1()[0]);
+}
+
+TEST(Analytic, PaperOperationalIntensityForLiver1) {
+  // The paper computes 6*nnz + 12*nr + 8*nc and reports OI ~= 0.332.
+  const double oi = analytic_operational_intensity(KernelKind::kHalfDouble,
+                                                   liver1());
+  EXPECT_NEAR(oi, 0.332, 0.002);
+}
+
+TEST(Analytic, DramBytesFormulaMatchesHandCalculation) {
+  const Workload w = liver1();
+  EXPECT_DOUBLE_EQ(analytic_dram_bytes(KernelKind::kHalfDouble, w),
+                   6.0 * w.nnz + 12.0 * w.rows + 8.0 * w.cols);
+  EXPECT_DOUBLE_EQ(analytic_dram_bytes(KernelKind::kSingle, w),
+                   8.0 * w.nnz + 8.0 * w.rows + 4.0 * w.cols);
+  EXPECT_DOUBLE_EQ(analytic_dram_bytes(KernelKind::kDouble, w),
+                   12.0 * w.nnz + 12.0 * w.rows + 8.0 * w.cols);
+  EXPECT_DOUBLE_EQ(analytic_dram_bytes(KernelKind::kColIdx16, w),
+                   4.0 * w.nnz + 12.0 * w.rows + 8.0 * w.cols);
+}
+
+TEST(Analytic, PrecisionOrderingOfOperationalIntensity) {
+  // The paper's key observation: half storage -> higher OI than single,
+  // single higher than double; 16-bit columns raise it further.
+  const Workload w = liver1();
+  const double hd = analytic_operational_intensity(KernelKind::kHalfDouble, w);
+  const double single = analytic_operational_intensity(KernelKind::kSingle, w);
+  const double dbl = analytic_operational_intensity(KernelKind::kDouble, w);
+  const double u16 = analytic_operational_intensity(KernelKind::kColIdx16, w);
+  EXPECT_GT(hd, single);
+  EXPECT_GT(single, dbl);
+  EXPECT_GT(u16, hd);
+  // §V: dropping 2 bytes of column index should raise OI by about 6/4.
+  EXPECT_NEAR(u16 / hd, 1.5, 0.02);
+}
+
+TEST(Analytic, SingleMatchesLibraryKernels) {
+  const Workload w = liver1();
+  EXPECT_DOUBLE_EQ(analytic_dram_bytes(KernelKind::kSingle, w),
+                   analytic_dram_bytes(KernelKind::kCuSparseLike, w));
+  EXPECT_DOUBLE_EQ(analytic_dram_bytes(KernelKind::kSingle, w),
+                   analytic_dram_bytes(KernelKind::kGinkgoLike, w));
+}
+
+TEST(Analytic, BaselineStreamsLessDramButPaysAtomics) {
+  const Workload w = liver1();
+  EXPECT_LT(analytic_dram_bytes(KernelKind::kBaselineRs, w),
+            analytic_dram_bytes(KernelKind::kHalfDouble, w));
+  const auto in = analytic_perf_input(KernelKind::kBaselineRs, w);
+  EXPECT_EQ(in.stats.traffic.l2_atomic_ops,
+            static_cast<std::uint64_t>(w.nnz));
+}
+
+TEST(Analytic, PerfInputGeometry) {
+  const Workload w = liver1();
+  const auto hd = analytic_perf_input(KernelKind::kHalfDouble, w);
+  EXPECT_EQ(hd.config.threads_per_block, kDefaultVectorTpb);
+  EXPECT_EQ(hd.config.regs_per_thread, kVectorCsrRegs);
+  // One warp per row.
+  EXPECT_GE(hd.config.total_warps(), static_cast<std::uint64_t>(w.rows));
+  EXPECT_EQ(hd.precision, gpusim::FlopPrecision::kFp64);
+
+  const auto base = analytic_perf_input(KernelKind::kBaselineRs, w);
+  EXPECT_EQ(base.config.threads_per_block, kDefaultBaselineTpb);
+  // One warp per column.
+  EXPECT_LT(base.config.total_warps(), hd.config.total_warps());
+
+  const auto single = analytic_perf_input(KernelKind::kSingle, w);
+  EXPECT_EQ(single.precision, gpusim::FlopPrecision::kFp32);
+}
+
+TEST(Analytic, MeanWorkPerWarpFollowsNonEmptyRows) {
+  Workload w = liver1();
+  const auto in = analytic_perf_input(KernelKind::kHalfDouble, w);
+  EXPECT_NEAR(in.mean_work_per_warp, w.nnz / (0.3 * w.rows), 1.0);
+}
+
+TEST(Analytic, WorkloadFromStatsAndPaperAgree) {
+  sparse::MatrixStats s;
+  s.rows = 100;
+  s.cols = 10;
+  s.nnz = 500;
+  s.empty_row_fraction = 0.7;
+  const Workload w = Workload::from_stats(s);
+  EXPECT_DOUBLE_EQ(w.rows, 100.0);
+  EXPECT_DOUBLE_EQ(w.mean_nnz_per_nonempty_row(), 500.0 / 30.0);
+}
+
+TEST(Analytic, DegenerateWorkloadThrows) {
+  Workload w;
+  EXPECT_THROW(analytic_dram_bytes(KernelKind::kHalfDouble, w), pd::Error);
+}
+
+TEST(Analytic, CpuWorkloadShape) {
+  const auto cw = analytic_cpu_workload(liver1());
+  EXPECT_DOUBLE_EQ(cw.nnz, 1.48e9);
+  EXPECT_DOUBLE_EQ(cw.flops, 2.96e9);
+  EXPECT_GT(cw.stream_bytes, 4.0 * 1.48e9 - 1.0);
+}
+
+TEST(Analytic, KernelNames) {
+  EXPECT_STREQ(to_string(KernelKind::kHalfDouble), "Half/Double");
+  EXPECT_STREQ(to_string(KernelKind::kBaselineRs), "GPU Baseline");
+  EXPECT_STREQ(to_string(KernelKind::kCuSparseLike), "cuSPARSE-like");
+}
+
+TEST(Analytic, FullScalePredictionsReproducePaperHeadlines) {
+  // Putting the model together at paper scale: Half/Double ~420 GFLOP/s at
+  // 80-87% of A100 peak bandwidth; baseline ~3-4x slower; single slower
+  // than half/double by roughly the OI ratio.
+  const auto spec = gpusim::make_a100();
+  const Workload w = liver1();
+
+  const auto hd =
+      gpusim::estimate_performance(spec, analytic_perf_input(KernelKind::kHalfDouble, w));
+  EXPECT_GT(hd.gflops, 350.0);
+  EXPECT_LT(hd.gflops, 500.0);       // paper: ~420
+  EXPECT_GT(hd.bandwidth_fraction, 0.78);
+  EXPECT_LT(hd.bandwidth_fraction, 0.88);
+
+  const auto single =
+      gpusim::estimate_performance(spec, analytic_perf_input(KernelKind::kSingle, w));
+  EXPECT_LT(single.gflops, hd.gflops);
+  EXPECT_NEAR(single.gflops / hd.gflops,
+              analytic_operational_intensity(KernelKind::kSingle, w) /
+                  analytic_operational_intensity(KernelKind::kHalfDouble, w),
+              0.08);
+
+  const auto base = gpusim::estimate_performance(
+      spec, analytic_perf_input(KernelKind::kBaselineRs, w));
+  const double speedup = hd.gflops / base.gflops;
+  EXPECT_GT(speedup, 2.5);
+  EXPECT_LT(speedup, 4.5);  // paper: up to 4x, average ~3x
+}
+
+TEST(Analytic, FullScaleCpuSpeedupsMatchSectionVII) {
+  // §VII: GPU Baseline ~17x over the CPU engine; Half/Double ~46x.
+  const auto spec = gpusim::make_a100();
+  const auto cpu_spec = gpusim::make_i9_7940x();
+  const Workload w = liver1();
+
+  const auto cpu = gpusim::estimate_cpu_performance(cpu_spec,
+                                                    analytic_cpu_workload(w));
+  const auto base = gpusim::estimate_performance(
+      spec, analytic_perf_input(KernelKind::kBaselineRs, w));
+  const auto hd = gpusim::estimate_performance(
+      spec, analytic_perf_input(KernelKind::kHalfDouble, w));
+
+  const double base_speedup = base.gflops / cpu.gflops;
+  const double hd_speedup = hd.gflops / cpu.gflops;
+  EXPECT_GT(base_speedup, 10.0);
+  EXPECT_LT(base_speedup, 30.0);
+  EXPECT_GT(hd_speedup, 35.0);
+  EXPECT_LT(hd_speedup, 100.0);
+  EXPECT_GT(hd_speedup, base_speedup);
+}
+
+}  // namespace
+}  // namespace pd::kernels

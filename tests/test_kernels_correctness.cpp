@@ -1,0 +1,373 @@
+// Correctness tests for the whole SpMV kernel family on the simulated GPU:
+// agreement with references, the bitwise-reproducibility guarantees of the
+// paper's kernel, the demonstrated NON-reproducibility of the atomic GPU
+// Baseline, and parameterized sweeps over matrix structure.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "gpusim/launch.hpp"
+#include "kernels/adaptive_csr.hpp"
+#include "kernels/baseline_gpu.hpp"
+#include "kernels/classical_csr.hpp"
+#include "kernels/format_kernels.hpp"
+#include "kernels/tuner.hpp"
+#include "kernels/vector_csr.hpp"
+#include "rsformat/cpu_engine.hpp"
+#include "rsformat/rsmatrix.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/random.hpp"
+#include "sparse/reference.hpp"
+#include "sparse/sellcs.hpp"
+
+namespace pd::kernels {
+namespace {
+
+using sparse::CsrF64;
+using sparse::RandomStructure;
+
+struct Problem {
+  CsrF64 matrix;
+  std::vector<double> x;
+};
+
+Problem make_problem(RandomStructure structure, std::uint64_t seed,
+                     std::uint64_t rows = 300, std::uint64_t cols = 90,
+                     double mean_nnz = 12.0) {
+  Rng rng(seed);
+  Problem p;
+  p.matrix = sparse::random_csr(rng, rows, cols, mean_nnz, structure);
+  p.x = sparse::random_vector(rng, cols, 0.0, 2.0);
+  return p;
+}
+
+// --- the paper's kernel ------------------------------------------------------
+
+TEST(VectorCsr, HalfDoubleBitwiseMatchesWarpOrderReference) {
+  // Strongest statement: the simulated kernel's result equals a pure host
+  // re-implementation of its accumulation order, bit for bit.
+  const Problem p = make_problem(RandomStructure::kSkewed, 100);
+  const auto mh = sparse::convert_values<pd::Half>(p.matrix);
+  // The reference must see the *quantized* values.
+  const auto mq = sparse::convert_values<double>(mh);
+
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<double> y(p.matrix.num_rows, -1.0);
+  run_vector_csr<pd::Half, double>(gpu, mh, p.x, std::span<double>(y));
+
+  std::vector<double> y_ref(p.matrix.num_rows);
+  sparse::warp_order_spmv(mq, p.x, y_ref);
+  EXPECT_EQ(y, y_ref);
+}
+
+TEST(VectorCsr, DoublePrecisionBitwiseMatchesWarpOrderReference) {
+  const Problem p = make_problem(RandomStructure::kManyEmpty, 101);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<double> y(p.matrix.num_rows);
+  run_vector_csr<double, double>(gpu, p.matrix, p.x, std::span<double>(y));
+  std::vector<double> y_ref(p.matrix.num_rows);
+  sparse::warp_order_spmv(p.matrix, p.x, y_ref);
+  EXPECT_EQ(y, y_ref);
+}
+
+TEST(VectorCsr, ReproducibleAcrossSchedules) {
+  // The paper's §II-D requirement: identical bits for any block schedule.
+  const Problem p = make_problem(RandomStructure::kSkewed, 102);
+  const auto mh = sparse::convert_values<pd::Half>(p.matrix);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<double> y1(p.matrix.num_rows), y2(p.matrix.num_rows);
+  run_vector_csr<pd::Half, double>(gpu, mh, p.x, std::span<double>(y1), 512, 1);
+  run_vector_csr<pd::Half, double>(gpu, mh, p.x, std::span<double>(y2), 512,
+                                   999);
+  EXPECT_EQ(y1, y2);
+}
+
+TEST(VectorCsr, ReproducibleAcrossBlockSizes) {
+  // Block size changes grid geometry but not the row <-> warp math.
+  const Problem p = make_problem(RandomStructure::kUniform, 103);
+  const auto mh = sparse::convert_values<pd::Half>(p.matrix);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<double> y1(p.matrix.num_rows), y2(p.matrix.num_rows);
+  run_vector_csr<pd::Half, double>(gpu, mh, p.x, std::span<double>(y1), 64);
+  run_vector_csr<pd::Half, double>(gpu, mh, p.x, std::span<double>(y2), 1024);
+  EXPECT_EQ(y1, y2);
+}
+
+TEST(VectorCsr, HalfQuantizationBoundsTheError) {
+  const Problem p = make_problem(RandomStructure::kUniform, 104);
+  const auto mh = sparse::convert_values<pd::Half>(p.matrix);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<double> y(p.matrix.num_rows);
+  run_vector_csr<pd::Half, double>(gpu, mh, p.x, std::span<double>(y));
+  std::vector<double> y_exact(p.matrix.num_rows);
+  sparse::reference_spmv(p.matrix, p.x, y_exact);
+  for (std::uint64_t r = 0; r < p.matrix.num_rows; ++r) {
+    // Each entry contributes at most ulp/2 * |x| of quantization error.
+    double budget = 1e-12;
+    for (std::uint32_t k = p.matrix.row_ptr[r]; k < p.matrix.row_ptr[r + 1];
+         ++k) {
+      budget += 0.5 * pd::half_ulp(p.matrix.values[k]) * std::fabs(p.x[p.matrix.col_idx[k]]);
+    }
+    EXPECT_LE(std::fabs(y[r] - y_exact[r]), budget * 1.0001) << "row " << r;
+  }
+}
+
+TEST(VectorCsr, U16ColumnIndexVariantAgreesBitwise) {
+  // Ablation A: narrowing the column index changes traffic, not results.
+  const Problem p = make_problem(RandomStructure::kSkewed, 105);
+  const auto mh = sparse::convert_values<pd::Half>(p.matrix);
+  const auto mh16 = sparse::narrow_col_index<std::uint16_t>(mh);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<double> y32(p.matrix.num_rows), y16(p.matrix.num_rows);
+  run_vector_csr<pd::Half, double>(gpu, mh, p.x, std::span<double>(y32));
+  const SpmvRun run16 = run_vector_csr<pd::Half, double, std::uint16_t>(
+      gpu, mh16, p.x, std::span<double>(y16));
+  EXPECT_EQ(y32, y16);
+  EXPECT_GT(run16.stats.flops(), 0.0);
+}
+
+TEST(VectorCsr, U16TrafficIsLower) {
+  const Problem p =
+      make_problem(RandomStructure::kUniform, 106, 2000, 200, 30.0);
+  const auto mh = sparse::convert_values<pd::Half>(p.matrix);
+  const auto mh16 = sparse::narrow_col_index<std::uint16_t>(mh);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<double> y(p.matrix.num_rows);
+  const auto run32 =
+      run_vector_csr<pd::Half, double>(gpu, mh, p.x, std::span<double>(y));
+  const auto run16 = run_vector_csr<pd::Half, double, std::uint16_t>(
+      gpu, mh16, p.x, std::span<double>(y));
+  EXPECT_LT(run16.stats.dram_bytes(), run32.stats.dram_bytes());
+  EXPECT_GT(run16.stats.operational_intensity(),
+            run32.stats.operational_intensity());
+}
+
+TEST(VectorCsr, SizeMismatchThrows) {
+  const Problem p = make_problem(RandomStructure::kUniform, 107);
+  const auto mh = sparse::convert_values<pd::Half>(p.matrix);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<double> y_bad(p.matrix.num_rows + 1);
+  EXPECT_THROW((run_vector_csr<pd::Half, double>(gpu, mh, p.x,
+                                                 std::span<double>(y_bad))),
+               pd::Error);
+}
+
+// --- GPU Baseline ------------------------------------------------------------
+
+TEST(BaselineGpu, MatchesCpuEngineBitwiseOnFixedSchedule) {
+  // Same compressed data, same deterministic order -> the GPU port with a
+  // fixed schedule applies column contributions in the same order as the
+  // serial CPU engine.
+  const Problem p = make_problem(RandomStructure::kManyEmpty, 108);
+  const rsformat::RsMatrix rs = rsformat::RsMatrix::from_csr(p.matrix);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<double> y_gpu(p.matrix.num_rows);
+  run_baseline_gpu(gpu, rs, p.x, std::span<double>(y_gpu));
+  std::vector<double> y_cpu(p.matrix.num_rows);
+  rsformat::cpu_compute_dose_serial(rs, p.x, y_cpu);
+  for (std::uint64_t r = 0; r < p.matrix.num_rows; ++r) {
+    EXPECT_NEAR(y_gpu[r], y_cpu[r], 1e-9 * (1.0 + std::fabs(y_cpu[r])));
+  }
+}
+
+TEST(BaselineGpu, NotBitwiseReproducibleAcrossSchedules) {
+  // The paper's point about the baseline: atomics make the result depend on
+  // block scheduling.  Find at least one schedule pair that differs.
+  const Problem p = make_problem(RandomStructure::kSkewed, 109, 400, 120, 20.0);
+  const rsformat::RsMatrix rs = rsformat::RsMatrix::from_csr(p.matrix);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<double> base(p.matrix.num_rows);
+  run_baseline_gpu(gpu, rs, p.x, std::span<double>(base), 32, 0);
+  bool differs = false;
+  std::vector<double> y(p.matrix.num_rows);
+  for (std::uint64_t seed = 1; seed <= 16 && !differs; ++seed) {
+    run_baseline_gpu(gpu, rs, p.x, std::span<double>(y), 32, seed);
+    differs = (y != base);
+    // Values still agree to rounding, of course.
+    for (std::uint64_t r = 0; r < y.size(); ++r) {
+      EXPECT_NEAR(y[r], base[r], 1e-9 * (1.0 + std::fabs(base[r])));
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(BaselineGpu, IssuesAtomics) {
+  const Problem p = make_problem(RandomStructure::kUniform, 110);
+  const rsformat::RsMatrix rs = rsformat::RsMatrix::from_csr(p.matrix);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<double> y(p.matrix.num_rows);
+  const SpmvRun run = run_baseline_gpu(gpu, rs, p.x, std::span<double>(y));
+  EXPECT_GT(run.stats.traffic.l2_atomic_ops, 0u);
+  // One atomic per stored entry with nonzero weight (weights here are > 0).
+  EXPECT_EQ(run.stats.traffic.l2_atomic_ops, rs.nnz());
+}
+
+// --- library-style kernels ----------------------------------------------------
+
+TEST(ClassicalCsr, SubwarpHeuristic) {
+  EXPECT_EQ(classical_subwarp_size(0, 10), 1u);
+  EXPECT_EQ(classical_subwarp_size(10, 10), 1u);
+  EXPECT_EQ(classical_subwarp_size(30, 10), 4u);
+  EXPECT_EQ(classical_subwarp_size(320, 10), 32u);
+  EXPECT_EQ(classical_subwarp_size(100000, 10), 32u);
+}
+
+TEST(AdaptiveCsr, WorklistCoversEveryRowOnce) {
+  const Problem p = make_problem(RandomStructure::kSkewed, 111, 500, 100, 10.0);
+  const auto m32 = sparse::convert_values<float>(p.matrix);
+  const auto items = build_adaptive_worklist(m32);
+  std::vector<int> covered(p.matrix.num_rows, 0);
+  for (const auto& item : items) {
+    EXPECT_LT(item.row_begin, item.row_end);
+    for (std::uint32_t r = item.row_begin; r < item.row_end; ++r) {
+      covered[r]++;
+    }
+    if (item.long_row) {
+      EXPECT_EQ(item.row_end, item.row_begin + 1);
+      EXPECT_GE(m32.row_nnz(item.row_begin), 32u);
+    } else {
+      EXPECT_LE(m32.row_ptr[item.row_end] - m32.row_ptr[item.row_begin], 32u);
+      EXPECT_LE(item.row_end - item.row_begin, 32u);
+    }
+  }
+  for (const int c : covered) {
+    EXPECT_EQ(c, 1);
+  }
+}
+
+// --- parameterized family sweep -----------------------------------------------
+
+using SweepParam = std::tuple<RandomStructure, std::uint64_t>;
+
+class KernelFamily : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  void SetUp() override {
+    const auto [structure, seed] = GetParam();
+    problem_ = make_problem(structure, seed, 350, 100, 10.0);
+    m32_ = sparse::convert_values<float>(problem_.matrix);
+    x32_.resize(problem_.x.size());
+    for (std::size_t i = 0; i < x32_.size(); ++i) {
+      x32_[i] = static_cast<float>(problem_.x[i]);
+    }
+    y32_ref_.resize(problem_.matrix.num_rows);
+    sparse::reference_spmv_f32(m32_, x32_, y32_ref_);
+  }
+
+  void expect_close_f32(const std::vector<float>& y) {
+    for (std::uint64_t r = 0; r < y.size(); ++r) {
+      EXPECT_NEAR(y[r], y32_ref_[r], 2e-4 * (1.0 + std::fabs(y32_ref_[r])))
+          << "row " << r;
+    }
+  }
+
+  Problem problem_;
+  sparse::CsrMatrix<float> m32_;
+  std::vector<float> x32_;
+  std::vector<float> y32_ref_;
+};
+
+TEST_P(KernelFamily, SingleVectorKernel) {
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<float> y(m32_.num_rows);
+  run_vector_csr<float, float>(gpu, m32_, x32_, std::span<float>(y));
+  expect_close_f32(y);
+}
+
+TEST_P(KernelFamily, ClassicalKernel) {
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<float> y(m32_.num_rows, -7.0f);
+  run_classical_csr(gpu, m32_, x32_, std::span<float>(y));
+  expect_close_f32(y);
+}
+
+TEST_P(KernelFamily, AdaptiveKernel) {
+  gpusim::Gpu gpu(gpusim::make_a100());
+  const auto items = build_adaptive_worklist(m32_);
+  std::vector<float> y(m32_.num_rows, -7.0f);
+  run_adaptive_csr(gpu, m32_, items, x32_, std::span<float>(y));
+  expect_close_f32(y);
+}
+
+TEST_P(KernelFamily, EllKernel) {
+  gpusim::Gpu gpu(gpusim::make_a100());
+  const auto ell = sparse::csr_to_ell(m32_, 1ull << 28);
+  std::vector<float> y(m32_.num_rows);
+  run_ell_spmv<float, float>(gpu, ell, x32_, std::span<float>(y));
+  expect_close_f32(y);
+}
+
+TEST_P(KernelFamily, SellCsKernel) {
+  gpusim::Gpu gpu(gpusim::make_a100());
+  const auto sell = sparse::csr_to_sellcs(m32_, 32, 128);
+  std::vector<float> y(m32_.num_rows);
+  run_sellcs_spmv<float, float>(gpu, sell, x32_, std::span<float>(y));
+  expect_close_f32(y);
+}
+
+TEST_P(KernelFamily, BaselineKernel) {
+  gpusim::Gpu gpu(gpusim::make_a100());
+  const rsformat::RsMatrix rs = rsformat::RsMatrix::from_csr(problem_.matrix);
+  std::vector<double> y(problem_.matrix.num_rows);
+  run_baseline_gpu(gpu, rs, problem_.x, std::span<double>(y));
+  std::vector<double> y_ref(problem_.matrix.num_rows);
+  sparse::reference_spmv(problem_.matrix, problem_.x, y_ref);
+  for (std::uint64_t r = 0; r < y.size(); ++r) {
+    const double tol = 2e-3 * (1.0 + std::fabs(y_ref[r])) +
+                       5e-5 * static_cast<double>(problem_.matrix.row_nnz(r));
+    EXPECT_NEAR(y[r], y_ref[r], tol) << "row " << r;
+  }
+}
+
+TEST_P(KernelFamily, AllKernelsReproducibleExceptBaseline) {
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<float> a(m32_.num_rows), b(m32_.num_rows);
+  run_classical_csr(gpu, m32_, x32_, std::span<float>(a), 512, 3);
+  run_classical_csr(gpu, m32_, x32_, std::span<float>(b), 512, 17);
+  EXPECT_EQ(a, b);
+  const auto items = build_adaptive_worklist(m32_);
+  run_adaptive_csr(gpu, m32_, items, x32_, std::span<float>(a), 512, 3);
+  run_adaptive_csr(gpu, m32_, items, x32_, std::span<float>(b), 512, 17);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Structures, KernelFamily,
+    ::testing::Combine(::testing::Values(RandomStructure::kUniform,
+                                         RandomStructure::kSkewed,
+                                         RandomStructure::kManyEmpty,
+                                         RandomStructure::kBanded),
+                       ::testing::Values(11u, 22u, 33u)));
+
+// --- tuner ---------------------------------------------------------------------
+
+TEST(Tuner, SweepsAndPicksBest) {
+  const Problem p = make_problem(RandomStructure::kSkewed, 200, 2000, 150, 25.0);
+  const auto mh = sparse::convert_values<pd::Half>(p.matrix);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<double> y(p.matrix.num_rows);
+
+  const TuneResult result = tune_block_size(
+      gpu.spec(),
+      [&](unsigned tpb) {
+        return run_vector_csr<pd::Half, double>(gpu, mh, p.x,
+                                                std::span<double>(y), tpb);
+      },
+      /*mean_work_per_warp=*/50.0);
+
+  ASSERT_EQ(result.points.size(), default_block_sizes().size());
+  double best = -1.0;
+  for (const TunePoint& pt : result.points) {
+    best = std::max(best, pt.estimate.gflops);
+  }
+  EXPECT_DOUBLE_EQ(result.best().estimate.gflops, best);
+  EXPECT_THROW(tune_block_size(gpu.spec(), [&](unsigned) {
+    return SpmvRun{};
+  }, 1.0, {}), pd::Error);
+}
+
+}  // namespace
+}  // namespace pd::kernels

@@ -1,0 +1,85 @@
+// Parameterized sweep: every precision mode on every simulated device.  The
+// numerics must be device-independent (the kernel semantics don't change),
+// while the modeled performance must respect each device's physical limits.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/dose_engine.hpp"
+#include "sparse/random.hpp"
+
+namespace pd::kernels {
+namespace {
+
+enum class DeviceId { kA100, kV100, kP100 };
+
+gpusim::DeviceSpec spec_of(DeviceId id) {
+  switch (id) {
+    case DeviceId::kA100: return gpusim::make_a100();
+    case DeviceId::kV100: return gpusim::make_v100();
+    case DeviceId::kP100: return gpusim::make_p100();
+  }
+  throw pd::Error("bad device id");
+}
+
+using Param = std::tuple<DeviceId, DoseEngine::Mode>;
+
+class DeviceModeSweep : public ::testing::TestWithParam<Param> {
+ protected:
+  static const sparse::CsrF64& matrix() {
+    static const sparse::CsrF64 kMatrix = [] {
+      Rng rng(321);
+      return sparse::random_csr(rng, 600, 120, 15.0,
+                                sparse::RandomStructure::kManyEmpty);
+    }();
+    return kMatrix;
+  }
+};
+
+TEST_P(DeviceModeSweep, EstimateRespectsDeviceLimits) {
+  const auto [device, mode] = GetParam();
+  const gpusim::DeviceSpec spec = spec_of(device);
+  DoseEngine engine(sparse::CsrF64(matrix()), spec, mode);
+  Rng rng(11);
+  engine.compute(sparse::random_vector(rng, matrix().num_cols));
+  const auto est = engine.last_estimate();
+
+  EXPECT_GT(est.gflops, 0.0);
+  EXPECT_LE(est.dram_gbs, spec.peak_bw_gbs * 1.0001);
+  const double peak = engine.last_run().precision == gpusim::FlopPrecision::kFp64
+                          ? spec.peak_fp64_gflops
+                          : spec.peak_fp32_gflops;
+  EXPECT_LE(est.gflops, peak);
+  EXPECT_GT(est.occupancy, 0.0);
+  EXPECT_LE(est.occupancy, 1.0);
+  EXPECT_GT(est.operational_intensity, 0.1);
+  EXPECT_LT(est.operational_intensity, 0.6);  // SpMV territory
+}
+
+TEST_P(DeviceModeSweep, DoseIsDeviceIndependentAndScheduleStable) {
+  const auto [device, mode] = GetParam();
+  DoseEngine engine(sparse::CsrF64(matrix()), spec_of(device), mode);
+  Rng rng(12);
+  const auto x = sparse::random_vector(rng, matrix().num_cols);
+  const auto y1 = engine.compute(x, 5);
+  const auto y2 = engine.compute(x, 777);
+  EXPECT_EQ(y1, y2);
+
+  // Reference: the same mode on the A100 — bitwise equal on any device.
+  DoseEngine ref(sparse::CsrF64(matrix()), gpusim::make_a100(), mode);
+  EXPECT_EQ(ref.compute(x), y1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDevicesAllModes, DeviceModeSweep,
+    ::testing::Combine(::testing::Values(DeviceId::kA100, DeviceId::kV100,
+                                         DeviceId::kP100),
+                       ::testing::Values(DoseEngine::Mode::kHalfDouble,
+                                         DoseEngine::Mode::kSingle,
+                                         DoseEngine::Mode::kDouble)));
+
+}  // namespace
+}  // namespace pd::kernels

@@ -1,0 +1,215 @@
+// Tests for the Monte Carlo pencil-beam engine: Bragg-curve physics,
+// transport determinism, noise behaviour, and matrix assembly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mc/bragg.hpp"
+#include "mc/generator.hpp"
+#include "mc/pencilbeam.hpp"
+#include "phantom/phantom.hpp"
+
+namespace pd::mc {
+namespace {
+
+TEST(Bragg, PeakSitsNearTheRange) {
+  const BraggModel model;
+  for (const double range : {5.0, 10.0, 20.0, 30.0}) {
+    double best_depth = 0.0, best_dose = 0.0;
+    for (double d = 0.0; d < range * 1.2; d += 0.01) {
+      const double dd = model.depth_dose(d, range);
+      if (dd > best_dose) {
+        best_dose = dd;
+        best_depth = d;
+      }
+    }
+    EXPECT_NEAR(best_depth, range, 3.0 * model.sigma_range_cm(range) + 0.02);
+  }
+}
+
+TEST(Bragg, EntranceWellBelowPeak) {
+  const BraggModel model;
+  const double range = 15.0;
+  const double entrance = model.depth_dose(0.0, range);
+  const double peak = model.depth_dose(range - 0.5 * model.sigma_range_cm(range),
+                                       range);
+  EXPECT_GT(peak / entrance, 3.0);  // clinical Bragg peaks are ~3-5x entrance
+  EXPECT_LT(peak / entrance, 15.0);
+}
+
+TEST(Bragg, ZeroBeyondDistalFalloff) {
+  const BraggModel model;
+  const double range = 12.0;
+  EXPECT_EQ(model.depth_dose(model.max_depth_cm(range) + 0.01, range), 0.0);
+  EXPECT_GT(model.depth_dose(range, range), 0.0);
+  EXPECT_EQ(model.depth_dose(-0.1, range), 0.0);
+}
+
+TEST(Bragg, DistalFalloffIsSharp) {
+  const BraggModel model;
+  const double range = 12.0;
+  const double sigma = model.sigma_range_cm(range);
+  const double at_peak = model.depth_dose(range - 0.5 * sigma, range);
+  const double past = model.depth_dose(range + 2.0 * sigma, range);
+  EXPECT_LT(past, 0.25 * at_peak);
+}
+
+TEST(Bragg, StragglingGrowsWithRange) {
+  const BraggModel model;
+  EXPECT_LT(model.sigma_range_cm(5.0), model.sigma_range_cm(30.0));
+  EXPECT_THROW(model.sigma_range_cm(0.0), pd::Error);
+  EXPECT_THROW(model.depth_dose(1.0, 0.0), pd::Error);
+}
+
+class TransportFixture : public ::testing::Test {
+ protected:
+  TransportFixture()
+      : phantom_(phantom::make_liver_phantom(24, 24, 14, 5.0)),
+        frame_(phantom::make_beam_frame(phantom_, 0.0)) {
+    spot_.u_mm = 0.0;
+    spot_.v_mm = 0.0;
+    spot_.energy_mev =
+        phantom::proton_energy_mev(water_equivalent_depth_cm_of_iso());
+  }
+
+  double water_equivalent_depth_cm_of_iso() const {
+    return phantom::water_equivalent_depth_cm(phantom_, frame_,
+                                              frame_.isocenter);
+  }
+
+  phantom::Phantom phantom_;
+  phantom::BeamFrame frame_;
+  phantom::Spot spot_;
+  BraggModel bragg_;
+  TransportConfig config_;
+};
+
+TEST_F(TransportFixture, DepositsAreInsideTheGridAndPositive) {
+  Rng rng(1);
+  const auto deposits = transport_spot(phantom_, frame_, spot_, bragg_, config_, rng);
+  ASSERT_GT(deposits.size(), 10u);
+  for (const Deposit& d : deposits) {
+    EXPECT_LT(d.voxel, phantom_.grid().num_voxels());
+    EXPECT_GE(d.dose, 0.0);
+  }
+}
+
+TEST_F(TransportFixture, SortedUniqueVoxels) {
+  Rng rng(1);
+  const auto deposits = transport_spot(phantom_, frame_, spot_, bragg_, config_, rng);
+  for (std::size_t i = 1; i < deposits.size(); ++i) {
+    EXPECT_LT(deposits[i - 1].voxel, deposits[i].voxel);
+  }
+}
+
+TEST_F(TransportFixture, DeterministicForFixedSeed) {
+  Rng rng_a(77), rng_b(77);
+  const auto a = transport_spot(phantom_, frame_, spot_, bragg_, config_, rng_a);
+  const auto b = transport_spot(phantom_, frame_, spot_, bragg_, config_, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].voxel, b[i].voxel);
+    EXPECT_EQ(a[i].dose, b[i].dose);  // bitwise
+  }
+}
+
+TEST_F(TransportFixture, PeakDoseNearTheBraggDepth) {
+  Rng rng(5);
+  const auto deposits = transport_spot(phantom_, frame_, spot_, bragg_, config_, rng);
+  // The hottest voxel should sit near the isocenter depth (the spot was
+  // aimed there through the energy choice).
+  const Deposit* hottest = &deposits.front();
+  for (const Deposit& d : deposits) {
+    if (d.dose > hottest->dose) hottest = &d;
+  }
+  const auto hot_center =
+      phantom_.grid().voxel_center(phantom_.grid().from_linear(hottest->voxel));
+  const double dist = (hot_center - frame_.isocenter).norm();
+  EXPECT_LT(dist, 25.0);  // within a few voxels of the aim point
+}
+
+TEST_F(TransportFixture, HaloNoiseAddsTinyEntries) {
+  Rng rng_with(3), rng_without(3);
+  TransportConfig no_halo = config_;
+  no_halo.halo_prob = 0.0;
+  TransportConfig halo = config_;
+  halo.halo_prob = 0.9;
+  const auto with = transport_spot(phantom_, frame_, spot_, bragg_, halo, rng_with);
+  const auto without =
+      transport_spot(phantom_, frame_, spot_, bragg_, no_halo, rng_without);
+  EXPECT_GT(with.size(), without.size());  // the paper's MC-noise nnz inflation
+}
+
+TEST_F(TransportFixture, PruningDropsSmallDeposits) {
+  Rng rng_a(3), rng_b(3);
+  TransportConfig loose = config_;
+  loose.prune_rel = 0.0;
+  loose.halo_prob = 0.0;
+  TransportConfig tight = config_;
+  tight.prune_rel = 0.05;  // aggressive
+  tight.halo_prob = 0.0;
+  const auto all = transport_spot(phantom_, frame_, spot_, bragg_, loose, rng_a);
+  const auto pruned = transport_spot(phantom_, frame_, spot_, bragg_, tight, rng_b);
+  EXPECT_LT(pruned.size(), all.size());
+}
+
+TEST_F(TransportFixture, InvalidStepThrows) {
+  Rng rng(1);
+  TransportConfig bad = config_;
+  bad.step_mm = 0.0;
+  EXPECT_THROW(transport_spot(phantom_, frame_, spot_, bragg_, bad, rng),
+               pd::Error);
+}
+
+TEST(Generator, BuildsValidatedMatrix) {
+  const auto phantom = phantom::make_prostate_phantom(16, 16, 12, 6.0);
+  phantom::BeamConfig beam_cfg;
+  beam_cfg.spot_spacing_mm = 8.0;
+  beam_cfg.layer_spacing_mm = 8.0;
+  const GeneratedBeam beam = generate_dose_matrix(
+      phantom, 90.0, beam_cfg, TransportConfig{}, BraggModel{}, 42);
+  EXPECT_EQ(beam.matrix.num_rows, phantom.grid().num_voxels());
+  EXPECT_EQ(beam.matrix.num_cols, beam.spots.size());
+  EXPECT_GT(beam.matrix.nnz(), 100u);
+  EXPECT_NO_THROW(beam.matrix.validate());
+  EXPECT_DOUBLE_EQ(beam.gantry_angle_deg, 90.0);
+}
+
+TEST(Generator, DeterministicInSeed) {
+  const auto phantom = phantom::make_prostate_phantom(14, 14, 10, 6.0);
+  phantom::BeamConfig cfg;
+  cfg.spot_spacing_mm = 9.0;
+  cfg.layer_spacing_mm = 9.0;
+  const auto a = generate_dose_matrix(phantom, 90.0, cfg, TransportConfig{},
+                                      BraggModel{}, 7);
+  const auto b = generate_dose_matrix(phantom, 90.0, cfg, TransportConfig{},
+                                      BraggModel{}, 7);
+  EXPECT_EQ(a.matrix.values, b.matrix.values);
+  EXPECT_EQ(a.matrix.col_idx, b.matrix.col_idx);
+  const auto c = generate_dose_matrix(phantom, 90.0, cfg, TransportConfig{},
+                                      BraggModel{}, 8);
+  EXPECT_NE(a.matrix.values, c.matrix.values);
+}
+
+TEST(Generator, DifferentAnglesHitDifferentVoxels) {
+  const auto phantom = phantom::make_liver_phantom(20, 20, 12, 6.0);
+  phantom::BeamConfig cfg;
+  cfg.spot_spacing_mm = 9.0;
+  cfg.layer_spacing_mm = 9.0;
+  const auto a = generate_dose_matrix(phantom, 0.0, cfg, TransportConfig{},
+                                      BraggModel{}, 7);
+  const auto b = generate_dose_matrix(phantom, 135.0, cfg, TransportConfig{},
+                                      BraggModel{}, 7);
+  // Count rows non-empty in exactly one of the two.
+  std::uint64_t sym_diff = 0;
+  for (std::uint64_t r = 0; r < a.matrix.num_rows; ++r) {
+    const bool in_a = a.matrix.row_nnz(r) > 0;
+    const bool in_b = b.matrix.row_nnz(r) > 0;
+    sym_diff += (in_a != in_b);
+  }
+  EXPECT_GT(sym_diff, a.matrix.num_rows / 20);
+}
+
+}  // namespace
+}  // namespace pd::mc

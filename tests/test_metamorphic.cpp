@@ -1,0 +1,129 @@
+// Metamorphic properties of the SpMV kernels.  These exploit exact FP
+// identities, so they hold BITWISE and catch subtle kernel bugs that
+// tolerance-based comparisons absorb:
+//   * scaling x by a power of two only changes exponents: K(2^k x) = 2^k K(x)
+//     exactly, for every kernel and precision;
+//   * zero weights give exactly zero dose;
+//   * permuting matrix rows permutes the output identically (the kernel must
+//     not couple rows);
+//   * linearity K(x + y) = K(x) + K(y) holds to rounding.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "kernels/baseline_gpu.hpp"
+#include "kernels/vector_csr.hpp"
+#include "rsformat/rsmatrix.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/random.hpp"
+
+namespace pd::kernels {
+namespace {
+
+class Metamorphic : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    A_ = sparse::random_csr(rng, 250, 80, 10.0,
+                            sparse::RandomStructure::kSkewed);
+    mh_ = sparse::convert_values<pd::Half>(A_);
+    x_ = sparse::random_vector(rng, A_.num_cols, 0.25, 4.0);
+  }
+
+  std::vector<double> run(const std::vector<double>& x) {
+    gpusim::Gpu gpu(gpusim::make_a100());
+    std::vector<double> y(A_.num_rows);
+    run_vector_csr<pd::Half, double>(gpu, mh_, x, std::span<double>(y));
+    return y;
+  }
+
+  sparse::CsrF64 A_;
+  sparse::CsrMatrix<pd::Half> mh_;
+  std::vector<double> x_;
+};
+
+TEST_P(Metamorphic, PowerOfTwoScalingIsExact) {
+  const auto y1 = run(x_);
+  for (const double factor : {2.0, 0.25, 1024.0}) {
+    std::vector<double> xs(x_.size());
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+      xs[i] = factor * x_[i];
+    }
+    const auto ys = run(xs);
+    for (std::size_t r = 0; r < y1.size(); ++r) {
+      EXPECT_EQ(ys[r], factor * y1[r]) << "row " << r << " factor " << factor;
+    }
+  }
+}
+
+TEST_P(Metamorphic, ZeroWeightsGiveExactlyZeroDose) {
+  const std::vector<double> zero(A_.num_cols, 0.0);
+  for (const double d : run(zero)) {
+    EXPECT_EQ(d, 0.0);
+  }
+}
+
+TEST_P(Metamorphic, RowPermutationPermutesTheDose) {
+  // Reverse the row order of the matrix; the per-row results must follow
+  // bitwise (each row's computation is self-contained).
+  sparse::CooMatrix<pd::Half> coo;
+  coo.num_rows = mh_.num_rows;
+  coo.num_cols = mh_.num_cols;
+  for (std::uint64_t r = 0; r < mh_.num_rows; ++r) {
+    for (std::uint32_t k = mh_.row_ptr[r]; k < mh_.row_ptr[r + 1]; ++k) {
+      coo.entries.push_back(sparse::CooEntry<pd::Half>{
+          static_cast<std::uint32_t>(mh_.num_rows - 1 - r), mh_.col_idx[k],
+          mh_.values[k]});
+    }
+  }
+  const auto reversed = sparse::coo_to_csr(coo);
+
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<double> y_rev(A_.num_rows);
+  run_vector_csr<pd::Half, double>(gpu, reversed, x_, std::span<double>(y_rev));
+  const auto y = run(x_);
+  for (std::uint64_t r = 0; r < A_.num_rows; ++r) {
+    EXPECT_EQ(y_rev[A_.num_rows - 1 - r], y[r]) << r;
+  }
+}
+
+TEST_P(Metamorphic, LinearityWithinRounding) {
+  Rng rng(GetParam() + 99);
+  const auto x2 = sparse::random_vector(rng, A_.num_cols, 0.25, 4.0);
+  std::vector<double> sum(x_.size());
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    sum[i] = x_[i] + x2[i];
+  }
+  const auto y1 = run(x_);
+  const auto y2 = run(x2);
+  const auto ysum = run(sum);
+  for (std::size_t r = 0; r < ysum.size(); ++r) {
+    EXPECT_NEAR(ysum[r], y1[r] + y2[r],
+                1e-12 * (1.0 + std::fabs(y1[r]) + std::fabs(y2[r])));
+  }
+}
+
+TEST_P(Metamorphic, BaselineAlsoScalesExactly) {
+  // The same power-of-two identity holds for the compressed-format baseline.
+  const rsformat::RsMatrix rs = rsformat::RsMatrix::from_csr(A_);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<double> y1(A_.num_rows), y2(A_.num_rows);
+  run_baseline_gpu(gpu, rs, x_, std::span<double>(y1));
+  std::vector<double> xs(x_.size());
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    xs[i] = 8.0 * x_[i];
+  }
+  run_baseline_gpu(gpu, rs, xs, std::span<double>(y2));
+  for (std::size_t r = 0; r < y1.size(); ++r) {
+    EXPECT_EQ(y2[r], 8.0 * y1[r]) << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Metamorphic,
+                         ::testing::Values(901u, 902u, 903u, 904u));
+
+}  // namespace
+}  // namespace pd::kernels

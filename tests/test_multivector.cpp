@@ -1,0 +1,127 @@
+// Tests for the batched multi-vector CSR SpMV.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kernels/multivector_csr.hpp"
+#include "kernels/vector_csr.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/random.hpp"
+
+namespace pd::kernels {
+namespace {
+
+struct Batch {
+  sparse::CsrMatrix<pd::Half> matrix;
+  std::vector<std::vector<double>> xs;
+};
+
+Batch make_batch(std::size_t width, std::uint64_t seed) {
+  Rng rng(seed);
+  Batch b;
+  b.matrix = sparse::convert_values<pd::Half>(sparse::random_csr(
+      rng, 300, 90, 12.0, sparse::RandomStructure::kSkewed));
+  for (std::size_t j = 0; j < width; ++j) {
+    b.xs.push_back(sparse::random_vector(rng, b.matrix.num_cols, 0.1, 2.0));
+  }
+  return b;
+}
+
+TEST(MultiVector, EveryColumnBitwiseMatchesSingleVectorRuns) {
+  const Batch b = make_batch(4, 1);
+  gpusim::Gpu gpu(gpusim::make_a100());
+
+  std::vector<std::vector<double>> ys(4,
+                                      std::vector<double>(b.matrix.num_rows));
+  std::vector<std::span<const double>> xs(b.xs.begin(), b.xs.end());
+  std::vector<std::span<double>> yspans(ys.begin(), ys.end());
+  run_vector_csr_multi<pd::Half, double>(gpu, b.matrix, xs,
+                                         std::span<const std::span<double>>(yspans));
+
+  for (std::size_t j = 0; j < 4; ++j) {
+    std::vector<double> y_single(b.matrix.num_rows);
+    run_vector_csr<pd::Half, double>(gpu, b.matrix, b.xs[j],
+                                     std::span<double>(y_single));
+    EXPECT_EQ(ys[j], y_single) << "batch column " << j;
+  }
+}
+
+TEST(MultiVector, MatrixTrafficIsAmortized) {
+  const Batch b = make_batch(4, 2);
+  gpusim::Gpu gpu(gpusim::make_a100());
+
+  std::vector<std::vector<double>> ys(4,
+                                      std::vector<double>(b.matrix.num_rows));
+  std::vector<std::span<const double>> xs(b.xs.begin(), b.xs.end());
+  std::vector<std::span<double>> yspans(ys.begin(), ys.end());
+  const SpmvRun multi = run_vector_csr_multi<pd::Half, double>(
+      gpu, b.matrix, xs, std::span<const std::span<double>>(yspans));
+
+  std::vector<double> y(b.matrix.num_rows);
+  const SpmvRun single = run_vector_csr<pd::Half, double>(
+      gpu, b.matrix, b.xs[0], std::span<double>(y));
+
+  // 4 products for much less than 4x the DRAM traffic...
+  EXPECT_LT(multi.stats.dram_bytes(), 2.5 * single.stats.dram_bytes());
+  // ...which means higher per-launch operational intensity.
+  EXPECT_GT(multi.stats.operational_intensity(),
+            2.0 * single.stats.operational_intensity());
+  // FLOPs scale with the batch exactly.
+  EXPECT_EQ(multi.stats.compute.flops, 4 * single.stats.compute.flops);
+  // And the register cost is charged to occupancy.
+  EXPECT_GT(multi.config.regs_per_thread, single.config.regs_per_thread);
+}
+
+TEST(MultiVector, ReproducibleAcrossSchedules) {
+  const Batch b = make_batch(3, 3);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<std::span<const double>> xs(b.xs.begin(), b.xs.end());
+
+  auto run_with_seed = [&](std::uint64_t seed) {
+    std::vector<std::vector<double>> ys(
+        3, std::vector<double>(b.matrix.num_rows));
+    std::vector<std::span<double>> yspans(ys.begin(), ys.end());
+    run_vector_csr_multi<pd::Half, double>(
+        gpu, b.matrix, xs, std::span<const std::span<double>>(yspans), 512,
+        seed);
+    return ys;
+  };
+  EXPECT_EQ(run_with_seed(7), run_with_seed(7777));
+}
+
+TEST(MultiVector, ValidatesInputs) {
+  const Batch b = make_batch(2, 4);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  std::vector<std::vector<double>> ys(2,
+                                      std::vector<double>(b.matrix.num_rows));
+  std::vector<std::span<const double>> xs(b.xs.begin(), b.xs.end());
+  std::vector<std::span<double>> yspans(ys.begin(), ys.end());
+
+  // Mismatched batch widths.
+  std::vector<std::span<double>> one(yspans.begin(), yspans.begin() + 1);
+  EXPECT_THROW((run_vector_csr_multi<pd::Half, double>(
+                   gpu, b.matrix, xs, std::span<const std::span<double>>(one))),
+               pd::Error);
+
+  // Over-wide batch.
+  std::vector<std::vector<double>> many_x(
+      kMaxSpmvBatch + 1, std::vector<double>(b.matrix.num_cols, 1.0));
+  std::vector<std::vector<double>> many_y(
+      kMaxSpmvBatch + 1, std::vector<double>(b.matrix.num_rows));
+  std::vector<std::span<const double>> mxs(many_x.begin(), many_x.end());
+  std::vector<std::span<double>> mys(many_y.begin(), many_y.end());
+  EXPECT_THROW((run_vector_csr_multi<pd::Half, double>(
+                   gpu, b.matrix, mxs, std::span<const std::span<double>>(mys))),
+               pd::Error);
+
+  // Wrong vector length.
+  std::vector<double> short_x(b.matrix.num_cols - 1, 1.0);
+  std::vector<std::span<const double>> bad_xs = {short_x, b.xs[1]};
+  EXPECT_THROW((run_vector_csr_multi<pd::Half, double>(
+                   gpu, b.matrix, bad_xs,
+                   std::span<const std::span<double>>(yspans))),
+               pd::Error);
+}
+
+}  // namespace
+}  // namespace pd::kernels

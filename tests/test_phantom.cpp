@@ -1,0 +1,261 @@
+// Tests for voxel grids, phantoms, beam geometry, and spot generation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phantom/beam.hpp"
+#include "phantom/grid.hpp"
+#include "phantom/phantom.hpp"
+
+namespace pd::phantom {
+namespace {
+
+TEST(Vec3, BasicAlgebra) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  const Vec3 s = a + b;
+  EXPECT_DOUBLE_EQ(s.x, 5.0);
+  EXPECT_DOUBLE_EQ((a - b).z, -3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec3{0, 0, 9}).normalized().z, 1.0);
+  EXPECT_THROW((Vec3{}).normalized(), pd::Error);
+}
+
+TEST(VoxelGrid, LinearIndexRoundTrip) {
+  const VoxelGrid g(5, 7, 3, 2.0);
+  EXPECT_EQ(g.num_voxels(), 105u);
+  for (std::uint64_t i = 0; i < g.num_voxels(); ++i) {
+    EXPECT_EQ(g.linear_index(g.from_linear(i)), i);
+  }
+}
+
+TEST(VoxelGrid, CentersAndNearest) {
+  const VoxelGrid g(4, 4, 4, 3.0, Vec3{10.0, 0.0, 0.0});
+  const Vec3 c = g.voxel_center({2, 1, 3});
+  EXPECT_DOUBLE_EQ(c.x, 16.0);
+  EXPECT_DOUBLE_EQ(c.y, 3.0);
+  EXPECT_DOUBLE_EQ(c.z, 9.0);
+  const VoxelIndex v = g.nearest_voxel({16.4, 3.4, 9.4});
+  EXPECT_EQ(v.i, 2);
+  EXPECT_EQ(v.j, 1);
+  EXPECT_EQ(v.k, 3);
+}
+
+TEST(VoxelGrid, ContainsAndInvalid) {
+  const VoxelGrid g(4, 4, 4, 1.0);
+  EXPECT_TRUE(g.contains({0, 0, 0}));
+  EXPECT_FALSE(g.contains({-1, 0, 0}));
+  EXPECT_FALSE(g.contains({0, 4, 0}));
+  EXPECT_THROW(VoxelGrid(0, 4, 4, 1.0), pd::Error);
+  EXPECT_THROW(VoxelGrid(4, 4, 4, 0.0), pd::Error);
+}
+
+TEST(VoxelGrid, CenterAndVolume) {
+  const VoxelGrid g(3, 3, 3, 10.0);
+  const Vec3 c = g.grid_center();
+  EXPECT_DOUBLE_EQ(c.x, 10.0);
+  EXPECT_DOUBLE_EQ(g.voxel_volume_cm3(), 1.0);
+}
+
+TEST(Ellipsoid, Containment) {
+  const Ellipsoid e{{0, 0, 0}, {2, 1, 1}};
+  EXPECT_TRUE(e.contains({1.9, 0, 0}));
+  EXPECT_FALSE(e.contains({0, 1.1, 0}));
+  EXPECT_TRUE(e.contains({0, 0, -1.0}));
+}
+
+TEST(Phantom, PaintAndQuery) {
+  Phantom p(VoxelGrid(10, 10, 10, 2.0), "test");
+  EXPECT_EQ(p.count_roi(Roi::kAir), 1000u);
+  p.fill_background(Roi::kTissue, 1.0);
+  p.paint(Ellipsoid{p.grid().grid_center(), {4.0, 4.0, 4.0}}, Roi::kTarget, 1.05);
+  const auto target = p.voxels_with_roi(Roi::kTarget);
+  EXPECT_GT(target.size(), 10u);
+  for (const auto v : target) {
+    EXPECT_DOUBLE_EQ(p.stopping_power(v), 1.05);
+    EXPECT_EQ(p.roi(v), Roi::kTarget);
+  }
+  EXPECT_EQ(p.count_roi(Roi::kTissue) + target.size(), 1000u);
+}
+
+TEST(Phantom, CentroidOfSymmetricTargetIsCenter) {
+  Phantom p(VoxelGrid(11, 11, 11, 2.0), "test");
+  p.paint(Ellipsoid{p.grid().grid_center(), {6.0, 6.0, 6.0}}, Roi::kTarget, 1.0);
+  const Vec3 c = p.roi_centroid(Roi::kTarget);
+  const Vec3 gc = p.grid().grid_center();
+  EXPECT_NEAR(c.x, gc.x, 1e-9);
+  EXPECT_NEAR(c.y, gc.y, 1e-9);
+  EXPECT_NEAR(c.z, gc.z, 1e-9);
+  EXPECT_THROW(p.roi_centroid(Roi::kLung), pd::Error);
+}
+
+TEST(Phantom, FactoriesProduceAnatomies) {
+  const Phantom liver = make_liver_phantom(30, 30, 16, 5.0);
+  EXPECT_GT(liver.count_roi(Roi::kTarget), 0u);
+  EXPECT_GT(liver.count_roi(Roi::kTissue), 0u);
+  EXPECT_GT(liver.count_roi(Roi::kBone), 0u);
+  EXPECT_GT(liver.count_roi(Roi::kOar), 0u);
+  EXPECT_GT(liver.count_roi(Roi::kLung), 0u);
+
+  const Phantom prostate = make_prostate_phantom(24, 24, 16, 5.0);
+  EXPECT_GT(prostate.count_roi(Roi::kTarget), 0u);
+  EXPECT_GT(prostate.count_roi(Roi::kOar), 0u);
+}
+
+TEST(BeamFrame, OrthonormalAndAngleDependent) {
+  const Phantom p = make_liver_phantom(24, 24, 12, 5.0);
+  for (const double angle : {0.0, 45.0, 90.0, 135.0, 270.0}) {
+    const BeamFrame f = make_beam_frame(p, angle);
+    EXPECT_NEAR(f.direction.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(f.u_axis.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(f.v_axis.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(f.direction.dot(f.u_axis), 0.0, 1e-12);
+    EXPECT_NEAR(f.direction.dot(f.v_axis), 0.0, 1e-12);
+    EXPECT_NEAR(f.u_axis.dot(f.v_axis), 0.0, 1e-12);
+  }
+  const BeamFrame f0 = make_beam_frame(p, 0.0);
+  const BeamFrame f90 = make_beam_frame(p, 90.0);
+  EXPECT_NEAR(f0.direction.dot(f90.direction), 0.0, 1e-12);
+}
+
+TEST(BeamFrame, ProjectUnprojectRoundTrip) {
+  const Phantom p = make_liver_phantom(24, 24, 12, 5.0);
+  const BeamFrame f = make_beam_frame(p, 37.0);
+  const Vec3 point = f.unproject(13.0, -4.0, 25.0);
+  double u = 0.0, v = 0.0;
+  f.project(point, u, v);
+  EXPECT_NEAR(u, 13.0, 1e-9);
+  EXPECT_NEAR(v, -4.0, 1e-9);
+}
+
+TEST(RangeEnergy, MonotoneRoundTrip) {
+  for (const double e : {70.0, 120.0, 180.0, 230.0}) {
+    const double r = proton_range_cm(e);
+    EXPECT_GT(r, 0.0);
+    EXPECT_NEAR(proton_energy_mev(r), e, 1e-9);
+  }
+  EXPECT_LT(proton_range_cm(70.0), proton_range_cm(230.0));
+  // ~4 cm at 70 MeV, ~33 cm at 230 MeV (textbook values).
+  EXPECT_NEAR(proton_range_cm(70.0), 4.1, 0.5);
+  EXPECT_NEAR(proton_range_cm(230.0), 33.0, 3.0);
+  EXPECT_THROW(proton_range_cm(0.0), pd::Error);
+  EXPECT_THROW(proton_energy_mev(-1.0), pd::Error);
+}
+
+TEST(WaterEquivalentDepth, GrowsAlongTheBeam) {
+  const Phantom p = make_liver_phantom(30, 30, 16, 5.0);
+  const BeamFrame f = make_beam_frame(p, 0.0);
+  const Vec3 iso = f.isocenter;
+  const double shallow =
+      water_equivalent_depth_cm(p, f, iso - f.direction * 30.0);
+  const double mid = water_equivalent_depth_cm(p, f, iso);
+  const double deep = water_equivalent_depth_cm(p, f, iso + f.direction * 30.0);
+  EXPECT_LT(shallow, mid);
+  EXPECT_LT(mid, deep);
+  EXPECT_GT(shallow, 0.0);
+}
+
+TEST(Spots, CoverTargetWithMarginAndLayers) {
+  const Phantom p = make_liver_phantom(30, 30, 16, 5.0);
+  const BeamFrame f = make_beam_frame(p, 0.0);
+  BeamConfig cfg;
+  cfg.spot_spacing_mm = 6.0;
+  cfg.layer_spacing_mm = 6.0;
+  cfg.lateral_margin_mm = 6.0;
+  const auto spots = generate_spots(p, f, cfg);
+  ASSERT_GT(spots.size(), 20u);
+
+  // Spots lie on the lattice, and multiple energy layers exist.
+  std::uint32_t max_layer = 0;
+  for (const Spot& s : spots) {
+    EXPECT_NEAR(std::fmod(std::fabs(s.u_mm), 6.0), 0.0, 1e-9);
+    EXPECT_GT(s.energy_mev, 0.0);
+    max_layer = std::max(max_layer, s.layer);
+  }
+  EXPECT_GE(max_layer, 2u);
+
+  // The lateral extent exceeds the target projection (margin), and spot
+  // energies bracket the target depth span.
+  double span_u = 0.0;
+  for (const Spot& s : spots) {
+    span_u = std::max(span_u, std::fabs(s.u_mm));
+  }
+  EXPECT_GT(span_u, 0.20 * 30 * 5.0 * 0.9);  // at least near the target radius
+
+  EXPECT_THROW(
+      generate_spots(p, f, BeamConfig{0.0, 0.0, 6.0, 6.0}), pd::Error);
+}
+
+TEST(Spots, EnergiesLieOnABeamWideLadder) {
+  // Machine realism: every spot's energy corresponds to a depth that is a
+  // multiple of the layer spacing, shared across lateral positions.
+  const Phantom p = make_liver_phantom(30, 30, 16, 5.0);
+  const BeamFrame f = make_beam_frame(p, 45.0);
+  BeamConfig cfg;
+  cfg.layer_spacing_mm = 6.0;
+  const auto spots = generate_spots(p, f, cfg);
+  for (const Spot& s : spots) {
+    const double depth_cm = proton_range_cm(s.energy_mev);
+    const double k = depth_cm / 0.6;
+    EXPECT_NEAR(k, std::round(k), 1e-6) << s.energy_mev;
+  }
+}
+
+TEST(Spots, ScanlineOrderIsSerpentine) {
+  const Phantom p = make_liver_phantom(26, 26, 14, 5.0);
+  const BeamFrame f = make_beam_frame(p, 0.0);
+  BeamConfig cfg;
+  const auto ordered = scanline_order(generate_spots(p, f, cfg));
+  ASSERT_GT(ordered.size(), 10u);
+
+  // Energies never increase along the plan (deepest layer first).
+  for (std::size_t i = 1; i < ordered.size(); ++i) {
+    EXPECT_LE(ordered[i].energy_mev, ordered[i - 1].energy_mev + 1e-12);
+  }
+
+  // Within a layer, consecutive same-v spots move monotonically in u, and
+  // the u-direction alternates between consecutive v-rows (the serpentine).
+  for (std::size_t i = 0; i < ordered.size();) {
+    const double energy = ordered[i].energy_mev;
+    int prev_dir = 0;
+    while (i < ordered.size() && ordered[i].energy_mev == energy) {
+      const double v = ordered[i].v_mm;
+      std::size_t j = i;
+      int dir = 0;
+      while (j + 1 < ordered.size() && ordered[j + 1].energy_mev == energy &&
+             ordered[j + 1].v_mm == v) {
+        const double du = ordered[j + 1].u_mm - ordered[j].u_mm;
+        EXPECT_NE(du, 0.0);
+        if (dir == 0) {
+          dir = du > 0 ? 1 : -1;
+        } else {
+          EXPECT_EQ(du > 0 ? 1 : -1, dir);  // monotone within the row
+        }
+        ++j;
+      }
+      if (dir != 0 && prev_dir != 0) {
+        EXPECT_EQ(dir, -prev_dir);  // alternating rows
+      }
+      if (dir != 0) {
+        prev_dir = dir;
+      }
+      i = j + 1;
+    }
+  }
+}
+
+TEST(Spots, DenserLatticeGivesMoreSpots) {
+  const Phantom p = make_liver_phantom(24, 24, 12, 5.0);
+  const BeamFrame f = make_beam_frame(p, 90.0);
+  BeamConfig coarse;
+  coarse.spot_spacing_mm = 8.0;
+  BeamConfig fine = coarse;
+  fine.spot_spacing_mm = 4.0;
+  EXPECT_GT(generate_spots(p, f, fine).size(),
+            generate_spots(p, f, coarse).size());
+}
+
+}  // namespace
+}  // namespace pd::phantom

@@ -1,0 +1,142 @@
+// Tests for the photon modality: depth-dose physics and the §II-A claim that
+// photon matrices have different structural characteristics than proton ones
+// on the same geometry.
+
+#include <gtest/gtest.h>
+
+#include "mc/generator.hpp"
+#include "mc/photon.hpp"
+#include "sparse/stats.hpp"
+
+namespace pd::mc {
+namespace {
+
+TEST(PhotonModel, BuildupPeaksNearDmax) {
+  const PhotonModel model;
+  double best_depth = 0.0, best = 0.0;
+  for (double z = 0.0; z < 10.0; z += 0.01) {
+    const double d = model.depth_dose(z);
+    if (d > best) {
+      best = d;
+      best_depth = z;
+    }
+  }
+  EXPECT_NEAR(best_depth, model.buildup_depth_cm, 1.2);
+  EXPECT_NEAR(best, 1.0, 0.05);  // normalized near d_max
+}
+
+TEST(PhotonModel, SurfaceSparing) {
+  const PhotonModel model;
+  EXPECT_EQ(model.depth_dose(0.0), 0.0);
+  EXPECT_LT(model.depth_dose(0.2), 0.5);  // skin-sparing build-up
+}
+
+TEST(PhotonModel, ExponentialTailNeverReachesZero) {
+  const PhotonModel model;
+  // Unlike the Bragg curve, photons keep depositing through the patient.
+  EXPECT_GT(model.depth_dose(10.0), 0.3);
+  EXPECT_GT(model.depth_dose(25.0), 0.1);
+  EXPECT_LT(model.depth_dose(25.0), model.depth_dose(10.0));  // monotone decay
+}
+
+class PhotonVsProton : public ::testing::Test {
+ protected:
+  static const phantom::Phantom& patient() {
+    static const phantom::Phantom kPhantom =
+        phantom::make_liver_phantom(22, 22, 12, 6.0);
+    return kPhantom;
+  }
+
+  static phantom::BeamConfig beam_config() {
+    phantom::BeamConfig cfg;
+    cfg.spot_spacing_mm = 8.0;
+    cfg.layer_spacing_mm = 8.0;
+    cfg.lateral_margin_mm = 6.0;
+    return cfg;
+  }
+};
+
+TEST_F(PhotonVsProton, BeamletsHaveNoEnergyLayers) {
+  const auto frame = phantom::make_beam_frame(patient(), 0.0);
+  const auto beamlets =
+      generate_photon_beamlets(patient(), frame, beam_config());
+  ASSERT_GT(beamlets.size(), 10u);
+  for (const auto& b : beamlets) {
+    EXPECT_EQ(b.layer, 0u);
+  }
+  // Proton spots on the same geometry need several layers per position.
+  const auto spots = phantom::generate_spots(patient(), frame, beam_config());
+  EXPECT_GT(spots.size(), 2 * beamlets.size());
+}
+
+TEST_F(PhotonVsProton, GeneratesValidDeterministicMatrix) {
+  const GeneratedBeam a = generate_photon_dose_matrix(
+      patient(), 45.0, beam_config(), TransportConfig{}, PhotonModel{}, 9);
+  EXPECT_NO_THROW(a.matrix.validate());
+  EXPECT_EQ(a.matrix.num_cols, a.spots.size());
+  EXPECT_GT(a.matrix.nnz(), 100u);
+  const GeneratedBeam b = generate_photon_dose_matrix(
+      patient(), 45.0, beam_config(), TransportConfig{}, PhotonModel{}, 9);
+  EXPECT_EQ(a.matrix.values, b.matrix.values);
+}
+
+TEST_F(PhotonVsProton, PhotonColumnsAreLongerAndDenser) {
+  // §II-A: modality changes the matrix characteristics.  A photon beamlet
+  // deposits along its whole path (no Bragg stop), so for a small deep
+  // target its columns hold more voxels and the matrix is denser — protons
+  // stop at the target, photons exit through the far side.
+  phantom::Phantom deep(phantom::VoxelGrid(26, 26, 14, 6.0), "deep");
+  const auto c = deep.grid().grid_center();
+  deep.paint(phantom::Ellipsoid{c, {72.0, 72.0, 40.0}}, phantom::Roi::kTissue,
+             1.0);
+  deep.paint(phantom::Ellipsoid{{c.x + 30.0, c.y, c.z}, {14.0, 14.0, 12.0}},
+             phantom::Roi::kTarget, 1.05);
+
+  // Equal lateral footprints (no depth broadening) isolate the depth
+  // profile — the actual §II-A physics difference.
+  TransportConfig transport;
+  transport.lateral_growth_mm_per_cm = 0.0;
+  const GeneratedBeam photon = generate_photon_dose_matrix(
+      deep, 0.0, beam_config(), transport, PhotonModel{}, 10);
+  const GeneratedBeam proton = generate_dose_matrix(
+      deep, 0.0, beam_config(), transport, BraggModel{}, 10);
+
+  const double photon_col_len = static_cast<double>(photon.matrix.nnz()) /
+                                static_cast<double>(photon.matrix.num_cols);
+  const double proton_col_len = static_cast<double>(proton.matrix.nnz()) /
+                                static_cast<double>(proton.matrix.num_cols);
+  EXPECT_GT(photon_col_len, 1.15 * proton_col_len);
+
+  const auto photon_stats = sparse::compute_stats(photon.matrix);
+  const auto proton_stats = sparse::compute_stats(proton.matrix);
+  EXPECT_GT(photon_stats.density, proton_stats.density);
+}
+
+TEST_F(PhotonVsProton, PhotonDoseExtendsPastTheTarget) {
+  // Protons stop at the Bragg peak; photons exit through the far side.
+  const GeneratedBeam photon = generate_photon_dose_matrix(
+      patient(), 0.0, beam_config(), TransportConfig{}, PhotonModel{}, 11);
+  const auto frame = phantom::make_beam_frame(patient(), 0.0);
+
+  std::vector<double> dose(photon.matrix.num_rows, 0.0);
+  for (std::uint64_t r = 0; r < photon.matrix.num_rows; ++r) {
+    for (std::uint32_t k = photon.matrix.row_ptr[r];
+         k < photon.matrix.row_ptr[r + 1]; ++k) {
+      dose[r] += photon.matrix.values[k];
+    }
+  }
+  // Find dose beyond the target along the beam direction.
+  const auto& g = patient().grid();
+  double max_downstream = 0.0;
+  for (std::uint64_t v = 0; v < dose.size(); ++v) {
+    const auto p = g.voxel_center(g.from_linear(v));
+    const double t = (p - frame.isocenter).dot(frame.direction);
+    if (t > 30.0) {  // well past the target
+      max_downstream = std::max(max_downstream, dose[v]);
+    }
+  }
+  EXPECT_GT(max_downstream, 0.0);
+}
+
+}  // namespace
+}  // namespace pd::mc

@@ -1,0 +1,193 @@
+// Tests for scenario-based robust optimization: worst-case and expected-value
+// modes, SpMV-count scaling (the paper's cost motivation), and robustness of
+// the resulting plan against the perturbed scenarios.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cases/cases.hpp"
+#include "common/rng.hpp"
+#include "gpusim/device.hpp"
+#include "opt/robust.hpp"
+#include "sparse/random.hpp"
+#include "sparse/reference.hpp"
+
+namespace pd::opt {
+namespace {
+
+/// Synthetic scenarios: a nominal matrix plus column-weight perturbations.
+std::vector<sparse::CsrF64> synthetic_scenarios(std::size_t count,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  const auto nominal =
+      sparse::random_csr(rng, 150, 30, 6.0, sparse::RandomStructure::kUniform);
+  std::vector<sparse::CsrF64> scenarios{nominal};
+  for (std::size_t k = 1; k < count; ++k) {
+    sparse::CsrF64 shifted = nominal;
+    for (auto& v : shifted.values) {
+      v *= rng.uniform(0.85, 1.15);  // delivery perturbation
+    }
+    scenarios.push_back(std::move(shifted));
+  }
+  return scenarios;
+}
+
+DoseObjective toy_objective() {
+  DoseObjective obj;
+  ObjectiveTerm t;
+  t.type = ObjectiveTerm::Type::kUniformDose;
+  for (std::uint64_t v = 0; v < 50; ++v) t.voxels.push_back(v);
+  t.dose_level = 2.0;
+  t.weight = 10.0;
+  obj.add_term(std::move(t));
+  return obj;
+}
+
+TEST(Robust, RejectsInconsistentScenarios) {
+  auto scenarios = synthetic_scenarios(2, 1);
+  scenarios[1].num_cols -= 1;
+  scenarios[1].col_idx.clear();
+  scenarios[1].values.clear();
+  scenarios[1].row_ptr.assign(scenarios[1].num_rows + 1, 0);
+  EXPECT_THROW(RobustPlanOptimizer(std::move(scenarios), toy_objective(),
+                                   gpusim::make_a100()),
+               pd::Error);
+  EXPECT_THROW(RobustPlanOptimizer({}, toy_objective(), gpusim::make_a100()),
+               pd::Error);
+}
+
+TEST(Robust, RejectsBadWeights) {
+  EXPECT_THROW(RobustPlanOptimizer(synthetic_scenarios(3, 2), toy_objective(),
+                                   gpusim::make_a100(), RobustConfig{},
+                                   {0.5, 0.5}),
+               pd::Error);
+  EXPECT_THROW(RobustPlanOptimizer(synthetic_scenarios(2, 2), toy_objective(),
+                                   gpusim::make_a100(), RobustConfig{},
+                                   {0.5, -0.5}),
+               pd::Error);
+}
+
+TEST(Robust, WorstCaseObjectiveDecreasesMonotonically) {
+  RobustConfig cfg;
+  cfg.mode = RobustMode::kWorstCase;
+  cfg.max_iterations = 12;
+  RobustPlanOptimizer opt(synthetic_scenarios(3, 3), toy_objective(),
+                          gpusim::make_a100(), cfg);
+  const RobustResult r = opt.optimize();
+  for (std::size_t i = 1; i < r.objective_history.size(); ++i) {
+    EXPECT_LE(r.objective_history[i], r.objective_history[i - 1]);
+  }
+  EXPECT_LT(r.objective_history.back(), 0.8 * r.objective_history.front());
+  // The robust value equals the max of the final per-scenario objectives.
+  EXPECT_DOUBLE_EQ(r.objective_history.back(),
+                   *std::max_element(r.final_scenario_objectives.begin(),
+                                     r.final_scenario_objectives.end()));
+}
+
+TEST(Robust, ExpectedValueModeConverges) {
+  RobustConfig cfg;
+  cfg.mode = RobustMode::kExpectedValue;
+  cfg.max_iterations = 12;
+  RobustPlanOptimizer opt(synthetic_scenarios(3, 4), toy_objective(),
+                          gpusim::make_a100(), cfg);
+  const RobustResult r = opt.optimize();
+  EXPECT_LT(r.objective_history.back(), r.objective_history.front());
+  EXPECT_EQ(r.scenario_doses.size(), 3u);
+  for (const double w : r.spot_weights) {
+    EXPECT_GE(w, 0.0);
+  }
+}
+
+TEST(Robust, SpmvCountScalesWithScenarios) {
+  // The paper's motivation: robustness multiplies dose calculations.
+  RobustConfig cfg;
+  cfg.max_iterations = 6;
+  cfg.mode = RobustMode::kExpectedValue;
+  RobustPlanOptimizer opt1(synthetic_scenarios(1, 5), toy_objective(),
+                           gpusim::make_a100(), cfg);
+  RobustPlanOptimizer opt5(synthetic_scenarios(5, 5), toy_objective(),
+                           gpusim::make_a100(), cfg);
+  const auto r1 = opt1.optimize();
+  const auto r5 = opt5.optimize();
+  EXPECT_GT(r5.spmv_count, 3 * r1.spmv_count);
+}
+
+TEST(Robust, WorstCasePlanIsMoreRobustThanNominalPlan) {
+  // Optimize on the nominal scenario only, then evaluate across all
+  // scenarios: the worst-case-optimized plan must have a better (lower)
+  // worst-scenario objective.
+  const auto scenarios = synthetic_scenarios(4, 6);
+  const DoseObjective obj = toy_objective();
+
+  RobustConfig nominal_cfg;
+  nominal_cfg.max_iterations = 15;
+  RobustPlanOptimizer nominal_opt({scenarios[0]}, obj, gpusim::make_a100(),
+                                  nominal_cfg);
+  const auto nominal = nominal_opt.optimize();
+
+  RobustConfig robust_cfg;
+  robust_cfg.max_iterations = 15;
+  robust_cfg.mode = RobustMode::kWorstCase;
+  RobustPlanOptimizer robust_opt(
+      std::vector<sparse::CsrF64>(scenarios.begin(), scenarios.end()), obj,
+      gpusim::make_a100(), robust_cfg);
+  const auto robust = robust_opt.optimize();
+
+  auto worst_over_scenarios = [&](const std::vector<double>& weights) {
+    double worst = 0.0;
+    for (const auto& s : scenarios) {
+      std::vector<double> dose(s.num_rows);
+      sparse::reference_spmv(s, weights, dose);
+      worst = std::max(worst, obj.value(dose));
+    }
+    return worst;
+  };
+  EXPECT_LE(worst_over_scenarios(robust.spot_weights),
+            worst_over_scenarios(nominal.spot_weights) * 1.0001);
+}
+
+TEST(Robust, GeneratedSetupScenariosShareThePlan) {
+  const auto def = cases::prostate_case(0.15);
+  const auto phantom = cases::build_phantom(def);
+  const auto scenarios = cases::generate_setup_scenarios(
+      def, phantom, 0,
+      {{3.0, 0.0, 0.0}, {-3.0, 0.0, 0.0}, {0.0, 0.0, 3.0}});
+  ASSERT_EQ(scenarios.size(), 4u);  // nominal + 3 shifts
+  for (const auto& s : scenarios) {
+    EXPECT_EQ(s.num_cols, scenarios[0].num_cols);  // same spot plan
+    EXPECT_EQ(s.num_rows, scenarios[0].num_rows);
+    EXPECT_GT(s.nnz(), 0u);
+  }
+  // Shifted delivery hits different voxels than nominal.
+  EXPECT_NE(scenarios[1].col_idx, scenarios[0].col_idx);
+}
+
+TEST(Robust, EndToEndOnGeneratedScenarios) {
+  const auto def = cases::prostate_case(0.15);
+  const auto phantom = cases::build_phantom(def);
+  auto scenarios = cases::generate_setup_scenarios(
+      def, phantom, 0, {{2.5, 0.0, 0.0}, {-2.5, 0.0, 0.0}});
+
+  // Clinical-style goals on the target.
+  std::vector<double> probe(scenarios[0].num_rows);
+  sparse::reference_spmv(scenarios[0],
+                         std::vector<double>(scenarios[0].num_cols, 1.0),
+                         probe);
+  double max_dose = 0.0;
+  for (const double d : probe) max_dose = std::max(max_dose, d);
+  const auto goals =
+      DoseObjective::standard_goals(phantom, 0.5 * max_dose, 0.2 * max_dose);
+
+  RobustConfig cfg;
+  cfg.max_iterations = 8;
+  cfg.mode = RobustMode::kWorstCase;
+  RobustPlanOptimizer opt(std::move(scenarios), goals, gpusim::make_a100(),
+                          cfg);
+  const auto result = opt.optimize();
+  EXPECT_LT(result.objective_history.back(), result.objective_history.front());
+  EXPECT_GE(result.spmv_count, 3u * result.iterations);
+}
+
+}  // namespace
+}  // namespace pd::opt

@@ -1,0 +1,76 @@
+// Tests for the roofline model and its ASCII rendering.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "roofline/roofline.hpp"
+
+namespace pd::roofline {
+namespace {
+
+TEST(Roofline, AttainableIsMinOfRoofAndSlope) {
+  RooflineModel m;
+  m.device_name = "X";
+  m.peak_bw_gbs = 1000.0;
+  m.peak_gflops = 5000.0;
+  EXPECT_DOUBLE_EQ(m.ridge_oi(), 5.0);
+  EXPECT_DOUBLE_EQ(m.attainable_gflops(1.0), 1000.0);   // bandwidth-bound
+  EXPECT_DOUBLE_EQ(m.attainable_gflops(10.0), 5000.0);  // compute-bound
+  EXPECT_DOUBLE_EQ(m.attainable_gflops(5.0), 5000.0);   // exactly the ridge
+  EXPECT_THROW(m.attainable_gflops(0.0), pd::Error);
+}
+
+TEST(Roofline, FromDeviceSpecs) {
+  const auto a100_64 =
+      make_roofline(gpusim::make_a100(), gpusim::FlopPrecision::kFp64);
+  EXPECT_DOUBLE_EQ(a100_64.peak_gflops, 9700.0);
+  EXPECT_DOUBLE_EQ(a100_64.peak_bw_gbs, 1555.0);
+  const auto a100_32 =
+      make_roofline(gpusim::make_a100(), gpusim::FlopPrecision::kFp32);
+  EXPECT_DOUBLE_EQ(a100_32.peak_gflops, 19500.0);
+  // SpMV (OI ~0.33) sits far left of the ridge on every device — the reason
+  // the paper's analysis is all about bandwidth.
+  EXPECT_LT(0.332, a100_64.ridge_oi());
+}
+
+TEST(Roofline, FractionOfRoof) {
+  RooflineModel m;
+  m.peak_bw_gbs = 1000.0;
+  m.peak_gflops = 5000.0;
+  // At OI 0.33 the roof is 330 GFLOP/s.
+  EXPECT_NEAR(roofline_fraction(m, {"k", 0.33, 165.0}), 0.5, 1e-12);
+  EXPECT_NEAR(roofline_fraction(m, {"k", 0.33, 330.0}), 1.0, 1e-12);
+}
+
+TEST(Roofline, AsciiRenderingContainsPointsAndLegend) {
+  const auto model =
+      make_roofline(gpusim::make_a100(), gpusim::FlopPrecision::kFp64);
+  const std::vector<RooflinePoint> pts = {
+      {"Half/Double", 0.332, 420.0},
+      {"Single", 0.25, 310.0},
+      {"cuSPARSE", 0.25, 290.0},
+  };
+  const std::string art = ascii_roofline(model, pts);
+  EXPECT_NE(art.find("Half/Double"), std::string::npos);
+  EXPECT_NE(art.find("cuSPARSE"), std::string::npos);
+  EXPECT_NE(art.find("[1]"), std::string::npos);
+  EXPECT_NE(art.find("[3]"), std::string::npos);
+  EXPECT_NE(art.find("ridge"), std::string::npos);
+  EXPECT_NE(art.find('1'), std::string::npos);  // the plotted marker
+}
+
+TEST(Roofline, AsciiRejectsTinyCanvas) {
+  const auto model =
+      make_roofline(gpusim::make_a100(), gpusim::FlopPrecision::kFp64);
+  EXPECT_THROW(ascii_roofline(model, {}, 5, 5), pd::Error);
+}
+
+TEST(Roofline, AsciiHandlesNoPoints) {
+  const auto model =
+      make_roofline(gpusim::make_a100(), gpusim::FlopPrecision::kFp64);
+  const std::string art = ascii_roofline(model, {});
+  EXPECT_NE(art.find("Roofline: A100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pd::roofline

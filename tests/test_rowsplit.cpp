@@ -1,0 +1,177 @@
+// Tests for the deterministic row-splitting kernel: plan invariants, bitwise
+// equivalence to the paper's kernel when nothing splits, schedule
+// reproducibility with splits, and bounded per-warp work.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "kernels/rowsplit_csr.hpp"
+#include "kernels/vector_csr.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/random.hpp"
+#include "sparse/reference.hpp"
+
+namespace pd::kernels {
+namespace {
+
+sparse::CsrF64 skewed_matrix(std::uint64_t seed) {
+  Rng rng(seed);
+  // Heavy tail: some rows far exceed the chunk size used in the tests.
+  return sparse::random_csr(rng, 250, 120, 40.0,
+                            sparse::RandomStructure::kSkewed);
+}
+
+TEST(RowSplitPlan, CoversEveryNonZeroExactlyOnce) {
+  const auto A = skewed_matrix(1);
+  const auto plan = build_row_split_plan(A, 64);
+  std::vector<int> covered(A.nnz(), 0);
+  for (const auto& item : plan.items) {
+    EXPECT_LE(item.end - item.begin, 64u);
+    for (std::uint32_t k = item.begin; k < item.end; ++k) {
+      covered[k]++;
+    }
+    EXPECT_EQ(A.col_idx.size() >= item.end, true);
+  }
+  for (std::uint64_t r = 0; r < A.num_rows; ++r) {
+    if (A.row_nnz(r) == 0) continue;
+    for (std::uint32_t k = A.row_ptr[r]; k < A.row_ptr[r + 1]; ++k) {
+      EXPECT_EQ(covered[k], 1);
+    }
+  }
+}
+
+TEST(RowSplitPlan, SplitRowsGetContiguousSlots) {
+  const auto A = skewed_matrix(2);
+  const auto plan = build_row_split_plan(A, 64);
+  ASSERT_GT(plan.split_rows.size(), 0u);  // the skew guarantees splits
+  std::uint32_t expected_slot = 0;
+  for (const auto& split : plan.split_rows) {
+    EXPECT_EQ(split.first_slot, expected_slot);
+    EXPECT_GE(split.num_slots, 2u);
+    expected_slot += split.num_slots;
+    EXPECT_GT(A.row_nnz(split.row), 64u);
+  }
+  EXPECT_EQ(expected_slot, plan.num_partials);
+}
+
+TEST(RowSplitPlan, RejectsTinyChunks) {
+  const auto A = skewed_matrix(3);
+  EXPECT_THROW(build_row_split_plan(A, 16), pd::Error);
+}
+
+TEST(RowSplit, NoSplitIsBitwiseIdenticalToVectorKernel) {
+  const auto A = skewed_matrix(4);
+  const auto mh = sparse::convert_values<pd::Half>(A);
+  Rng rng(4);
+  const auto x = sparse::random_vector(rng, A.num_cols);
+  gpusim::Gpu gpu(gpusim::make_a100());
+
+  // Chunk larger than any row: every item is direct.
+  const auto plan = build_row_split_plan(mh, 1u << 20);
+  EXPECT_TRUE(plan.split_rows.empty());
+  EXPECT_EQ(plan.num_partials, 0u);
+
+  std::vector<double> y_split(A.num_rows), y_vec(A.num_rows);
+  run_rowsplit_csr<pd::Half, double>(gpu, mh, plan, x,
+                                     std::span<double>(y_split));
+  run_vector_csr<pd::Half, double>(gpu, mh, x, std::span<double>(y_vec));
+  EXPECT_EQ(y_split, y_vec);
+}
+
+TEST(RowSplit, SplitResultMatchesReference) {
+  const auto A = skewed_matrix(5);
+  Rng rng(5);
+  const auto x = sparse::random_vector(rng, A.num_cols);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  const auto plan = build_row_split_plan(A, 64);
+  ASSERT_GT(plan.split_rows.size(), 0u);
+
+  std::vector<double> y(A.num_rows);
+  run_rowsplit_csr<double, double>(gpu, A, plan, x, std::span<double>(y));
+  std::vector<double> ref(A.num_rows);
+  sparse::reference_spmv(A, x, ref);
+  for (std::uint64_t r = 0; r < A.num_rows; ++r) {
+    EXPECT_NEAR(y[r], ref[r], 1e-11 * (1.0 + std::fabs(ref[r]))) << r;
+  }
+}
+
+TEST(RowSplit, BitwiseReproducibleAcrossSchedulesDespiteSplitting) {
+  // The point of the design: load balancing WITHOUT giving up §II-D.
+  const auto A = skewed_matrix(6);
+  const auto mh = sparse::convert_values<pd::Half>(A);
+  Rng rng(6);
+  const auto x = sparse::random_vector(rng, A.num_cols);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  const auto plan = build_row_split_plan(mh, 64);
+  ASSERT_GT(plan.split_rows.size(), 0u);
+
+  std::vector<double> a(A.num_rows), b(A.num_rows);
+  run_rowsplit_csr<pd::Half, double>(gpu, mh, plan, x, std::span<double>(a),
+                                     512, 17);
+  run_rowsplit_csr<pd::Half, double>(gpu, mh, plan, x, std::span<double>(b),
+                                     512, 9001);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RowSplit, DeterministicAcrossBlockSizesToo) {
+  const auto A = skewed_matrix(7);
+  Rng rng(7);
+  const auto x = sparse::random_vector(rng, A.num_cols);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  const auto plan = build_row_split_plan(A, 96);
+  std::vector<double> a(A.num_rows), b(A.num_rows);
+  run_rowsplit_csr<double, double>(gpu, A, plan, x, std::span<double>(a), 64);
+  run_rowsplit_csr<double, double>(gpu, A, plan, x, std::span<double>(b), 1024);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RowSplit, BoundsPerWarpWork) {
+  // Every phase-1 warp processes at most chunk_nnz elements — the load
+  // balance property that motivates the kernel.
+  const auto A = skewed_matrix(8);
+  const auto plan = build_row_split_plan(A, 64);
+  std::uint64_t max_work = 0;
+  for (const auto& item : plan.items) {
+    max_work = std::max<std::uint64_t>(max_work, item.end - item.begin);
+  }
+  EXPECT_LE(max_work, 64u);
+  std::uint64_t max_row = 0;
+  for (std::uint64_t r = 0; r < A.num_rows; ++r) {
+    max_row = std::max(max_row, A.row_nnz(r));
+  }
+  EXPECT_GT(max_row, 64u);  // the matrix genuinely needed splitting
+}
+
+TEST(RowSplit, CountsTrafficOfBothPhases) {
+  const auto A = skewed_matrix(9);
+  Rng rng(9);
+  const auto x = sparse::random_vector(rng, A.num_cols);
+  gpusim::Gpu gpu(gpusim::make_a100());
+
+  const auto split_plan = build_row_split_plan(A, 64);
+  std::vector<double> y(A.num_rows);
+  const SpmvRun split_run = run_rowsplit_csr<double, double>(
+      gpu, A, split_plan, x, std::span<double>(y));
+  const SpmvRun vec_run =
+      run_vector_csr<double, double>(gpu, A, x, std::span<double>(y));
+  // Splitting costs extra traffic (partials + worklist) and extra FLOPs
+  // (the phase-2 adds).
+  EXPECT_GT(split_run.stats.dram_bytes(), vec_run.stats.dram_bytes());
+  EXPECT_GT(split_run.stats.compute.flops, vec_run.stats.compute.flops);
+  EXPECT_GT(split_run.stats.warps_launched, vec_run.stats.warps_launched);
+}
+
+TEST(RowSplit, ValidatesInputs) {
+  const auto A = skewed_matrix(10);
+  gpusim::Gpu gpu(gpusim::make_a100());
+  const auto plan = build_row_split_plan(A, 64);
+  std::vector<double> x(A.num_cols), y_bad(A.num_rows + 1);
+  EXPECT_THROW((run_rowsplit_csr<double, double>(gpu, A, plan, x,
+                                                 std::span<double>(y_bad))),
+               pd::Error);
+}
+
+}  // namespace
+}  // namespace pd::kernels

@@ -1,0 +1,251 @@
+// Tests for the RayStation-like compressed format and the scratch-array CPU
+// dose engine: quantization bounds, delta/escape coding, compression ratio,
+// and the reproducibility properties the paper's §II-D discusses.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "rsformat/cpu_engine.hpp"
+#include "rsformat/rsmatrix.hpp"
+#include "sparse/random.hpp"
+#include "sparse/reference.hpp"
+
+namespace pd::rsformat {
+namespace {
+
+sparse::CsrF64 dose_like_matrix(std::uint64_t seed, std::uint64_t rows = 400,
+                                std::uint64_t cols = 50) {
+  Rng rng(seed);
+  return sparse::random_csr(rng, rows, cols, 8.0,
+                            sparse::RandomStructure::kManyEmpty);
+}
+
+TEST(RsMatrix, RoundTripStructureExact) {
+  const auto csr = dose_like_matrix(1);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  EXPECT_EQ(rs.num_rows(), csr.num_rows);
+  EXPECT_EQ(rs.num_cols(), csr.num_cols);
+  EXPECT_EQ(rs.nnz(), csr.nnz());
+  const auto back = rs.to_csr();
+  EXPECT_EQ(back.row_ptr, csr.row_ptr);
+  EXPECT_EQ(back.col_idx, csr.col_idx);
+}
+
+TEST(RsMatrix, QuantizationErrorBounded) {
+  const auto csr = dose_like_matrix(2);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  const auto back = rs.to_csr();
+  ASSERT_EQ(back.values.size(), csr.values.size());
+  // Per-column scale: error <= scale/2; verify via the per-column bound.
+  std::vector<double> col_max(csr.num_cols, 0.0);
+  for (std::size_t k = 0; k < csr.values.size(); ++k) {
+    col_max[csr.col_idx[k]] = std::max(col_max[csr.col_idx[k]], csr.values[k]);
+  }
+  for (std::size_t k = 0; k < csr.values.size(); ++k) {
+    const double bound = col_max[csr.col_idx[k]] / 65535.0;
+    EXPECT_LE(std::fabs(back.values[k] - csr.values[k]), 0.51 * bound + 1e-12);
+  }
+}
+
+TEST(RsMatrix, SixteenBitPayload) {
+  // The format stores 4 bytes per entry (2B delta + 2B value) versus CSR's
+  // 12 (8B double + 4B col) — the memory-scarcity design the paper mentions.
+  const auto csr = dose_like_matrix(3, 2000, 40);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  EXPECT_LT(rs.bytes(), csr.bytes() / 2);
+}
+
+TEST(RsMatrix, EscapeCodesHandleHugeRowGaps) {
+  // One column with two entries separated by ~200k rows: needs escapes.
+  sparse::CsrF64 csr;
+  csr.num_rows = 200000;
+  csr.num_cols = 1;
+  csr.row_ptr.assign(csr.num_rows + 1, 0);
+  csr.row_ptr[1] = 1;  // row 0 has entry
+  for (std::uint64_t r = 1; r < 199999; ++r) csr.row_ptr[r + 1] = 1;
+  csr.row_ptr[199999] = 1;
+  csr.row_ptr[200000] = 2;  // row 199999 has the second entry
+  csr.col_idx = {0, 0};
+  csr.values = {1.0, 0.5};
+  csr.validate();
+
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  EXPECT_EQ(rs.nnz(), 2u);
+  EXPECT_GT(rs.deltas().size(), 4u);  // escapes were emitted
+  const auto back = rs.to_csr();
+  EXPECT_EQ(back.row_ptr, csr.row_ptr);
+  EXPECT_EQ(back.col_idx, csr.col_idx);
+  EXPECT_NEAR(back.values[0], 1.0, 1e-4);
+  EXPECT_NEAR(back.values[1], 0.5, 1e-4);
+}
+
+TEST(RsMatrix, RejectsNegativeValues) {
+  sparse::CsrF64 csr;
+  csr.num_rows = 1;
+  csr.num_cols = 1;
+  csr.row_ptr = {0, 1};
+  csr.col_idx = {0};
+  csr.values = {-1.0};
+  EXPECT_THROW(RsMatrix::from_csr(csr), pd::Error);
+}
+
+TEST(RsMatrix, EmptyColumnsAreFine) {
+  sparse::CsrF64 csr;
+  csr.num_rows = 4;
+  csr.num_cols = 3;
+  csr.row_ptr = {0, 1, 1, 1, 1};
+  csr.col_idx = {1};  // only column 1 has an entry
+  csr.values = {2.0};
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  int visited = 0;
+  rs.for_each_in_column(0, [&](std::uint64_t, double) { ++visited; });
+  rs.for_each_in_column(2, [&](std::uint64_t, double) { ++visited; });
+  EXPECT_EQ(visited, 0);
+  rs.for_each_in_column(1, [&](std::uint64_t row, double v) {
+    EXPECT_EQ(row, 0u);
+    EXPECT_NEAR(v, 2.0, 1e-4);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 1);
+  EXPECT_THROW(rs.for_each_in_column(3, [](std::uint64_t, double) {}),
+               pd::Error);
+}
+
+TEST(RsMatrix, BinaryRoundTripBitExact) {
+  const auto csr = dose_like_matrix(20);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  rs.write_binary(ss);
+  const RsMatrix back = RsMatrix::read_binary(ss);
+  EXPECT_EQ(back.num_rows(), rs.num_rows());
+  EXPECT_EQ(back.num_cols(), rs.num_cols());
+  EXPECT_EQ(back.nnz(), rs.nnz());
+  EXPECT_EQ(back.deltas(), rs.deltas());
+  EXPECT_EQ(back.qvalues(), rs.qvalues());
+  EXPECT_EQ(back.col_scale(), rs.col_scale());
+  // The decoded doses are bit-identical too.
+  const auto a = rs.to_csr();
+  const auto b = back.to_csr();
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(RsMatrix, BinaryFileRoundTripAndErrors) {
+  const auto csr = dose_like_matrix(21);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  const std::string path = ::testing::TempDir() + "/rs_roundtrip.pdrs";
+  rs.write_binary_file(path);
+  const RsMatrix back = RsMatrix::read_binary_file(path);
+  EXPECT_EQ(back.nnz(), rs.nnz());
+  EXPECT_THROW(RsMatrix::read_binary_file(path + ".missing"), pd::Error);
+}
+
+TEST(RsMatrix, BinaryRejectsCorruption) {
+  const auto csr = dose_like_matrix(22);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  rs.write_binary(ss);
+  std::string bytes = ss.str();
+  // Bad magic.
+  std::string bad = bytes;
+  bad[0] = 'X';
+  std::stringstream s1(bad, std::ios::in | std::ios::binary);
+  EXPECT_THROW(RsMatrix::read_binary(s1), pd::Error);
+  // Truncation.
+  std::stringstream s2(bytes.substr(0, bytes.size() / 3),
+                       std::ios::in | std::ios::binary);
+  EXPECT_THROW(RsMatrix::read_binary(s2), pd::Error);
+}
+
+// --- CPU engine --------------------------------------------------------------
+
+TEST(CpuEngine, MatchesReferenceWithinQuantization) {
+  const auto csr = dose_like_matrix(4);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  Rng rng(5);
+  const auto x = sparse::random_vector(rng, csr.num_cols, 0.0, 2.0);
+
+  std::vector<double> y_ref(csr.num_rows), y_cpu(csr.num_rows);
+  sparse::reference_spmv(csr, x, y_ref);
+  cpu_compute_dose(rs, x, y_cpu, 4);
+
+  // Error budget: per-entry quantization times row contributions.
+  for (std::uint64_t r = 0; r < csr.num_rows; ++r) {
+    const double tol = 1e-3 * (1.0 + std::fabs(y_ref[r])) +
+                       2e-5 * static_cast<double>(csr.row_nnz(r));
+    EXPECT_NEAR(y_cpu[r], y_ref[r], tol);
+  }
+}
+
+TEST(CpuEngine, SerialEqualsSingleThreaded) {
+  const auto csr = dose_like_matrix(6);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  Rng rng(6);
+  const auto x = sparse::random_vector(rng, csr.num_cols);
+  std::vector<double> a(csr.num_rows), b(csr.num_rows);
+  cpu_compute_dose_serial(rs, x, a);
+  cpu_compute_dose(rs, x, b, 1);
+  EXPECT_EQ(a, b);  // bitwise
+}
+
+TEST(CpuEngine, BitwiseReproducibleAcrossRuns) {
+  // The paper's requirement: same input, same system -> same bits.
+  const auto csr = dose_like_matrix(7);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  Rng rng(7);
+  const auto x = sparse::random_vector(rng, csr.num_cols);
+  std::vector<double> a(csr.num_rows), b(csr.num_rows);
+  for (const unsigned threads : {2u, 4u, 7u}) {
+    cpu_compute_dose(rs, x, a, threads);
+    cpu_compute_dose(rs, x, b, threads);
+    EXPECT_EQ(a, b) << threads << " threads";
+  }
+}
+
+TEST(CpuEngine, ThreadCountsAgreeWithinRounding) {
+  const auto csr = dose_like_matrix(8);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  Rng rng(8);
+  const auto x = sparse::random_vector(rng, csr.num_cols);
+  std::vector<double> a(csr.num_rows), b(csr.num_rows);
+  cpu_compute_dose(rs, x, a, 1);
+  cpu_compute_dose(rs, x, b, 8);
+  for (std::uint64_t r = 0; r < csr.num_rows; ++r) {
+    EXPECT_NEAR(a[r], b[r], 1e-9 * (1.0 + std::fabs(a[r])));
+  }
+}
+
+TEST(CpuEngine, ZeroWeightSpotsContributeNothing) {
+  const auto csr = dose_like_matrix(9);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  std::vector<double> x(csr.num_cols, 0.0);
+  std::vector<double> y(csr.num_rows, 123.0);
+  cpu_compute_dose(rs, x, y, 3);
+  for (const double v : y) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(CpuEngine, ValidatesShapes) {
+  const auto csr = dose_like_matrix(10);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  std::vector<double> x(csr.num_cols + 1), y(csr.num_rows);
+  EXPECT_THROW(cpu_compute_dose(rs, x, y, 2), pd::Error);
+  std::vector<double> x2(csr.num_cols), y2(csr.num_rows - 1);
+  EXPECT_THROW(cpu_compute_dose(rs, x2, y2, 2), pd::Error);
+  EXPECT_THROW(cpu_compute_dose(rs, x2, y, 0), pd::Error);
+}
+
+TEST(CpuEngine, MoreThreadsThanColumnsIsSafe) {
+  const auto csr = dose_like_matrix(11, 60, 3);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  Rng rng(11);
+  const auto x = sparse::random_vector(rng, csr.num_cols);
+  std::vector<double> y(csr.num_rows);
+  EXPECT_NO_THROW(cpu_compute_dose(rs, x, y, 16));
+}
+
+}  // namespace
+}  // namespace pd::rsformat

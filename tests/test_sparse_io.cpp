@@ -1,0 +1,125 @@
+// Tests for Matrix Market and binary I/O, including malformed-input paths.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "sparse/io.hpp"
+#include "sparse/random.hpp"
+
+namespace pd::sparse {
+namespace {
+
+TEST(MatrixMarket, RoundTrip) {
+  Rng rng(10);
+  const CsrF64 m = random_csr(rng, 50, 30, 4.0, RandomStructure::kSkewed);
+  std::stringstream ss;
+  write_matrix_market(ss, m);
+  const CsrF64 back = read_matrix_market(ss);
+  EXPECT_EQ(back.num_rows, m.num_rows);
+  EXPECT_EQ(back.num_cols, m.num_cols);
+  EXPECT_EQ(back.row_ptr, m.row_ptr);
+  EXPECT_EQ(back.col_idx, m.col_idx);
+  for (std::size_t i = 0; i < m.values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.values[i], m.values[i]);  // %.17g is exact
+  }
+}
+
+TEST(MatrixMarket, ReadsCommentsAndHeader) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "% another\n"
+      "2 3 2\n"
+      "1 1 1.5\n"
+      "2 3 -2.0\n");
+  const CsrF64 m = read_matrix_market(ss);
+  EXPECT_EQ(m.num_rows, 2u);
+  EXPECT_EQ(m.num_cols, 3u);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.values[0], 1.5);
+  EXPECT_EQ(m.col_idx[1], 2u);
+}
+
+TEST(MatrixMarket, RejectsBadBanner) {
+  std::stringstream ss("%%NotMatrixMarket matrix coordinate real general\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(ss), pd::Error);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedFormats) {
+  std::stringstream dense("%%MatrixMarket matrix array real general\n1 1\n1.0\n");
+  EXPECT_THROW(read_matrix_market(dense), pd::Error);
+  std::stringstream sym(
+      "%%MatrixMarket matrix coordinate real symmetric\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(sym), pd::Error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeCoordinates) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(ss), pd::Error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(ss), pd::Error);
+}
+
+TEST(MatrixMarket, EmptyStreamThrows) {
+  std::stringstream ss("");
+  EXPECT_THROW(read_matrix_market(ss), pd::Error);
+}
+
+TEST(Binary, RoundTripBitExact) {
+  Rng rng(11);
+  const CsrF64 m = random_csr(rng, 80, 40, 6.0, RandomStructure::kManyEmpty);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(ss, m);
+  const CsrF64 back = read_binary(ss);
+  EXPECT_EQ(back.num_rows, m.num_rows);
+  EXPECT_EQ(back.num_cols, m.num_cols);
+  EXPECT_EQ(back.row_ptr, m.row_ptr);
+  EXPECT_EQ(back.col_idx, m.col_idx);
+  EXPECT_EQ(back.values, m.values);  // bit-exact
+}
+
+TEST(Binary, RejectsBadMagic) {
+  std::stringstream ss("NOPE....");
+  EXPECT_THROW(read_binary(ss), pd::Error);
+}
+
+TEST(Binary, RejectsTruncation) {
+  Rng rng(12);
+  const CsrF64 m = random_csr(rng, 20, 10, 3.0);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(ss, m);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2),
+                        std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_binary(cut), pd::Error);
+}
+
+TEST(Binary, FileRoundTrip) {
+  Rng rng(13);
+  const CsrF64 m = random_csr(rng, 30, 20, 3.0);
+  const std::string path = ::testing::TempDir() + "/pdsm_roundtrip.bin";
+  write_binary_file(path, m);
+  const CsrF64 back = read_binary_file(path);
+  EXPECT_EQ(back.values, m.values);
+  EXPECT_THROW(read_binary_file(path + ".missing"), pd::Error);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  Rng rng(14);
+  const CsrF64 m = random_csr(rng, 30, 20, 3.0);
+  const std::string path = ::testing::TempDir() + "/pdsm_roundtrip.mtx";
+  write_matrix_market_file(path, m);
+  const CsrF64 back = read_matrix_market_file(path);
+  EXPECT_EQ(back.col_idx, m.col_idx);
+  EXPECT_THROW(read_matrix_market_file(path + ".missing"), pd::Error);
+}
+
+}  // namespace
+}  // namespace pd::sparse

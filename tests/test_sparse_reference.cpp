@@ -1,0 +1,175 @@
+// Tests for the host reference SpMVs, in particular that the warp-order
+// reference really reproduces the kernel's accumulation order semantics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/parallel_spmv.hpp"
+#include "sparse/random.hpp"
+#include "sparse/reference.hpp"
+
+namespace pd::sparse {
+namespace {
+
+TEST(Reference, IdentityMatrix) {
+  CsrF64 eye;
+  eye.num_rows = eye.num_cols = 4;
+  eye.row_ptr = {0, 1, 2, 3, 4};
+  eye.col_idx = {0, 1, 2, 3};
+  eye.values = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y(4);
+  reference_spmv(eye, x, y);
+  EXPECT_EQ(y, x);
+  warp_order_spmv(eye, x, y);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Reference, EmptyRowsYieldZero) {
+  CsrF64 m;
+  m.num_rows = 3;
+  m.num_cols = 2;
+  m.row_ptr = {0, 0, 2, 2};
+  m.col_idx = {0, 1};
+  m.values = {2.0, 3.0};
+  const std::vector<double> x{10.0, 100.0};
+  std::vector<double> y(3, -1.0);
+  reference_spmv(m, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 320.0);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+TEST(Reference, SizeMismatchesThrow) {
+  CsrF64 m;
+  m.num_rows = 2;
+  m.num_cols = 2;
+  m.row_ptr = {0, 0, 0};
+  std::vector<double> x(3), y(2);
+  EXPECT_THROW(reference_spmv(m, x, y), pd::Error);
+  std::vector<double> x2(2), y2(1);
+  EXPECT_THROW(reference_spmv(m, x2, y2), pd::Error);
+  EXPECT_THROW(warp_order_spmv(m, x, y), pd::Error);
+}
+
+TEST(Reference, WarpOrderMatchesSequentialWithinTolerance) {
+  Rng rng(3);
+  const CsrF64 m = random_csr(rng, 300, 80, 20.0, RandomStructure::kSkewed);
+  const std::vector<double> x = random_vector(rng, m.num_cols);
+  std::vector<double> seq(m.num_rows), warp(m.num_rows);
+  reference_spmv(m, x, seq);
+  warp_order_spmv(m, x, warp);
+  for (std::uint64_t r = 0; r < m.num_rows; ++r) {
+    EXPECT_NEAR(warp[r], seq[r], 1e-12 * (1.0 + std::fabs(seq[r])));
+  }
+}
+
+TEST(Reference, WarpOrderRowDotIsExactlyTheButterfly) {
+  // Construct a row of 64 elements and verify against a hand-rolled
+  // 32-lane strided accumulation + tree fold.
+  Rng rng(9);
+  CsrF64 m;
+  m.num_rows = 1;
+  m.num_cols = 64;
+  m.row_ptr = {0, 64};
+  std::vector<double> x(64);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    m.col_idx.push_back(i);
+    m.values.push_back(rng.uniform(0.0, 1.0));
+    x[i] = rng.uniform(0.0, 1.0);
+  }
+
+  double lanes[32] = {};
+  for (unsigned k = 0; k < 64; ++k) {
+    lanes[k % 32] += m.values[k] * x[m.col_idx[k]];
+  }
+  for (unsigned o = 16; o > 0; o /= 2) {
+    for (unsigned i = 0; i < o; ++i) lanes[i] += lanes[i + o];
+  }
+  EXPECT_EQ(warp_order_row_dot(m, x, 0), lanes[0]);
+}
+
+TEST(ReferenceF32, MatchesDoubleWithinFloatTolerance) {
+  Rng rng(21);
+  const CsrF64 m64 = random_csr(rng, 100, 40, 8.0);
+  const auto m32 = convert_values<float>(m64);
+  std::vector<float> x32(m64.num_cols);
+  std::vector<double> x64(m64.num_cols);
+  for (std::size_t i = 0; i < x32.size(); ++i) {
+    x64[i] = rng.uniform(0.0, 1.0);
+    x32[i] = static_cast<float>(x64[i]);
+  }
+  std::vector<float> y32(m64.num_rows);
+  std::vector<double> y64(m64.num_rows);
+  reference_spmv_f32(m32, x32, y32);
+  reference_spmv(m64, x64, y64);
+  for (std::uint64_t r = 0; r < m64.num_rows; ++r) {
+    EXPECT_NEAR(y32[r], y64[r], 1e-4 * (1.0 + std::fabs(y64[r])));
+  }
+}
+
+TEST(ParallelSpmv, BitwiseEqualToSerialForEveryThreadCount) {
+  // The row-parallel design needs no scratch arrays and no atomics: the
+  // result is bit-identical for ANY thread count — the property the paper's
+  // column-parallel CPU engine cannot have (its grouping changes with the
+  // partition; see rsformat/cpu_engine.hpp).
+  Rng rng(40);
+  const CsrF64 m = random_csr(rng, 500, 90, 12.0, RandomStructure::kSkewed);
+  const std::vector<double> x = random_vector(rng, m.num_cols);
+  std::vector<double> serial(m.num_rows);
+  reference_spmv(m, x, serial);
+  for (const unsigned threads : {1u, 2u, 3u, 5u, 8u, 16u}) {
+    std::vector<double> y(m.num_rows, -1.0);
+    parallel_spmv(m, x, y, threads);
+    EXPECT_EQ(y, serial) << threads << " threads";
+  }
+}
+
+TEST(ParallelSpmv, HandlesDegenerateShapes) {
+  CsrF64 empty;
+  empty.num_rows = 3;
+  empty.num_cols = 2;
+  empty.row_ptr = {0, 0, 0, 0};
+  std::vector<double> x(2, 1.0), y(3, 9.0);
+  parallel_spmv(empty, x, y, 8);  // more threads than work
+  for (const double v : y) EXPECT_EQ(v, 0.0);
+  EXPECT_THROW(parallel_spmv(empty, x, y, 0), pd::Error);
+  std::vector<double> bad(1);
+  EXPECT_THROW(parallel_spmv(empty, bad, y, 2), pd::Error);
+}
+
+TEST(Convert, HalfNarrowingBoundsError) {
+  Rng rng(30);
+  const CsrF64 m = random_csr(rng, 50, 20, 5.0);
+  const auto mh = convert_values<pd::Half>(m);
+  ASSERT_EQ(mh.values.size(), m.values.size());
+  for (std::size_t i = 0; i < m.values.size(); ++i) {
+    const double err = std::fabs(mh.values[i].to_double() - m.values[i]);
+    EXPECT_LE(err, 0.5 * pd::half_ulp(m.values[i]) * (1 + 1e-12));
+  }
+}
+
+TEST(Convert, ColIndexNarrowing) {
+  Rng rng(31);
+  const CsrF64 m = random_csr(rng, 40, 100, 5.0);
+  EXPECT_TRUE(fits_u16_columns(m));
+  const auto m16 = narrow_col_index<std::uint16_t>(m);
+  for (std::size_t i = 0; i < m.col_idx.size(); ++i) {
+    EXPECT_EQ(static_cast<std::uint32_t>(m16.col_idx[i]), m.col_idx[i]);
+  }
+
+  CsrF64 wide;
+  wide.num_rows = 1;
+  wide.num_cols = 70000;  // like the liver cases: too wide for u16
+  wide.row_ptr = {0, 1};
+  wide.col_idx = {69999};
+  wide.values = {1.0};
+  EXPECT_FALSE(fits_u16_columns(wide));
+  EXPECT_THROW(narrow_col_index<std::uint16_t>(wide), pd::Error);
+}
+
+}  // namespace
+}  // namespace pd::sparse

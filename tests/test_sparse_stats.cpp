@@ -1,0 +1,106 @@
+// Tests for matrix-structure statistics (the Table I / Figure 2 quantities).
+
+#include <gtest/gtest.h>
+
+#include "sparse/stats.hpp"
+
+namespace pd::sparse {
+namespace {
+
+CsrF64 structured_matrix() {
+  // Rows with lengths 0, 2, 40, 0, 1.
+  CsrF64 m;
+  m.num_rows = 5;
+  m.num_cols = 50;
+  m.row_ptr = {0, 0, 2, 42, 42, 43};
+  for (int i = 0; i < 43; ++i) {
+    m.col_idx.push_back(static_cast<std::uint32_t>(i % 50));
+    m.values.push_back(1.0);
+  }
+  m.validate();
+  return m;
+}
+
+TEST(MatrixStats, CountsAndFractions) {
+  const MatrixStats s = compute_stats(structured_matrix());
+  EXPECT_EQ(s.rows, 5u);
+  EXPECT_EQ(s.cols, 50u);
+  EXPECT_EQ(s.nnz, 43u);
+  EXPECT_EQ(s.empty_rows, 2u);
+  EXPECT_DOUBLE_EQ(s.empty_row_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(s.mean_nnz_per_row, 43.0 / 5.0);
+  EXPECT_DOUBLE_EQ(s.mean_nnz_per_nonempty_row, 43.0 / 3.0);
+  EXPECT_EQ(s.max_row_nnz, 40u);
+  EXPECT_DOUBLE_EQ(s.density, 43.0 / 250.0);
+  // Two of the three non-empty rows are shorter than a warp.
+  EXPECT_DOUBLE_EQ(s.frac_nonempty_below_warp, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.row_skew, 40.0 / (43.0 / 3.0));
+}
+
+TEST(MatrixStats, RowLengthCdf) {
+  const MatrixStats s = compute_stats(structured_matrix());
+  EXPECT_DOUBLE_EQ(s.row_length_cdf(0), 0.0);   // non-empty rows only
+  EXPECT_DOUBLE_EQ(s.row_length_cdf(1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.row_length_cdf(2), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.row_length_cdf(39), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.row_length_cdf(40), 1.0);
+}
+
+TEST(MatrixStats, CsrBytesMatchesTableOneArithmetic) {
+  const MatrixStats s = compute_stats(structured_matrix());
+  // 2-byte values + 4-byte columns + 4-byte row offsets.
+  EXPECT_EQ(s.csr_bytes(2, 4), 43u * 6 + 6 * 4);
+}
+
+TEST(MatrixStats, CumulativeHistogramIsMonotone) {
+  const MatrixStats s = compute_stats(structured_matrix());
+  const auto hist = cumulative_row_length_histogram(s, 10);
+  ASSERT_FALSE(hist.empty());
+  for (std::size_t i = 1; i < hist.size(); ++i) {
+    EXPECT_GT(hist[i].row_length, hist[i - 1].row_length);
+    EXPECT_GE(hist[i].cumulative_fraction, hist[i - 1].cumulative_fraction);
+  }
+  EXPECT_DOUBLE_EQ(hist.back().cumulative_fraction, 1.0);
+}
+
+TEST(MatrixStats, StatsFromLengthsValidatesSize) {
+  EXPECT_THROW(stats_from_row_lengths(3, 4, {1, 2}), pd::Error);
+}
+
+TEST(MatrixStats, EmptyMatrix) {
+  CsrF64 m;
+  m.num_rows = 4;
+  m.num_cols = 4;
+  m.row_ptr = {0, 0, 0, 0, 0};
+  const MatrixStats s = compute_stats(m);
+  EXPECT_EQ(s.nnz, 0u);
+  EXPECT_DOUBLE_EQ(s.empty_row_fraction, 1.0);
+  EXPECT_EQ(s.mean_nnz_per_nonempty_row, 0.0);
+  EXPECT_TRUE(cumulative_row_length_histogram(s).empty());
+}
+
+TEST(PaperTable1, MatchesThePublishedNumbers) {
+  const auto& t = paper_table1();
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_EQ(t[0].name, "Liver 1");
+  EXPECT_DOUBLE_EQ(t[0].rows, 2.97e6);
+  EXPECT_DOUBLE_EQ(t[0].cols, 6.80e4);
+  EXPECT_DOUBLE_EQ(t[0].nnz, 1.48e9);
+  EXPECT_DOUBLE_EQ(t[3].nnz, 1.84e9);  // Liver 4, the largest
+  EXPECT_EQ(t[4].name, "Prostate 1");
+  EXPECT_DOUBLE_EQ(t[4].cols, 5.09e3);
+
+  // Table I consistency: the published non-zero ratios (0.73%, 1.81%, ...)
+  // follow from rows/cols/nnz.
+  EXPECT_NEAR(t[0].nnz / (t[0].rows * t[0].cols), 0.0073, 0.0002);
+  EXPECT_NEAR(t[4].nnz / (t[4].rows * t[4].cols), 0.0181, 0.0002);
+
+  // The row-skew the paper highlights: rows are 40-200x the columns.
+  for (const auto& info : t) {
+    EXPECT_GE(info.rows / info.cols, 40.0);
+    EXPECT_LE(info.rows / info.cols, 210.0);
+  }
+}
+
+}  // namespace
+}  // namespace pd::sparse

@@ -1,0 +1,333 @@
+// protondose — command-line front end for the library.
+//
+// Subcommands:
+//   generate   generate a case beam's dose deposition matrix and export it
+//   stats      print Table I / Figure 2 style structure statistics
+//   spmv       run a kernel on the simulated GPU and report modeled performance
+//   optimize   run the treatment-plan optimizer on a case
+//
+// Run `protondose <subcommand> --help` for per-command options.
+
+#include <iostream>
+#include <string>
+
+#include "cases/cases.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/profile.hpp"
+#include "kernels/analytic.hpp"
+#include "kernels/dose_engine.hpp"
+#include "kernels/tuner.hpp"
+#include "kernels/vector_csr.hpp"
+#include "roofline/roofline.hpp"
+#include "sparse/convert.hpp"
+#include "opt/dvh.hpp"
+#include "opt/optimizer.hpp"
+#include "sparse/io.hpp"
+#include "sparse/reference.hpp"
+#include "sparse/stats.hpp"
+
+namespace {
+
+using pd::cases::CaseDefinition;
+
+CaseDefinition case_by_name(const std::string& name, double scale) {
+  if (name == "liver") {
+    return pd::cases::liver_case(scale);
+  }
+  if (name == "prostate") {
+    return pd::cases::prostate_case(scale);
+  }
+  throw pd::Error("unknown case '" + name + "' (expected liver or prostate)");
+}
+
+pd::gpusim::DeviceSpec device_by_name(const std::string& name) {
+  if (name == "a100") return pd::gpusim::make_a100();
+  if (name == "v100") return pd::gpusim::make_v100();
+  if (name == "p100") return pd::gpusim::make_p100();
+  throw pd::Error("unknown device '" + name + "' (expected a100|v100|p100)");
+}
+
+pd::sparse::CsrF64 load_or_generate(const pd::CliParser& cli) {
+  const std::string in = cli.get("in");
+  if (!in.empty()) {
+    if (in.size() > 4 && in.substr(in.size() - 4) == ".mtx") {
+      return pd::sparse::read_matrix_market_file(in);
+    }
+    return pd::sparse::read_binary_file(in);
+  }
+  const auto def = case_by_name(cli.get("case"), cli.get_double("scale"));
+  const auto patient = pd::cases::build_phantom(def);
+  return pd::cases::generate_beam(def, patient,
+                                  static_cast<std::size_t>(cli.get_int("beam")))
+      .matrix;
+}
+
+void add_source_options(pd::CliParser& cli) {
+  cli.add_option("in", "", "input matrix (.mtx or .pdsm); overrides --case");
+  cli.add_option("case", "liver", "case to generate: liver or prostate");
+  cli.add_option("beam", "0", "beam index within the case");
+  cli.add_option("scale", "1.0", "case scale");
+}
+
+int cmd_generate(int argc, const char* const* argv) {
+  pd::CliParser cli("protondose generate",
+                    "generate a dose deposition matrix and export it");
+  add_source_options(cli);
+  cli.add_option("out", "beam.pdsm", "output path (.mtx or .pdsm)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto matrix = load_or_generate(cli);
+  const std::string out = cli.get("out");
+  if (out.size() > 4 && out.substr(out.size() - 4) == ".mtx") {
+    pd::sparse::write_matrix_market_file(out, matrix);
+  } else {
+    pd::sparse::write_binary_file(out, matrix);
+  }
+  std::cout << "wrote " << out << ": " << matrix.num_rows << " x "
+            << matrix.num_cols << ", nnz " << matrix.nnz() << "\n";
+  return 0;
+}
+
+int cmd_stats(int argc, const char* const* argv) {
+  pd::CliParser cli("protondose stats", "matrix structure statistics");
+  add_source_options(cli);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto matrix = load_or_generate(cli);
+  const auto s = pd::sparse::compute_stats(matrix);
+  pd::TextTable t({"quantity", "value"});
+  t.add_row({"rows (voxels)", std::to_string(s.rows)});
+  t.add_row({"cols (spots)", std::to_string(s.cols)});
+  t.add_row({"non-zeros", std::to_string(s.nnz)});
+  t.add_row({"density", pd::fmt_percent(s.density, 2)});
+  t.add_row({"empty rows", pd::fmt_percent(s.empty_row_fraction, 1)});
+  t.add_row({"mean nnz / non-empty row",
+             pd::fmt_double(s.mean_nnz_per_nonempty_row, 1)});
+  t.add_row({"max row nnz", std::to_string(s.max_row_nnz)});
+  t.add_row({"non-empty rows < 32 nnz",
+             pd::fmt_percent(s.frac_nonempty_below_warp, 1)});
+  t.add_row({"CSR size (half + u32 cols)",
+             pd::fmt_bytes(static_cast<double>(s.csr_bytes(2, 4)))});
+  std::cout << t.str();
+  std::cout << "\ncumulative row-length histogram:\n";
+  for (const auto& p : pd::sparse::cumulative_row_length_histogram(s, 12)) {
+    std::cout << "  <= " << p.row_length << ": "
+              << pd::fmt_percent(p.cumulative_fraction, 1) << "\n";
+  }
+  return 0;
+}
+
+int cmd_spmv(int argc, const char* const* argv) {
+  pd::CliParser cli("protondose spmv",
+                    "run a dose-calculation SpMV on the simulated GPU");
+  add_source_options(cli);
+  cli.add_option("device", "a100", "simulated device: a100, v100, p100");
+  cli.add_option("mode", "half_double", "precision: half_double, single, double");
+  cli.add_option("tpb", "512", "threads per block");
+  cli.add_flag("profile", "print the full Nsight-style kernel profile");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string mode_str = cli.get("mode");
+  pd::kernels::DoseEngine::Mode mode;
+  if (mode_str == "half_double") {
+    mode = pd::kernels::DoseEngine::Mode::kHalfDouble;
+  } else if (mode_str == "single") {
+    mode = pd::kernels::DoseEngine::Mode::kSingle;
+  } else if (mode_str == "double") {
+    mode = pd::kernels::DoseEngine::Mode::kDouble;
+  } else {
+    throw pd::Error("unknown mode: " + mode_str);
+  }
+
+  pd::kernels::DoseEngine engine(
+      load_or_generate(cli), device_by_name(cli.get("device")), mode,
+      static_cast<unsigned>(cli.get_int("tpb")));
+  const std::vector<double> weights(engine.num_spots(), 1.0);
+  engine.compute(weights);
+  const auto est = engine.last_estimate();
+
+  pd::TextTable t({"quantity", "value"});
+  t.add_row({"kernel", mode_str});
+  t.add_row({"device", cli.get("device")});
+  t.add_row({"modeled time", pd::fmt_sci(est.seconds, 3) + " s"});
+  t.add_row({"GFLOP/s", pd::fmt_double(est.gflops, 1)});
+  t.add_row({"DRAM bandwidth", pd::fmt_double(est.dram_gbs, 1) + " GB/s (" +
+                                   pd::fmt_percent(est.bandwidth_fraction, 1) +
+                                   " of peak)"});
+  t.add_row({"operational intensity",
+             pd::fmt_double(est.operational_intensity, 3) + " FLOP/B"});
+  t.add_row({"occupancy", pd::fmt_percent(est.occupancy, 0)});
+  std::cout << t.str();
+  if (cli.get_flag("profile")) {
+    pd::gpusim::PerfInput in;
+    in.stats = engine.last_run().stats;
+    in.config = engine.last_run().config;
+    in.precision = engine.last_run().precision;
+    in.mean_work_per_warp = engine.stats().mean_nnz_per_nonempty_row;
+    std::cout << "\n"
+              << pd::gpusim::profile_report(
+                     device_by_name(cli.get("device")), in, est, mode_str);
+  }
+  return 0;
+}
+
+int cmd_optimize(int argc, const char* const* argv) {
+  pd::CliParser cli("protondose optimize",
+                    "optimize spot weights for a generated case");
+  cli.add_option("case", "prostate", "case: liver or prostate");
+  cli.add_option("beam", "0", "beam index");
+  cli.add_option("scale", "0.5", "case scale");
+  cli.add_option("iterations", "25", "optimizer iterations");
+  cli.add_option("device", "a100", "simulated device");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto def = case_by_name(cli.get("case"), cli.get_double("scale"));
+  const auto patient = pd::cases::build_phantom(def);
+  const auto beam = pd::cases::generate_beam(
+      def, patient, static_cast<std::size_t>(cli.get_int("beam")));
+
+  std::vector<double> probe(beam.matrix.num_rows);
+  pd::sparse::reference_spmv(beam.matrix,
+                             std::vector<double>(beam.matrix.num_cols, 1.0),
+                             probe);
+  double max_dose = 0.0;
+  for (const double d : probe) max_dose = std::max(max_dose, d);
+  const double prescription = 0.5 * max_dose;
+
+  pd::opt::OptimizerConfig cfg;
+  cfg.max_iterations = static_cast<unsigned>(cli.get_int("iterations"));
+  pd::opt::PlanOptimizer optimizer(
+      beam.matrix,
+      pd::opt::DoseObjective::standard_goals(patient, prescription,
+                                             0.4 * prescription),
+      device_by_name(cli.get("device")), cfg);
+  const auto result = optimizer.optimize();
+
+  const auto target_dvh =
+      pd::opt::Dvh::for_roi(patient, pd::phantom::Roi::kTarget, result.dose);
+  pd::TextTable t({"quantity", "value"});
+  t.add_row({"iterations", std::to_string(result.iterations)});
+  t.add_row({"SpMV products", std::to_string(result.spmv_count)});
+  t.add_row({"objective", pd::fmt_sci(result.objective_history.front(), 2) +
+                              " -> " +
+                              pd::fmt_sci(result.objective_history.back(), 2)});
+  t.add_row({"prescription", pd::fmt_double(prescription, 3)});
+  t.add_row({"target D95", pd::fmt_double(target_dvh.dose_at_volume(0.95), 3)});
+  t.add_row({"target mean", pd::fmt_double(target_dvh.mean_dose(), 3)});
+  t.add_row({"homogeneity index",
+             pd::fmt_double(pd::opt::homogeneity_index(target_dvh), 3)});
+  std::cout << t.str();
+  return 0;
+}
+
+int cmd_roofline(int argc, const char* const* argv) {
+  pd::CliParser cli("protondose roofline",
+                    "ASCII roofline of the kernel family on a matrix");
+  add_source_options(cli);
+  cli.add_option("device", "a100", "simulated device: a100, v100, p100");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto matrix = load_or_generate(cli);
+  const auto spec = device_by_name(cli.get("device"));
+  pd::gpusim::Gpu gpu(spec);
+  const auto stats = pd::sparse::compute_stats(matrix);
+
+  std::vector<pd::roofline::RooflinePoint> points;
+  for (const auto mode : {pd::kernels::DoseEngine::Mode::kHalfDouble,
+                          pd::kernels::DoseEngine::Mode::kSingle,
+                          pd::kernels::DoseEngine::Mode::kDouble}) {
+    pd::kernels::DoseEngine engine(pd::sparse::CsrF64(matrix), spec, mode);
+    engine.compute(std::vector<double>(matrix.num_cols, 1.0));
+    const auto est = engine.last_estimate();
+    const char* label = mode == pd::kernels::DoseEngine::Mode::kHalfDouble
+                            ? "Half/Double"
+                            : mode == pd::kernels::DoseEngine::Mode::kSingle
+                                  ? "Single"
+                                  : "Double";
+    points.push_back({label, est.operational_intensity, est.gflops});
+  }
+  const auto model =
+      pd::roofline::make_roofline(spec, pd::gpusim::FlopPrecision::kFp64);
+  std::cout << pd::roofline::ascii_roofline(model, points) << "\n";
+  (void)stats;
+  return 0;
+}
+
+int cmd_tune(int argc, const char* const* argv) {
+  pd::CliParser cli("protondose tune",
+                    "threads-per-block sweep for the Half/Double kernel");
+  add_source_options(cli);
+  cli.add_option("device", "a100", "simulated device: a100, v100, p100");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto matrix = load_or_generate(cli);
+  const auto stats = pd::sparse::compute_stats(matrix);
+  const auto mh = pd::sparse::convert_values<pd::Half>(matrix);
+  const std::vector<double> x(matrix.num_cols, 1.0);
+  std::vector<double> y(matrix.num_rows);
+
+  pd::gpusim::Gpu gpu(device_by_name(cli.get("device")));
+  const auto result = pd::kernels::tune_block_size(
+      gpu.spec(),
+      [&](unsigned tpb) {
+        return pd::kernels::run_vector_csr<pd::Half, double>(
+            gpu, mh, x, std::span<double>(y), tpb);
+      },
+      stats.mean_nnz_per_nonempty_row);
+
+  pd::TextTable t({"threads/block", "GFLOP/s", "GB/s", "occupancy"});
+  for (const auto& p : result.points) {
+    t.add_row({std::to_string(p.threads_per_block),
+               pd::fmt_double(p.estimate.gflops, 1),
+               pd::fmt_double(p.estimate.dram_gbs, 1),
+               pd::fmt_percent(p.estimate.occupancy, 0)});
+  }
+  std::cout << t.str() << "\nbest: " << result.best_threads_per_block
+            << " threads/block\n";
+  return 0;
+}
+
+void print_usage() {
+  std::cout << "protondose <subcommand> [options]\n\n"
+               "subcommands:\n"
+               "  generate   generate and export a dose deposition matrix\n"
+               "  stats      matrix structure statistics (Table I / Fig. 2)\n"
+               "  spmv       simulated-GPU dose calculation + perf model\n"
+               "  roofline   ASCII roofline of the kernel family\n"
+               "  tune       threads-per-block sweep (Figure 4)\n"
+               "  optimize   run the treatment-plan optimizer\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  // Shift argv so subcommand parsers see their own options.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (cmd == "generate") return cmd_generate(sub_argc, sub_argv);
+    if (cmd == "stats") return cmd_stats(sub_argc, sub_argv);
+    if (cmd == "spmv") return cmd_spmv(sub_argc, sub_argv);
+    if (cmd == "roofline") return cmd_roofline(sub_argc, sub_argv);
+    if (cmd == "tune") return cmd_tune(sub_argc, sub_argv);
+    if (cmd == "optimize") return cmd_optimize(sub_argc, sub_argv);
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      print_usage();
+      return 0;
+    }
+    std::cerr << "unknown subcommand: " << cmd << "\n";
+    print_usage();
+    return 1;
+  } catch (const pd::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
