@@ -1,0 +1,175 @@
+// Wallclock throughput of the simulator *itself* — not the modelled device.
+//
+// The two-phase engine (PR 2) exists to make every figure and ablation in
+// this reproduction cheaper to run: the robust-optimization workloads the
+// paper motivates multiply SpMV launch counts by 10-100x, so simulator
+// throughput bounds the experiment matrix we can afford.  This bench measures
+// simulated warp-instructions/sec and sectors/sec on Liver 1 for each engine
+// mode against the retained reference memory path (the seed's sort+unique
+// coalescer and global-tick cache scan), and records the trajectory in
+// BENCH_gpusim.json so later PRs can show regressions or wins.
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "fp16/half.hpp"
+#include "gpusim/trace.hpp"
+#include "kernels/vector_csr.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/random.hpp"
+
+namespace {
+
+struct ModeSpec {
+  std::string name;
+  bool reference_path;
+  pd::gpusim::EngineOptions engine;
+};
+
+struct ModeResult {
+  std::string name;
+  double seconds_per_launch = 0.0;
+  double warp_instr_per_sec = 0.0;
+  double sectors_per_sec = 0.0;
+  double speedup_vs_reference = 0.0;
+  pd::gpusim::KernelStats stats;
+};
+
+std::string fmt(double v, int prec = 3) {
+  std::ostringstream os;
+  os << std::setprecision(prec) << std::fixed << v;
+  return os.str();
+}
+
+std::string fmt_rate(double v) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(3) << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  const double scale = pd::bench::bench_scale();
+  pd::bench::print_banner("wallclock_sim_throughput",
+                          "simulator engine throughput (two-phase vs serial)",
+                          scale);
+  const auto beams = pd::bench::load_case_beams("liver", scale);
+  const auto& beam = beams.front();
+
+  const auto mh = pd::sparse::convert_values<pd::Half>(beam.matrix);
+  pd::Rng rng(2022);
+  const std::vector<double> x =
+      pd::sparse::random_vector(rng, beam.matrix.num_cols, 0.5, 2.0);
+  std::vector<double> y(beam.matrix.num_rows);
+
+  const std::vector<ModeSpec> modes = {
+      {"serial_reference", true,
+       {pd::gpusim::TraceMode::kSerial, 1}},
+      {"serial", false, {pd::gpusim::TraceMode::kSerial, 1}},
+      {"trace_replay", false, {pd::gpusim::TraceMode::kTraceReplay, 0}},
+      {"functional_only", false,
+       {pd::gpusim::TraceMode::kFunctionalOnly, 0}},
+  };
+
+  auto launch_once = [&](pd::gpusim::Gpu& gpu) {
+    return pd::kernels::run_vector_csr<pd::Half, double>(
+               gpu, mh, x, std::span<double>(y), 512, /*seed=*/1)
+        .stats;
+  };
+
+  std::vector<ModeResult> results;
+  for (const auto& mode : modes) {
+    pd::gpusim::Gpu gpu(pd::gpusim::make_a100());
+    gpu.set_reference_memory_path(mode.reference_path);
+    gpu.set_engine(mode.engine);
+
+    ModeResult r;
+    r.name = mode.name;
+    r.stats = launch_once(gpu);  // warm-up; also the counters we report
+
+    // Run enough launches for a stable wallclock sample (>= ~0.4 s or 5
+    // reps, whichever is more work).
+    const auto t0 = std::chrono::steady_clock::now();
+    int reps = 0;
+    double elapsed = 0.0;
+    do {
+      launch_once(gpu);
+      ++reps;
+      elapsed = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    } while (reps < 5 || elapsed < 0.4);
+
+    r.seconds_per_launch = elapsed / reps;
+    r.warp_instr_per_sec =
+        static_cast<double>(r.stats.compute.warp_arith_instrs) /
+        r.seconds_per_launch;
+    r.sectors_per_sec =
+        static_cast<double>(r.stats.traffic.total_sectors()) /
+        r.seconds_per_launch;
+    results.push_back(std::move(r));
+  }
+  for (auto& r : results) {
+    r.speedup_vs_reference =
+        results.front().seconds_per_launch / r.seconds_per_launch;
+  }
+
+  pd::TextTable table({"engine mode", "ms / launch", "warp instr/s",
+                       "sectors/s", "speedup vs reference"});
+  for (const auto& r : results) {
+    table.add_row({r.name, fmt(r.seconds_per_launch * 1e3),
+                   fmt_rate(r.warp_instr_per_sec),
+                   r.stats.traffic.total_sectors() == 0
+                       ? "n/a (no traffic sim)"
+                       : fmt_rate(r.sectors_per_sec),
+                   fmt(r.speedup_vs_reference, 2) + "x"});
+  }
+  std::cout << table.str() << "\n";
+  std::cout << "functional_only skips the cache model entirely (correctness-"
+               "only callers: tests, optimizer inner loops); trace_replay "
+               "keeps counters bitwise identical to serial.\n\n";
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& r : results) {
+    rows.push_back({beam.label, r.name, fmt(r.seconds_per_launch * 1e6, 1),
+                    fmt_rate(r.warp_instr_per_sec), fmt_rate(r.sectors_per_sec),
+                    fmt(r.speedup_vs_reference, 3)});
+  }
+  pd::bench::write_csv("wallclock_sim_throughput",
+                       {"beam", "mode", "us_per_launch", "warp_instr_per_sec",
+                        "sectors_per_sec", "speedup_vs_reference"},
+                       rows);
+
+  // Machine-readable trajectory record, consumed by later PRs.
+  std::ofstream json("BENCH_gpusim.json");
+  json << "{\n";
+  json << "  \"bench\": \"wallclock_sim_throughput\",\n";
+  json << "  \"beam\": \"" << beam.label << "\",\n";
+  json << "  \"scale\": " << scale << ",\n";
+  json << "  \"kernel\": \"vector_csr<half,double> tpb=512\",\n";
+  json << "  \"warp_instrs_per_launch\": "
+       << results.front().stats.compute.warp_arith_instrs << ",\n";
+  json << "  \"sectors_per_launch\": "
+       << results.front().stats.traffic.total_sectors() << ",\n";
+  json << "  \"modes\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    json << "    {\"mode\": \"" << r.name << "\", \"us_per_launch\": "
+         << fmt(r.seconds_per_launch * 1e6, 1)
+         << ", \"warp_instr_per_sec\": " << fmt_rate(r.warp_instr_per_sec)
+         << ", \"sectors_per_sec\": " << fmt_rate(r.sectors_per_sec)
+         << ", \"speedup_vs_reference\": " << fmt(r.speedup_vs_reference, 3)
+         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_gpusim.json\n";
+  return 0;
+}

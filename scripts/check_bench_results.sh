@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Cheap CI gate for the bench suite: regenerate every bench_results/*.csv at a
+# tiny matrix scale and verify each file still has the expected schema (header
+# line) and a plausible shape (at least one data row).  Catches benches that
+# crash, stop emitting their CSV, or silently change columns — without paying
+# for a full-scale run.
+#
+# Usage: scripts/check_bench_results.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+SCALE="${PROTONDOSE_SCALE:-0.2}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found — build the project first" >&2
+  exit 1
+fi
+
+# Snapshot the current schemas (header + row count) before regenerating.
+declare -A OLD_HEADER OLD_ROWS
+if [ -d bench_results ]; then
+  for f in bench_results/*.csv; do
+    [ -f "$f" ] || continue
+    OLD_HEADER["$f"]=$(head -n 1 "$f")
+    OLD_ROWS["$f"]=$(wc -l < "$f")
+  done
+fi
+
+workdir=$(mktemp -d protondose_bench_check.XXXXXX)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== regenerating bench CSVs at scale $SCALE (workdir: $workdir) =="
+fail=0
+for b in "$BUILD_DIR"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name=$(basename "$b")
+  case "$name" in
+    wallclock_host_kernels) continue ;;  # google-benchmark binary, no CSV
+  esac
+  if ! (cd "$workdir" && PROTONDOSE_SCALE="$SCALE" "../$b" > "$name.log" 2>&1); then
+    echo "FAIL $name: exited non-zero (see $workdir/$name.log)"
+    fail=1
+  fi
+done
+
+echo "== checking schemas =="
+for f in "$workdir"/bench_results/*.csv; do
+  [ -f "$f" ] || { echo "FAIL: no CSVs were produced"; fail=1; break; }
+  rel="bench_results/$(basename "$f")"
+  header=$(head -n 1 "$f")
+  rows=$(wc -l < "$f")
+  if [ "$rows" -lt 2 ]; then
+    echo "FAIL $rel: no data rows"
+    fail=1
+    continue
+  fi
+  if [ -n "${OLD_HEADER[$rel]:-}" ] && [ "${OLD_HEADER[$rel]}" != "$header" ]; then
+    echo "FAIL $rel: header changed"
+    echo "  was: ${OLD_HEADER[$rel]}"
+    echo "  now: $header"
+    fail=1
+    continue
+  fi
+  echo "ok   $rel ($((rows - 1)) rows)"
+done
+
+# Benches that used to emit a CSV must still emit one.
+for rel in "${!OLD_HEADER[@]}"; do
+  if [ ! -f "$workdir/$rel" ]; then
+    echo "FAIL $rel: previously present, not regenerated"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench results check FAILED"
+  exit 1
+fi
+echo "bench results check passed"

@@ -29,16 +29,24 @@ namespace pd::gpusim {
 
 class BlockCtx {
  public:
-  BlockCtx(MemoryModel& mem, ComputeCounters& compute, SharedCounters& shared,
+  BlockCtx(MemRoute route, ComputeCounters& compute, SharedCounters& shared,
            std::uint64_t block_idx, unsigned block_dim, std::uint64_t grid_dim,
            std::size_t shared_limit_bytes)
-      : mem_(&mem),
+      : route_(route),
         compute_(&compute),
         shared_counters_(&shared),
         block_idx_(block_idx),
         block_dim_(block_dim),
         grid_dim_(grid_dim),
         shared_limit_(shared_limit_bytes) {}
+
+  /// Legacy convenience: direct routing into a MemoryModel (serial engine,
+  /// unit tests).
+  BlockCtx(MemoryModel& mem, ComputeCounters& compute, SharedCounters& shared,
+           std::uint64_t block_idx, unsigned block_dim, std::uint64_t grid_dim,
+           std::size_t shared_limit_bytes)
+      : BlockCtx(MemRoute::direct(mem), compute, shared, block_idx, block_dim,
+                 grid_dim, shared_limit_bytes) {}
 
   std::uint64_t block_idx() const { return block_idx_; }
   unsigned block_dim() const { return block_dim_; }
@@ -62,14 +70,14 @@ class BlockCtx {
   template <typename Fn>
   void for_each_warp(Fn&& fn) {
     for (unsigned w = 0; w < warps_per_block(); ++w) {
-      WarpCtx ctx(*mem_, *compute_, block_idx_, w, block_dim_, grid_dim_);
+      WarpCtx ctx(route_, *compute_, block_idx_, w, block_dim_, grid_dim_);
       ctx.attach_shared(shared_counters_);
       fn(ctx);
     }
   }
 
  private:
-  MemoryModel* mem_;
+  MemRoute route_;
   ComputeCounters* compute_;
   SharedCounters* shared_counters_;
   std::uint64_t block_idx_;

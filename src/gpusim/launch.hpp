@@ -1,23 +1,49 @@
 #pragma once
 // Kernel launch engine.
 //
-// Gpu::run executes a warp-level kernel across a launch grid, block by block,
-// warp by warp, with an optional *schedule seed* that permutes block
-// execution order.  Real GPUs give no ordering guarantee between blocks;
-// permuting the order lets tests demonstrate the paper's §II-D reproducibility
-// argument concretely: kernels whose warps only touch disjoint outputs return
-// bitwise-identical results under every schedule, while the atomic-based
-// GPU Baseline does not.
+// Gpu::run executes a warp-level kernel across a launch grid with an optional
+// *schedule seed* that permutes block execution order.  Real GPUs give no
+// ordering guarantee between blocks; permuting the order lets tests
+// demonstrate the paper's §II-D reproducibility argument concretely: kernels
+// whose warps only touch disjoint outputs return bitwise-identical results
+// under every schedule, while the atomic-based GPU Baseline does not.
+//
+// Three engine modes (EngineOptions::mode, see gpusim/trace.hpp):
+//
+//  * kSerial — the legacy single pass: each warp executes and its memory
+//    requests probe the cache inline, block by block in schedule order.
+//  * kTraceReplay — two phases.  Phase 1 executes every block functionally
+//    (in parallel across blocks when phase1_threads allows) and records each
+//    warp's compacted sector trace into the block's private BlockTrace.
+//    Phase 2 replays the traces through the cache model in schedule order.
+//    Because intra-block request order is preserved by the trace and
+//    inter-block order by the schedule-order replay, the traffic counters
+//    are bitwise identical to kSerial for every schedule seed, regardless of
+//    how phase 1 was parallelized.
+//  * kFunctionalOnly — phase 1 only: real kernel results and arithmetic
+//    counters, zero traffic simulation.  For callers that never look at the
+//    memory counters (optimizer inner loops) this skips the coalescer, the
+//    cache and even address generation.
+//
+// Determinism of the counters: per-block ComputeCounters / SharedCounters
+// are summed in ascending block order (unsigned addition is associative and
+// commutative, so the phase-1 execution order cannot leak in).  FP atomics
+// under a concurrent phase 1 use real atomic RMW — race-free totals with
+// nondeterministic addition order, exactly the §II-D behavior of hardware
+// atomics (serial modes keep the schedule-order application the tests pin).
 
 #include <cstdint>
+#include <memory>
 #include <numeric>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "gpusim/block.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/memory.hpp"
-#include "gpusim/block.hpp"
+#include "gpusim/pool.hpp"
+#include "gpusim/trace.hpp"
 #include "gpusim/warp.hpp"
 
 namespace pd::gpusim {
@@ -66,6 +92,14 @@ struct KernelStats {
   }
 };
 
+/// How the engine executes launches.  phase1_threads only affects phase 1 of
+/// kTraceReplay and kFunctionalOnly execution (0 = all hardware threads);
+/// the traffic counters are identical for every value.
+struct EngineOptions {
+  TraceMode mode = TraceMode::kSerial;
+  unsigned phase1_threads = 0;
+};
+
 /// A simulated device: spec + memory hierarchy + launch loop.
 class Gpu {
  public:
@@ -75,6 +109,17 @@ class Gpu {
 
   /// Cold-start the cache so back-to-back measurements are independent.
   void invalidate_cache() { mem_.invalidate_cache(); }
+
+  /// Select the engine mode for subsequent launches.
+  void set_engine(const EngineOptions& opts) {
+    opts_ = opts;
+    pool_.reset();  // rebuilt lazily for the new thread count
+  }
+  const EngineOptions& engine() const { return opts_; }
+
+  /// Route the serial engine through the seed (reference) coalescer and cache
+  /// scan — the differential-testing oracle and bench baseline.
+  void set_reference_memory_path(bool on) { mem_.set_reference_path(on); }
 
   /// Execute `warp_fn(WarpCtx&)` for every warp of the grid.  Blocks run in
   /// ascending order when schedule_seed == 0, otherwise in a seeded random
@@ -88,40 +133,22 @@ class Gpu {
   template <typename Fn>
   KernelStats run(const LaunchConfig& cfg, Fn&& warp_fn,
                   std::uint64_t schedule_seed = 0, bool cold_cache = true) {
-    if (cold_cache) {
-      mem_.invalidate_cache();
-    }
     PD_CHECK_MSG(cfg.threads_per_block % kWarpSize == 0,
                  "threads_per_block must be a multiple of 32");
     PD_CHECK_MSG(cfg.threads_per_block <= spec_.max_threads_per_block,
                  "threads_per_block exceeds the device limit");
     PD_CHECK_MSG(cfg.num_blocks > 0, "empty grid");
 
-    mem_.begin_kernel();
-    ComputeCounters compute;
-
-    std::vector<std::uint64_t> order(cfg.num_blocks);
-    std::iota(order.begin(), order.end(), 0);
-    if (schedule_seed != 0) {
-      Rng rng(schedule_seed);
-      rng.shuffle(order.data(), order.size());
-    }
-
     const unsigned wpb = cfg.warps_per_block();
-    for (const std::uint64_t block : order) {
+    auto run_block = [&](MemRoute route, ComputeCounters& compute,
+                         std::uint64_t block) {
       for (unsigned w = 0; w < wpb; ++w) {
-        WarpCtx ctx(mem_, compute, block, w, cfg.threads_per_block,
+        WarpCtx ctx(route, compute, block, w, cfg.threads_per_block,
                     cfg.num_blocks);
         warp_fn(ctx);
       }
-    }
-
-    KernelStats stats;
-    stats.traffic = mem_.end_kernel();
-    stats.compute = compute;
-    stats.blocks_launched = cfg.num_blocks;
-    stats.warps_launched = cfg.total_warps();
-    return stats;
+    };
+    return launch(cfg, run_block, schedule_seed, cold_cache);
   }
 
   /// Execute a block-scope kernel: `block_fn(BlockCtx&)` runs once per
@@ -134,37 +161,140 @@ class Gpu {
     PD_CHECK_MSG(cfg.threads_per_block % kWarpSize == 0,
                  "threads_per_block must be a multiple of 32");
     PD_CHECK_MSG(cfg.num_blocks > 0, "empty grid");
-    if (cold_cache) {
-      mem_.invalidate_cache();
-    }
-    mem_.begin_kernel();
-    ComputeCounters compute;
-    SharedCounters shared;
 
-    std::vector<std::uint64_t> order(cfg.num_blocks);
+    std::vector<SharedCounters> shared(cfg.num_blocks);
+    auto run_block = [&](MemRoute route, ComputeCounters& compute,
+                         std::uint64_t block) {
+      BlockCtx ctx(route, compute, shared[block], block, cfg.threads_per_block,
+                   cfg.num_blocks, spec_.shared_bytes_per_block);
+      block_fn(ctx);
+    };
+    KernelStats stats = launch(cfg, run_block, schedule_seed, cold_cache);
+    for (const SharedCounters& s : shared) {
+      stats.shared += s;
+    }
+    return stats;
+  }
+
+ private:
+  /// Blocks in launch order: ascending, or a seeded permutation.
+  static std::vector<std::uint64_t> block_order(std::uint64_t num_blocks,
+                                                std::uint64_t schedule_seed) {
+    std::vector<std::uint64_t> order(num_blocks);
     std::iota(order.begin(), order.end(), 0);
     if (schedule_seed != 0) {
       Rng rng(schedule_seed);
       rng.shuffle(order.data(), order.size());
     }
-    for (const std::uint64_t block : order) {
-      BlockCtx ctx(mem_, compute, shared, block, cfg.threads_per_block,
-                   cfg.num_blocks, spec_.shared_bytes_per_block);
-      block_fn(ctx);
-    }
+    return order;
+  }
 
+  /// Phase-1 execution contexts for the current options (>= 1).
+  unsigned phase1_contexts() const {
+    return resolve_phase1_threads(opts_.phase1_threads);
+  }
+
+  ThreadPool& pool(unsigned contexts) {
+    if (!pool_) {
+      pool_ = std::make_unique<ThreadPool>(contexts - 1);
+    }
+    return *pool_;
+  }
+
+  /// Mode dispatch shared by run() and run_blocks().  `run_block` executes
+  /// one block's warps against a MemRoute, accumulating into the given
+  /// ComputeCounters.
+  template <typename RunBlock>
+  KernelStats launch(const LaunchConfig& cfg, RunBlock&& run_block,
+                     std::uint64_t schedule_seed, bool cold_cache) {
     KernelStats stats;
-    stats.traffic = mem_.end_kernel();
-    stats.compute = compute;
-    stats.shared = shared;
     stats.blocks_launched = cfg.num_blocks;
     stats.warps_launched = cfg.total_warps();
+
+    const std::vector<std::uint64_t> order =
+        block_order(cfg.num_blocks, schedule_seed);
+
+    switch (opts_.mode) {
+      case TraceMode::kSerial: {
+        if (cold_cache) {
+          mem_.invalidate_cache();
+        }
+        mem_.begin_kernel();
+        ComputeCounters compute;
+        for (const std::uint64_t block : order) {
+          run_block(MemRoute::direct(mem_), compute, block);
+        }
+        stats.traffic = mem_.end_kernel();
+        stats.compute = compute;
+        return stats;
+      }
+
+      case TraceMode::kFunctionalOnly: {
+        std::vector<ComputeCounters> compute(cfg.num_blocks);
+        const unsigned contexts = phase1_contexts();
+        if (contexts > 1 && cfg.num_blocks > 1) {
+          MemRoute route = MemRoute::functional();
+          route.set_concurrent(true);
+          pool(contexts).parallel_for(
+              cfg.num_blocks, [&](std::size_t block) {
+                run_block(route, compute[block],
+                          static_cast<std::uint64_t>(block));
+              });
+        } else {
+          // Serial functional execution follows the schedule order so FP
+          // atomics apply exactly as in the serial engine.
+          for (const std::uint64_t block : order) {
+            run_block(MemRoute::functional(), compute[block], block);
+          }
+        }
+        for (const ComputeCounters& c : compute) {
+          stats.compute += c;
+        }
+        return stats;
+      }
+
+      case TraceMode::kTraceReplay: {
+        // Phase 1: functional execution, recording per-block sector traces.
+        std::vector<BlockTrace> traces(cfg.num_blocks);
+        std::vector<ComputeCounters> compute(cfg.num_blocks);
+        const unsigned contexts = phase1_contexts();
+        if (contexts > 1 && cfg.num_blocks > 1) {
+          pool(contexts).parallel_for(
+              cfg.num_blocks, [&](std::size_t block) {
+                MemRoute route = MemRoute::record(traces[block]);
+                route.set_concurrent(true);
+                run_block(route, compute[block],
+                          static_cast<std::uint64_t>(block));
+              });
+        } else {
+          for (const std::uint64_t block : order) {
+            run_block(MemRoute::record(traces[block]), compute[block], block);
+          }
+        }
+        // Phase 2: replay through the cache in schedule order — the same
+        // request sequence the serial engine would have issued.
+        if (cold_cache) {
+          mem_.invalidate_cache();
+        }
+        mem_.begin_kernel();
+        for (const std::uint64_t block : order) {
+          mem_.replay(traces[block]);
+        }
+        stats.traffic = mem_.end_kernel();
+        for (const ComputeCounters& c : compute) {
+          stats.compute += c;
+        }
+        return stats;
+      }
+    }
+    PD_CHECK_MSG(false, "unreachable engine mode");
     return stats;
   }
 
- private:
   DeviceSpec spec_;
   MemoryModel mem_;
+  EngineOptions opts_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace pd::gpusim

@@ -62,9 +62,10 @@ PerfEstimate estimate_performance(const DeviceSpec& spec, const PerfInput& in) {
   out.t_atomic = atomics / (spec.atomic_gops * kGiga);
 
   // Instruction-issue term: every warp memory request replays once per
-  // coalesced sector; arithmetic instructions issue once.
+  // coalesced sector (vector and scalar alike); arithmetic instructions
+  // issue once.
   const double issue_slots =
-      static_cast<double>(in.stats.traffic.sectors_requested) +
+      static_cast<double>(in.stats.traffic.total_sectors()) +
       static_cast<double>(in.stats.compute.warp_arith_instrs);
   const double issue_rate = static_cast<double>(spec.num_sms) *
                             spec.warp_schedulers_per_sm * spec.sm_clock_ghz *

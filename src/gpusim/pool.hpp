@@ -1,0 +1,61 @@
+#pragma once
+// Minimal caller-participating thread pool for phase 1 of trace-replay
+// execution.
+//
+// The pool owns `workers` threads; parallel_for additionally runs work on the
+// calling thread, so a pool built with resolve_phase1_workers(n) saturates n
+// cores with n-1 worker threads and degrades to plain serial execution (zero
+// threads, zero synchronization overhead per item beyond one atomic) on a
+// single-core host.  Work items are claimed from an atomic counter, so the
+// schedule is dynamic; the engine's determinism never depends on which thread
+// runs which block (see trace.hpp).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pd::gpusim {
+
+/// Number of phase-1 execution contexts for a requested thread count.
+/// 0 = auto (all hardware threads); anything else is clamped to >= 1.
+unsigned resolve_phase1_threads(unsigned requested);
+
+class ThreadPool {
+ public:
+  /// Spawn `workers` worker threads (0 is valid: parallel_for runs inline).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Run fn(i) for i in [0, n), distributing items across the workers and the
+  /// calling thread.  Blocks until all items finish.  The first exception
+  /// thrown by any item is rethrown here after the batch drains.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void run_items();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t total_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t pending_workers_ = 0;  ///< Workers still inside the batch.
+  std::uint64_t generation_ = 0;     ///< Bumped per batch to wake workers.
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace pd::gpusim

@@ -76,6 +76,12 @@ std::string profile_report(const DeviceSpec& spec, const PerfInput& input,
                   : 0.0;
     t.add_row({"L2 read hit rate", pd::fmt_percent(hit_rate, 1)});
     t.add_row({"L2 atomic ops", std::to_string(tc.l2_atomic_ops)});
+    t.add_row({"warp requests", std::to_string(tc.warp_requests) + " (" +
+                                    std::to_string(tc.sectors_requested) +
+                                    " sectors)"});
+    t.add_row({"scalar requests", std::to_string(tc.scalar_requests) + " (" +
+                                      std::to_string(tc.scalar_sectors) +
+                                      " sectors)"});
     t.add_row({"sectors / warp request", pd::fmt_double(tc.sectors_per_request(), 2) +
                                              " (4.0 = fully coalesced 4B)"});
     t.add_row({"operational intensity",

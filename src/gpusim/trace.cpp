@@ -1,0 +1,95 @@
+#include "gpusim/trace.hpp"
+
+#include "gpusim/memory.hpp"
+
+namespace pd::gpusim {
+
+const char* to_string(TraceMode mode) {
+  switch (mode) {
+    case TraceMode::kSerial:
+      return "serial";
+    case TraceMode::kTraceReplay:
+      return "trace_replay";
+    case TraceMode::kFunctionalOnly:
+      return "functional_only";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr unsigned kSector = DeviceSpec::kSectorBytes;
+
+/// Phase-1 scratch for the recording route.  thread_local so concurrent
+/// blocks never share it; each record() copies the compacted sectors into
+/// the block's own trace before the next request reuses the buffer.
+SectorBuffer& record_scratch() {
+  thread_local SectorBuffer scratch;
+  return scratch;
+}
+
+void fill_span(SectorBuffer& scratch, std::uint64_t addr, unsigned size) {
+  const std::uint64_t first = addr / kSector;
+  const std::uint64_t last = (addr + size - 1) / kSector;
+  scratch.reserve(static_cast<unsigned>(last - first + 1));
+  for (std::uint64_t s = first; s <= last; ++s) {
+    scratch.data[scratch.count++] = s;
+  }
+}
+
+}  // namespace
+
+void MemRoute::warp_access(const Lanes<std::uint64_t>& addr, unsigned size,
+                           LaneMask mask, bool write) {
+  switch (mode_) {
+    case TraceMode::kSerial:
+      mem_->warp_access(addr, size, mask, write);
+      break;
+    case TraceMode::kTraceReplay: {
+      if (mask == 0) {
+        return;
+      }
+      SectorBuffer& scratch = record_scratch();
+      coalesce_warp_sectors(addr, size, mask, scratch);
+      trace_->record(TraceOp::kWarp, write, scratch.data, scratch.count);
+      break;
+    }
+    case TraceMode::kFunctionalOnly:
+      break;
+  }
+}
+
+void MemRoute::scalar_access(std::uint64_t addr, unsigned size, bool write) {
+  switch (mode_) {
+    case TraceMode::kSerial:
+      mem_->scalar_access(addr, size, write);
+      break;
+    case TraceMode::kTraceReplay: {
+      SectorBuffer& scratch = record_scratch();
+      fill_span(scratch, addr, size);
+      trace_->record(TraceOp::kScalar, write, scratch.data, scratch.count);
+      break;
+    }
+    case TraceMode::kFunctionalOnly:
+      break;
+  }
+}
+
+void MemRoute::atomic_access(std::uint64_t addr, unsigned size) {
+  switch (mode_) {
+    case TraceMode::kSerial:
+      mem_->atomic_access(addr, size);
+      break;
+    case TraceMode::kTraceReplay: {
+      SectorBuffer& scratch = record_scratch();
+      fill_span(scratch, addr, size);
+      trace_->record(TraceOp::kAtomic, /*write=*/false, scratch.data,
+                     scratch.count);
+      break;
+    }
+    case TraceMode::kFunctionalOnly:
+      break;
+  }
+}
+
+}  // namespace pd::gpusim

@@ -1,0 +1,74 @@
+#pragma once
+// Trace-driven execution: the engine's TraceMode and the per-block sector
+// trace that decouples *functional* kernel execution from *cache* simulation.
+//
+// In TraceMode::kTraceReplay the engine runs in two phases.  Phase 1 executes
+// every warp functionally (optionally in parallel across blocks) while the
+// coalescer compacts each memory instruction into its distinct 32-byte
+// sectors, appended to the owning block's BlockTrace.  Phase 2 replays the
+// block traces through the cache model in the launch's schedule order.
+// Because a block's trace preserves the exact intra-block instruction order
+// and the replay preserves the inter-block schedule order, the traffic
+// counters are bitwise identical to the single-pass serial engine for every
+// schedule seed — the simulator-level analogue of the paper's §II-D
+// reproducibility argument.
+//
+// TraceMode::kFunctionalOnly drops phase 2 (and the coalescer) entirely for
+// callers that only need the computed values, e.g. optimizer inner loops.
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/lanes.hpp"
+
+namespace pd::gpusim {
+
+/// How Gpu::run / run_blocks executes a launch.
+enum class TraceMode {
+  kSerial,         ///< Legacy single pass: execute + cache-simulate inline.
+  kTraceReplay,    ///< Phase 1 functional (parallelizable), phase 2 replay.
+  kFunctionalOnly, ///< Phase 1 only: real results, no traffic simulation.
+};
+
+const char* to_string(TraceMode mode);
+
+/// The kind of memory instruction a trace record describes.  Replay must
+/// reproduce the per-kind counter updates of the direct path exactly.
+enum class TraceOp : std::uint8_t {
+  kWarp = 0,    ///< Coalesced warp-level vector request.
+  kScalar = 1,  ///< Uniform (broadcast) access.
+  kAtomic = 2,  ///< FP atomic read-modify-write at L2.
+};
+
+// Trace encoding: one header word followed by `count` raw sector indices.
+// Header layout: bits [0,2) = TraceOp, bit 2 = write flag, bits [3,64) =
+// sector count.  Sector indices are byte addresses divided by the 32-byte
+// sector size, so they fit comfortably below 2^59.
+inline constexpr unsigned kTraceOpBits = 2;
+inline constexpr std::uint64_t kTraceOpMask = (1u << kTraceOpBits) - 1;
+inline constexpr unsigned kTraceWriteBit = kTraceOpBits;
+inline constexpr unsigned kTraceCountShift = kTraceOpBits + 1;
+
+/// One block's compacted sector-access trace (phase-1 output).  Records are
+/// appended in warp execution order; blocks never share a BlockTrace, so
+/// phase 1 needs no synchronization around it.
+class BlockTrace {
+ public:
+  void record(TraceOp op, bool write, const std::uint64_t* sectors,
+              std::uint64_t count) {
+    words_.push_back((count << kTraceCountShift) |
+                     (static_cast<std::uint64_t>(write) << kTraceWriteBit) |
+                     static_cast<std::uint64_t>(op));
+    words_.insert(words_.end(), sectors, sectors + count);
+  }
+
+  bool empty() const { return words_.empty(); }
+  std::size_t size_words() const { return words_.size(); }
+  void clear() { words_.clear(); }
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace pd::gpusim

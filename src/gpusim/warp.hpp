@@ -5,13 +5,22 @@
 // launch grid.  The context exposes the CUDA constructs the paper's Listing 1
 // uses — per-lane loads/stores with real coalescing, cooperative-groups-style
 // warp reductions with a fixed deterministic order, FP atomics — while
-// threading every memory access through the device's MemoryModel so the
-// traffic counters correspond to what the kernel actually touched.
+// threading every memory access through a MemRoute so the traffic counters
+// correspond to what the kernel actually touched.
+//
+// The MemRoute decouples the kernel from the engine mode: in direct mode it
+// feeds the MemoryModel inline (the legacy serial engine); in record mode it
+// appends compacted sector traces for later replay; in functional-only mode
+// it drops the traffic entirely — and WarpCtx then skips building the
+// per-lane address vectors altogether, which is where most of the
+// functional-only speedup comes from.
 //
 // All loads and stores operate on live host memory: the simulated kernels
 // compute real results, which the test suite checks against references.
 
+#include <atomic>
 #include <cstdint>
+#include <type_traits>
 
 #include "gpusim/lanes.hpp"
 #include "gpusim/memory.hpp"
@@ -22,6 +31,12 @@ namespace pd::gpusim {
 struct SharedCounters {
   std::uint64_t accesses = 0;       ///< Warp-level shared ld/st instructions.
   std::uint64_t bank_conflicts = 0; ///< Extra serialized cycles from conflicts.
+
+  SharedCounters& operator+=(const SharedCounters& o) {
+    accesses += o.accesses;
+    bank_conflicts += o.bank_conflicts;
+    return *this;
+  }
 };
 
 /// Arithmetic counters, accumulated per kernel launch.
@@ -38,18 +53,33 @@ struct ComputeCounters {
                : static_cast<double>(active_lane_ops) /
                      static_cast<double>(total_lane_ops);
   }
+
+  ComputeCounters& operator+=(const ComputeCounters& o) {
+    flops += o.flops;
+    warp_arith_instrs += o.warp_arith_instrs;
+    active_lane_ops += o.active_lane_ops;
+    total_lane_ops += o.total_lane_ops;
+    return *this;
+  }
 };
 
 class WarpCtx {
  public:
-  WarpCtx(MemoryModel& mem, ComputeCounters& compute, std::uint64_t block_idx,
+  WarpCtx(MemRoute route, ComputeCounters& compute, std::uint64_t block_idx,
           unsigned warp_in_block, unsigned block_dim, std::uint64_t grid_dim)
-      : mem_(&mem),
+      : route_(route),
         compute_(&compute),
         block_idx_(block_idx),
         warp_in_block_(warp_in_block),
         block_dim_(block_dim),
         grid_dim_(grid_dim) {}
+
+  /// Legacy convenience: direct routing into a MemoryModel (serial engine,
+  /// unit tests).
+  WarpCtx(MemoryModel& mem, ComputeCounters& compute, std::uint64_t block_idx,
+          unsigned warp_in_block, unsigned block_dim, std::uint64_t grid_dim)
+      : WarpCtx(MemRoute::direct(mem), compute, block_idx, warp_in_block,
+                block_dim, grid_dim) {}
 
   std::uint64_t block_idx() const { return block_idx_; }
   unsigned block_dim() const { return block_dim_; }
@@ -72,8 +102,8 @@ class WarpCtx {
   /// row_ptr bounds in Listing 1).
   template <typename T>
   T load_uniform(const T* p) {
-    mem_->scalar_access(reinterpret_cast<std::uint64_t>(p), sizeof(T),
-                        /*write=*/false);
+    route_.scalar_access(reinterpret_cast<std::uint64_t>(p), sizeof(T),
+                         /*write=*/false);
     note_instr(1);
     return *p;
   }
@@ -82,15 +112,24 @@ class WarpCtx {
   /// the coalesced access pattern the vector-CSR kernel is built around.
   template <typename T>
   Lanes<T> load_contiguous(const T* base, std::uint64_t start, LaneMask mask) {
-    Lanes<std::uint64_t> addr;
     Lanes<T> out{};
+    if (route_.functional_only()) {
+      for (unsigned i = 0; i < kWarpSize; ++i) {
+        if (lane_active(mask, i)) {
+          out[i] = base[start + i];
+        }
+      }
+      note_instr(popcount_mask(mask));
+      return out;
+    }
+    Lanes<std::uint64_t> addr;
     for (unsigned i = 0; i < kWarpSize; ++i) {
       if (lane_active(mask, i)) {
         addr[i] = reinterpret_cast<std::uint64_t>(base + start + i);
         out[i] = base[start + i];
       }
     }
-    mem_->warp_access(addr, sizeof(T), mask, /*write=*/false);
+    route_.warp_access(addr, sizeof(T), mask, /*write=*/false);
     note_instr(popcount_mask(mask));
     return out;
   }
@@ -98,15 +137,24 @@ class WarpCtx {
   /// Indexed gather: lane i reads base[idx[i]] (the input-vector access).
   template <typename T, typename I>
   Lanes<T> gather(const T* base, const Lanes<I>& idx, LaneMask mask) {
-    Lanes<std::uint64_t> addr;
     Lanes<T> out{};
+    if (route_.functional_only()) {
+      for (unsigned i = 0; i < kWarpSize; ++i) {
+        if (lane_active(mask, i)) {
+          out[i] = base[idx[i]];
+        }
+      }
+      note_instr(popcount_mask(mask));
+      return out;
+    }
+    Lanes<std::uint64_t> addr;
     for (unsigned i = 0; i < kWarpSize; ++i) {
       if (lane_active(mask, i)) {
         addr[i] = reinterpret_cast<std::uint64_t>(base + idx[i]);
         out[i] = base[idx[i]];
       }
     }
-    mem_->warp_access(addr, sizeof(T), mask, /*write=*/false);
+    route_.warp_access(addr, sizeof(T), mask, /*write=*/false);
     note_instr(popcount_mask(mask));
     return out;
   }
@@ -115,8 +163,8 @@ class WarpCtx {
   template <typename T>
   void store_uniform(T* p, T value) {
     *p = value;
-    mem_->scalar_access(reinterpret_cast<std::uint64_t>(p), sizeof(T),
-                        /*write=*/true);
+    route_.scalar_access(reinterpret_cast<std::uint64_t>(p), sizeof(T),
+                         /*write=*/true);
     note_instr(1);
   }
 
@@ -124,6 +172,15 @@ class WarpCtx {
   template <typename T>
   void store_contiguous(T* base, std::uint64_t start, const Lanes<T>& val,
                         LaneMask mask) {
+    if (route_.functional_only()) {
+      for (unsigned i = 0; i < kWarpSize; ++i) {
+        if (lane_active(mask, i)) {
+          base[start + i] = val[i];
+        }
+      }
+      note_instr(popcount_mask(mask));
+      return;
+    }
     Lanes<std::uint64_t> addr;
     for (unsigned i = 0; i < kWarpSize; ++i) {
       if (lane_active(mask, i)) {
@@ -131,7 +188,7 @@ class WarpCtx {
         base[start + i] = val[i];
       }
     }
-    mem_->warp_access(addr, sizeof(T), mask, /*write=*/true);
+    route_.warp_access(addr, sizeof(T), mask, /*write=*/true);
     note_instr(popcount_mask(mask));
   }
 
@@ -140,6 +197,15 @@ class WarpCtx {
   /// real hardware too).
   template <typename T, typename I>
   void scatter(T* base, const Lanes<I>& idx, const Lanes<T>& val, LaneMask mask) {
+    if (route_.functional_only()) {
+      for (unsigned i = 0; i < kWarpSize; ++i) {
+        if (lane_active(mask, i)) {
+          base[idx[i]] = val[i];
+        }
+      }
+      note_instr(popcount_mask(mask));
+      return;
+    }
     Lanes<std::uint64_t> addr;
     for (unsigned i = 0; i < kWarpSize; ++i) {
       if (lane_active(mask, i)) {
@@ -147,7 +213,7 @@ class WarpCtx {
         base[idx[i]] = val[i];
       }
     }
-    mem_->warp_access(addr, sizeof(T), mask, /*write=*/true);
+    route_.warp_access(addr, sizeof(T), mask, /*write=*/true);
     note_instr(popcount_mask(mask));
   }
 
@@ -155,14 +221,30 @@ class WarpCtx {
   /// Lanes apply in lane order within the warp; *across* warps the order is
   /// whatever block schedule the launch used — which is exactly why kernels
   /// built on this primitive are not bitwise reproducible (paper §II-D).
+  /// When the engine runs blocks concurrently the addition uses a real atomic
+  /// RMW, mirroring hardware: race-free totals, nondeterministic FP order.
   template <typename T, typename I>
   void atomic_add_scatter(T* base, const Lanes<I>& idx, const Lanes<T>& val,
                           LaneMask mask) {
+    if constexpr (std::is_arithmetic_v<T>) {
+      if (route_.concurrent()) {
+        for (unsigned i = 0; i < kWarpSize; ++i) {
+          if (lane_active(mask, i)) {
+            std::atomic_ref<T>(base[idx[i]])
+                .fetch_add(val[i], std::memory_order_relaxed);
+            route_.atomic_access(
+                reinterpret_cast<std::uint64_t>(base + idx[i]), sizeof(T));
+          }
+        }
+        note_instr(popcount_mask(mask));
+        return;
+      }
+    }
     for (unsigned i = 0; i < kWarpSize; ++i) {
       if (lane_active(mask, i)) {
         base[idx[i]] += val[i];
-        mem_->atomic_access(reinterpret_cast<std::uint64_t>(base + idx[i]),
-                            sizeof(T));
+        route_.atomic_access(reinterpret_cast<std::uint64_t>(base + idx[i]),
+                             sizeof(T));
       }
     }
     note_instr(popcount_mask(mask));
@@ -286,7 +368,7 @@ class WarpCtx {
     compute_->total_lane_ops += kWarpSize;
   }
 
-  MemoryModel* mem_;
+  MemRoute route_;
   ComputeCounters* compute_;
   SharedCounters* shared_ = nullptr;
   std::uint64_t block_idx_;

@@ -29,6 +29,14 @@ DoseEngine::DoseEngine(sparse::CsrF64 matrix, gpusim::DeviceSpec device,
 
 DoseEngine::~DoseEngine() = default;
 
+void DoseEngine::set_engine_options(const gpusim::EngineOptions& opts) {
+  gpu_->set_engine(opts);
+}
+
+const gpusim::EngineOptions& DoseEngine::engine_options() const {
+  return gpu_->engine();
+}
+
 std::vector<double> DoseEngine::compute(std::span<const double> spot_weights,
                                         std::uint64_t schedule_seed) {
   PD_CHECK_MSG(spot_weights.size() == stats_.cols,

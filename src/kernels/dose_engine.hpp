@@ -53,6 +53,12 @@ class DoseEngine {
   std::vector<double> compute(std::span<const double> spot_weights,
                               std::uint64_t schedule_seed = 0);
 
+  /// Select how the simulated GPU executes launches (serial, trace-replay,
+  /// or functional-only — see gpusim/trace.hpp).  Dose values are identical
+  /// in every mode; traffic counters are zero under functional-only.
+  void set_engine_options(const gpusim::EngineOptions& opts);
+  const gpusim::EngineOptions& engine_options() const;
+
   /// Counters and launch geometry of the most recent compute().
   const SpmvRun& last_run() const;
 

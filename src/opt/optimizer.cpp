@@ -68,6 +68,8 @@ PlanOptimizer::PlanOptimizer(const sparse::CsrF64& D, DoseObjective objective,
       transpose_(sparse::transpose(D), device, config.mode) {
   PD_CHECK_MSG(config_.max_iterations > 0, "optimizer: need >= 1 iteration");
   PD_CHECK_MSG(config_.lbfgs_history > 0, "optimizer: need >= 1 history pair");
+  forward_.set_engine_options(config_.engine);
+  transpose_.set_engine_options(config_.engine);
 }
 
 OptimizerResult PlanOptimizer::optimize() {

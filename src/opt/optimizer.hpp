@@ -38,6 +38,10 @@ struct OptimizerConfig {
   unsigned lbfgs_history = 8;        ///< Stored (s, y) pairs.
   double gradient_tolerance = 1e-8;  ///< Stop when ||proj grad||_inf is below.
   kernels::DoseEngine::Mode mode = kernels::DoseEngine::Mode::kHalfDouble;
+  /// The inner SpMV loop never reads traffic counters, so the engines default
+  /// to functional-only execution (no cache simulation) — dose values and the
+  /// optimization trajectory are identical to the serial engine's.
+  gpusim::EngineOptions engine{gpusim::TraceMode::kFunctionalOnly, 0};
 };
 
 struct OptimizerResult {

@@ -40,6 +40,8 @@ RobustPlanOptimizer::RobustPlanOptimizer(std::vector<sparse::CsrF64> scenarios,
         sparse::transpose(s), device, config_.precision));
     forward_.push_back(std::make_unique<kernels::DoseEngine>(
         std::move(s), device, config_.precision));
+    transpose_.back()->set_engine_options(config_.engine);
+    forward_.back()->set_engine_options(config_.engine);
   }
 }
 

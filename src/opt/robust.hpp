@@ -33,6 +33,9 @@ struct RobustConfig {
   double step_shrink = 0.5;
   unsigned max_backtracks = 20;
   kernels::DoseEngine::Mode precision = kernels::DoseEngine::Mode::kHalfDouble;
+  /// See OptimizerConfig::engine — scenario SpMVs never read traffic, so skip
+  /// cache simulation by default.
+  gpusim::EngineOptions engine{gpusim::TraceMode::kFunctionalOnly, 0};
 };
 
 struct RobustResult {

@@ -1,0 +1,404 @@
+// Engine-equivalence tests for the trace-driven execution engine: for every
+// kernel in the family, the two-phase trace-replay engine must produce
+// KernelStats bitwise identical to the legacy serial engine, for every
+// schedule seed and for any phase-1 parallelism.  This is the determinism
+// contract of gpusim/trace.hpp: phase 1 only *records* per-block sector
+// traces, and phase 2 replays them in schedule order, so the cache sees the
+// exact request sequence the serial engine would have issued.
+//
+// Also covered: the optimized coalescer + cache hot path against the seed
+// reference implementations (differential), and the functional-only mode
+// (identical dose values, zero traffic).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gpusim/launch.hpp"
+#include "kernels/adaptive_csr.hpp"
+#include "kernels/baseline_gpu.hpp"
+#include "kernels/classical_csr.hpp"
+#include "kernels/format_kernels.hpp"
+#include "kernels/rowsplit_csr.hpp"
+#include "kernels/stream_csr.hpp"
+#include "kernels/vector_csr.hpp"
+#include "rsformat/rsmatrix.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/random.hpp"
+#include "sparse/sellcs.hpp"
+
+namespace pd::kernels {
+namespace {
+
+using gpusim::EngineOptions;
+using gpusim::Gpu;
+using gpusim::KernelStats;
+using gpusim::TraceMode;
+
+void expect_stats_bitwise_equal(const KernelStats& a, const KernelStats& b) {
+  const auto& ta = a.traffic;
+  const auto& tb = b.traffic;
+  EXPECT_EQ(ta.dram_read_bytes, tb.dram_read_bytes);
+  EXPECT_EQ(ta.dram_write_bytes, tb.dram_write_bytes);
+  EXPECT_EQ(ta.l2_read_sectors, tb.l2_read_sectors);
+  EXPECT_EQ(ta.l2_write_sectors, tb.l2_write_sectors);
+  EXPECT_EQ(ta.l2_read_hits, tb.l2_read_hits);
+  EXPECT_EQ(ta.l2_write_hits, tb.l2_write_hits);
+  EXPECT_EQ(ta.l2_atomic_ops, tb.l2_atomic_ops);
+  EXPECT_EQ(ta.warp_requests, tb.warp_requests);
+  EXPECT_EQ(ta.sectors_requested, tb.sectors_requested);
+  EXPECT_EQ(ta.scalar_requests, tb.scalar_requests);
+  EXPECT_EQ(ta.scalar_sectors, tb.scalar_sectors);
+  EXPECT_EQ(a.compute.flops, b.compute.flops);
+  EXPECT_EQ(a.compute.warp_arith_instrs, b.compute.warp_arith_instrs);
+  EXPECT_EQ(a.compute.active_lane_ops, b.compute.active_lane_ops);
+  EXPECT_EQ(a.compute.total_lane_ops, b.compute.total_lane_ops);
+  EXPECT_EQ(a.shared.accesses, b.shared.accesses);
+  EXPECT_EQ(a.shared.bank_conflicts, b.shared.bank_conflicts);
+  EXPECT_EQ(a.blocks_launched, b.blocks_launched);
+  EXPECT_EQ(a.warps_launched, b.warps_launched);
+}
+
+void expect_traffic_empty(const KernelStats& s) {
+  EXPECT_EQ(s.traffic.dram_read_bytes, 0u);
+  EXPECT_EQ(s.traffic.dram_write_bytes, 0u);
+  EXPECT_EQ(s.traffic.l2_read_sectors, 0u);
+  EXPECT_EQ(s.traffic.l2_write_sectors, 0u);
+  EXPECT_EQ(s.traffic.warp_requests, 0u);
+  EXPECT_EQ(s.traffic.scalar_requests, 0u);
+  EXPECT_EQ(s.traffic.l2_atomic_ops, 0u);
+}
+
+struct Problem {
+  sparse::CsrF64 matrix;
+  std::vector<double> x;
+};
+
+Problem make_problem(sparse::RandomStructure structure, std::uint64_t seed,
+                     std::uint64_t rows = 300, std::uint64_t cols = 90,
+                     double mean_nnz = 12.0) {
+  Rng rng(seed);
+  Problem p;
+  p.matrix = sparse::random_csr(rng, rows, cols, mean_nnz, structure);
+  p.x = sparse::random_vector(rng, cols, 0.0, 2.0);
+  return p;
+}
+
+constexpr std::uint64_t kSeeds[] = {0, 42, 9001};
+
+/// The engine configurations that must all match the serial baseline:
+/// trace-replay with a serial phase 1, and trace-replay with a concurrent
+/// phase 1 (4 execution contexts — the pool still exercises the work-claim
+/// path even on a single-core host).
+const EngineOptions kReplayVariants[] = {
+    {TraceMode::kTraceReplay, 1},
+    {TraceMode::kTraceReplay, 4},
+};
+
+/// Run `launch(gpu, seed)` under the serial engine and every trace-replay
+/// variant and require bitwise-identical KernelStats across the matrix of
+/// engines × schedule seeds.  `deterministic_values` additionally pins the
+/// output values (kernels without atomics must match bitwise in every mode).
+///
+/// Cache set mapping depends on *absolute* addresses, so each test must run
+/// every engine against the same output buffer (hoisted outside the lambda)
+/// and copy the values out for comparison.
+template <typename Launch>
+void check_engine_matrix(const Launch& launch, bool deterministic_values) {
+  for (const std::uint64_t seed : kSeeds) {
+    Gpu serial_gpu(gpusim::make_a100());
+    std::vector<double> y_serial;
+    const KernelStats serial = launch(serial_gpu, seed, y_serial);
+
+    for (const EngineOptions& opts : kReplayVariants) {
+      Gpu gpu(gpusim::make_a100());
+      gpu.set_engine(opts);
+      std::vector<double> y;
+      const KernelStats stats = launch(gpu, seed, y);
+      SCOPED_TRACE(testing::Message()
+                   << "mode=" << to_string(opts.mode)
+                   << " phase1_threads=" << opts.phase1_threads
+                   << " seed=" << seed);
+      expect_stats_bitwise_equal(serial, stats);
+      if (deterministic_values) {
+        EXPECT_EQ(y, y_serial);
+      } else {
+        ASSERT_EQ(y.size(), y_serial.size());
+        for (std::size_t i = 0; i < y.size(); ++i) {
+          EXPECT_NEAR(y[i], y_serial[i], 1e-9 * (1.0 + std::fabs(y_serial[i])));
+        }
+      }
+    }
+
+    // Functional-only: identical values (serial phase 1 in schedule order),
+    // no traffic at all.
+    Gpu fgpu(gpusim::make_a100());
+    fgpu.set_engine({TraceMode::kFunctionalOnly, 1});
+    std::vector<double> y_func;
+    const KernelStats func = launch(fgpu, seed, y_func);
+    expect_traffic_empty(func);
+    EXPECT_EQ(func.compute.flops, serial.compute.flops);
+    EXPECT_EQ(func.compute.warp_arith_instrs, serial.compute.warp_arith_instrs);
+    EXPECT_EQ(y_func, y_serial);
+  }
+}
+
+TEST(EngineEquivalence, VectorCsrHalfDouble) {
+  const Problem p = make_problem(sparse::RandomStructure::kSkewed, 2100);
+  const auto mh = sparse::convert_values<pd::Half>(p.matrix);
+  std::vector<double> ybuf(p.matrix.num_rows);
+  check_engine_matrix(
+      [&](Gpu& gpu, std::uint64_t seed, std::vector<double>& y) {
+        std::fill(ybuf.begin(), ybuf.end(), 0.0);
+        const auto stats =
+            run_vector_csr<pd::Half, double>(gpu, mh, p.x,
+                                             std::span<double>(ybuf), 512, seed)
+                .stats;
+        y = ybuf;
+        return stats;
+      },
+      /*deterministic_values=*/true);
+}
+
+TEST(EngineEquivalence, VectorCsrDouble) {
+  const Problem p = make_problem(sparse::RandomStructure::kManyEmpty, 2101);
+  std::vector<double> ybuf(p.matrix.num_rows);
+  check_engine_matrix(
+      [&](Gpu& gpu, std::uint64_t seed, std::vector<double>& y) {
+        std::fill(ybuf.begin(), ybuf.end(), 0.0);
+        const auto stats =
+            run_vector_csr<double, double>(gpu, p.matrix, p.x,
+                                           std::span<double>(ybuf), 512, seed)
+                .stats;
+        y = ybuf;
+        return stats;
+      },
+      /*deterministic_values=*/true);
+}
+
+TEST(EngineEquivalence, ClassicalCsr) {
+  const Problem p = make_problem(sparse::RandomStructure::kUniform, 2102);
+  const auto m32 = sparse::convert_values<float>(p.matrix);
+  const std::vector<float> x32(p.x.begin(), p.x.end());
+  std::vector<float> ybuf(p.matrix.num_rows);
+  check_engine_matrix(
+      [&](Gpu& gpu, std::uint64_t seed, std::vector<double>& y) {
+        std::fill(ybuf.begin(), ybuf.end(), 0.0f);
+        const auto stats =
+            run_classical_csr(gpu, m32, std::span<const float>(x32),
+                              std::span<float>(ybuf), 512, seed)
+                .stats;
+        y.assign(ybuf.begin(), ybuf.end());
+        return stats;
+      },
+      /*deterministic_values=*/true);
+}
+
+TEST(EngineEquivalence, AdaptiveCsr) {
+  const Problem p = make_problem(sparse::RandomStructure::kSkewed, 2103);
+  const auto m32 = sparse::convert_values<float>(p.matrix);
+  const auto worklist = build_adaptive_worklist(m32);
+  const std::vector<float> x32(p.x.begin(), p.x.end());
+  std::vector<float> ybuf(p.matrix.num_rows);
+  check_engine_matrix(
+      [&](Gpu& gpu, std::uint64_t seed, std::vector<double>& y) {
+        std::fill(ybuf.begin(), ybuf.end(), 0.0f);
+        const auto stats =
+            run_adaptive_csr(gpu, m32, worklist, std::span<const float>(x32),
+                             std::span<float>(ybuf), 512, seed)
+                .stats;
+        y.assign(ybuf.begin(), ybuf.end());
+        return stats;
+      },
+      /*deterministic_values=*/true);
+}
+
+TEST(EngineEquivalence, BaselineGpuAtomics) {
+  // The atomic kernel's *values* are schedule-dependent by design (§II-D);
+  // its traffic counters still must be engine-independent.
+  const Problem p = make_problem(sparse::RandomStructure::kSkewed, 2104, 200,
+                                 60, 10.0);
+  const rsformat::RsMatrix rs = rsformat::RsMatrix::from_csr(p.matrix);
+  std::vector<double> ybuf(p.matrix.num_rows);
+  check_engine_matrix(
+      [&](Gpu& gpu, std::uint64_t seed, std::vector<double>& y) {
+        const auto stats =
+            run_baseline_gpu(gpu, rs, p.x, std::span<double>(ybuf), 128, seed)
+                .stats;
+        y = ybuf;
+        return stats;
+      },
+      /*deterministic_values=*/false);
+}
+
+TEST(EngineEquivalence, RowSplitCsr) {
+  const Problem p = make_problem(sparse::RandomStructure::kSkewed, 2105, 150,
+                                 80, 40.0);
+  const auto plan = build_row_split_plan(p.matrix, 64);
+  std::vector<double> ybuf(p.matrix.num_rows);
+  check_engine_matrix(
+      [&](Gpu& gpu, std::uint64_t seed, std::vector<double>& y) {
+        std::fill(ybuf.begin(), ybuf.end(), 0.0);
+        const auto stats = run_rowsplit_csr<double, double>(
+                               gpu, p.matrix, plan, p.x,
+                               std::span<double>(ybuf), 512, seed)
+                               .stats;
+        y = ybuf;
+        return stats;
+      },
+      /*deterministic_values=*/true);
+}
+
+TEST(EngineEquivalence, StreamCsrRunBlocks) {
+  // stream_csr exercises Gpu::run_blocks (shared memory + bank-conflict
+  // counters) rather than Gpu::run.
+  const Problem p = make_problem(sparse::RandomStructure::kUniform, 2106, 400,
+                                 100, 16.0);
+  const auto plan = build_stream_plan(p.matrix, 2048);
+  std::vector<double> ybuf(p.matrix.num_rows);
+  check_engine_matrix(
+      [&](Gpu& gpu, std::uint64_t seed, std::vector<double>& y) {
+        std::fill(ybuf.begin(), ybuf.end(), 0.0);
+        const auto stats = run_stream_csr<double, double>(
+                               gpu, p.matrix, plan, p.x,
+                               std::span<double>(ybuf), 512, seed)
+                               .stats;
+        y = ybuf;
+        return stats;
+      },
+      /*deterministic_values=*/true);
+}
+
+TEST(EngineEquivalence, EllKernel) {
+  const Problem p = make_problem(sparse::RandomStructure::kUniform, 2107);
+  const auto m32 = sparse::convert_values<float>(p.matrix);
+  const auto ell = sparse::csr_to_ell(m32, 1ull << 28);
+  const std::vector<float> x32(p.x.begin(), p.x.end());
+  std::vector<float> ybuf(p.matrix.num_rows);
+  check_engine_matrix(
+      [&](Gpu& gpu, std::uint64_t seed, std::vector<double>& y) {
+        std::fill(ybuf.begin(), ybuf.end(), 0.0f);
+        const auto stats =
+            run_ell_spmv<float, float>(gpu, ell, std::span<const float>(x32),
+                                       std::span<float>(ybuf), 512, seed)
+                .stats;
+        y.assign(ybuf.begin(), ybuf.end());
+        return stats;
+      },
+      /*deterministic_values=*/true);
+}
+
+TEST(EngineEquivalence, SellCsKernel) {
+  const Problem p = make_problem(sparse::RandomStructure::kSkewed, 2108);
+  const auto m32 = sparse::convert_values<float>(p.matrix);
+  const auto sell = sparse::csr_to_sellcs(m32, 32, 128);
+  const std::vector<float> x32(p.x.begin(), p.x.end());
+  std::vector<float> ybuf(p.matrix.num_rows);
+  check_engine_matrix(
+      [&](Gpu& gpu, std::uint64_t seed, std::vector<double>& y) {
+        std::fill(ybuf.begin(), ybuf.end(), 0.0f);
+        const auto stats =
+            run_sellcs_spmv<float, float>(gpu, sell,
+                                          std::span<const float>(x32),
+                                          std::span<float>(ybuf), 512, seed)
+                .stats;
+        y.assign(ybuf.begin(), ybuf.end());
+        return stats;
+      },
+      /*deterministic_values=*/true);
+}
+
+// --- optimized vs reference hot path (differential) --------------------------
+
+TEST(EngineEquivalence, OptimizedHotPathMatchesReferencePath) {
+  // The insertion-dedup coalescer + per-set-tick/MRU cache must be counter-
+  // bitwise-identical to the seed's sort+unique coalescer + global-tick scan.
+  const Problem p = make_problem(sparse::RandomStructure::kSkewed, 2109, 500,
+                                 120, 20.0);
+  const auto mh = sparse::convert_values<pd::Half>(p.matrix);
+  // One shared output buffer: the cache maps absolute addresses, so both
+  // paths must see identical operand addresses for counters to be comparable.
+  std::vector<double> ybuf(p.matrix.num_rows);
+  for (const std::uint64_t seed : kSeeds) {
+    Gpu opt_gpu(gpusim::make_a100());
+    Gpu ref_gpu(gpusim::make_a100());
+    ref_gpu.set_reference_memory_path(true);
+    std::fill(ybuf.begin(), ybuf.end(), 0.0);
+    const auto opt = run_vector_csr<pd::Half, double>(
+        opt_gpu, mh, p.x, std::span<double>(ybuf), 512, seed);
+    const std::vector<double> y_opt = ybuf;
+    std::fill(ybuf.begin(), ybuf.end(), 0.0);
+    const auto ref = run_vector_csr<pd::Half, double>(
+        ref_gpu, mh, p.x, std::span<double>(ybuf), 512, seed);
+    expect_stats_bitwise_equal(opt.stats, ref.stats);
+    EXPECT_EQ(y_opt, ybuf);
+  }
+}
+
+TEST(EngineEquivalence, ReferencePathAtomicKernel) {
+  // Same differential through the atomic/baseline kernel, which mixes scalar,
+  // vector and atomic requests.
+  const Problem p = make_problem(sparse::RandomStructure::kUniform, 2110, 200,
+                                 60, 10.0);
+  const rsformat::RsMatrix rs = rsformat::RsMatrix::from_csr(p.matrix);
+  Gpu opt_gpu(gpusim::make_a100());
+  Gpu ref_gpu(gpusim::make_a100());
+  ref_gpu.set_reference_memory_path(true);
+  std::vector<double> ybuf(p.matrix.num_rows);
+  const auto opt =
+      run_baseline_gpu(opt_gpu, rs, p.x, std::span<double>(ybuf), 128, 42);
+  const std::vector<double> y_opt = ybuf;
+  const auto ref =
+      run_baseline_gpu(ref_gpu, rs, p.x, std::span<double>(ybuf), 128, 42);
+  expect_stats_bitwise_equal(opt.stats, ref.stats);
+  EXPECT_EQ(y_opt, ybuf);
+}
+
+// --- coalescer unit-level differential ---------------------------------------
+
+TEST(EngineEquivalence, CoalescerMatchesReferenceOnRandomStreams) {
+  // Fuzz the two coalescers against each other, including non-monotone lane
+  // patterns (which force the optimized path's sort fallback) and wide
+  // accesses that overflow the seed's fixed 64-entry buffer no more.
+  Rng rng(777);
+  for (int iter = 0; iter < 500; ++iter) {
+    gpusim::Lanes<std::uint64_t> addr;
+    const unsigned size = 1u << (rng.next_u64() % 6);  // 1..32 bytes
+    const gpusim::LaneMask mask =
+        static_cast<gpusim::LaneMask>(rng.next_u64() & 0xffffffffu);
+    for (unsigned i = 0; i < gpusim::kWarpSize; ++i) {
+      addr[i] = 4096 + (rng.next_u64() % 2048);
+    }
+    gpusim::SectorBuffer fast, ref;
+    gpusim::coalesce_warp_sectors(addr, size, mask, fast);
+    gpusim::coalesce_warp_sectors_reference(addr, size, mask, ref);
+    ASSERT_EQ(fast.count, ref.count) << "iter " << iter;
+    for (unsigned i = 0; i < fast.count; ++i) {
+      EXPECT_EQ(fast.data[i], ref.data[i]) << "iter " << iter << " slot " << i;
+    }
+  }
+}
+
+TEST(EngineEquivalence, CoalescerWideAccessSpills) {
+  // A 256-byte per-lane access from 32 lanes spans up to 9 sectors each —
+  // 288 entries, beyond the seed's 64-slot array (the old buffer overflow).
+  gpusim::Lanes<std::uint64_t> addr;
+  for (unsigned i = 0; i < gpusim::kWarpSize; ++i) {
+    addr[i] = 16 + 512 * i;  // misaligned, non-overlapping 256B ranges
+  }
+  gpusim::SectorBuffer fast, ref;
+  gpusim::coalesce_warp_sectors(addr, 256, gpusim::kFullMask, fast);
+  gpusim::coalesce_warp_sectors_reference(addr, 256, gpusim::kFullMask, ref);
+  ASSERT_EQ(fast.count, ref.count);
+  for (unsigned i = 0; i < fast.count; ++i) {
+    EXPECT_EQ(fast.data[i], ref.data[i]);
+  }
+  EXPECT_EQ(fast.count, 32u * 9u);  // 288 distinct sectors
+}
+
+}  // namespace
+}  // namespace pd::kernels
