@@ -65,6 +65,29 @@ for f in "$workdir"/bench_results/*.csv; do
   echo "ok   $rel ($((rows - 1)) rows)"
 done
 
+# Machine-readable trajectory records must exist and keep their schema.
+echo "== checking BENCH_native.json =="
+nat="$workdir/BENCH_native.json"
+if [ ! -f "$nat" ]; then
+  echo "FAIL BENCH_native.json: not produced by wallclock_native_backend"
+  fail=1
+else
+  for key in '"bench"' '"beam"' '"scale"' '"kernel"' '"modes"' \
+             '"us_per_product"' '"speedup_vs_functional"' '"batch"' \
+             '"us_batched"' '"us_looped"' '"batched_speedup"'; do
+    if ! grep -q "$key" "$nat"; then
+      echo "FAIL BENCH_native.json: missing key $key"
+      fail=1
+    fi
+  done
+  if command -v python3 >/dev/null 2>&1; then
+    if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$nat"; then
+      echo "FAIL BENCH_native.json: not valid JSON"
+      fail=1
+    fi
+  fi
+fi
+
 # Benches that used to emit a CSV must still emit one.
 for rel in "${!OLD_HEADER[@]}"; do
   if [ ! -f "$workdir/$rel" ]; then

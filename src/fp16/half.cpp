@@ -69,34 +69,6 @@ std::uint16_t float_to_half_bits(float value) {
   return static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(exp16) << 10) | mant);
 }
 
-float half_bits_to_float(std::uint16_t bits) {
-  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
-  const std::uint32_t exp16 = (bits >> 10) & 0x1fu;
-  std::uint32_t mant = bits & 0x3ffu;
-
-  std::uint32_t f;
-  if (exp16 == 0) {
-    if (mant == 0) {
-      f = sign;  // signed zero
-    } else {
-      // Subnormal half: renormalize into a binary32 normal.
-      int e = -1;
-      do {
-        ++e;
-        mant <<= 1;
-      } while ((mant & 0x400u) == 0);
-      mant &= 0x3ffu;
-      const std::uint32_t exp32 = static_cast<std::uint32_t>(127 - 15 - e);
-      f = sign | (exp32 << 23) | (mant << 13);
-    }
-  } else if (exp16 == 0x1f) {
-    f = sign | 0x7f800000u | (mant << 13);  // inf / NaN (payload widened)
-  } else {
-    const std::uint32_t exp32 = exp16 + (127 - 15);
-    f = sign | (exp32 << 23) | (mant << 13);
-  }
-  return std::bit_cast<float>(f);
-}
 
 Half::Half(float value) : bits_(float_to_half_bits(value)) {}
 
@@ -109,10 +81,6 @@ Half::Half(double value)
     : bits_(float_to_half_bits(static_cast<float>(value))) {}
 
 Half::Half(int value) : Half(static_cast<double>(value)) {}
-
-float Half::to_float() const { return half_bits_to_float(bits_); }
-
-double Half::to_double() const { return static_cast<double>(to_float()); }
 
 bool Half::is_nan() const {
   return ((bits_ & 0x7c00u) == 0x7c00u) && ((bits_ & 0x3ffu) != 0);

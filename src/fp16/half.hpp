@@ -11,6 +11,7 @@
 // Arithmetic operators convert to float, compute, and round back — the same
 // semantics as CUDA's promoted-half arithmetic.
 
+#include <bit>
 #include <compare>
 #include <cstdint>
 #include <iosfwd>
@@ -88,8 +89,44 @@ static_assert(sizeof(Half) == 2, "Half must be 2 bytes — its size is the point
 /// Round-to-nearest-even conversion of a binary32 value to binary16 bits.
 std::uint16_t float_to_half_bits(float value);
 
-/// Exact conversion of binary16 bits to binary32.
-float half_bits_to_float(std::uint16_t bits);
+/// Exact conversion of binary16 bits to binary32.  Inline: this sits on the
+/// per-element hot path of every half-precision SpMV (both the simulated
+/// kernels and the native backend convert each matrix entry on load), and an
+/// out-of-line call per non-zero dominates the native backend's runtime.
+inline float half_bits_to_float(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp16 = (bits >> 10) & 0x1fu;
+  std::uint32_t mant = bits & 0x3ffu;
+
+  std::uint32_t f;
+  if (exp16 == 0) {
+    if (mant == 0) {
+      f = sign;  // signed zero
+    } else {
+      // Subnormal half: renormalize into a binary32 normal.
+      int e = -1;
+      do {
+        ++e;
+        mant <<= 1;
+      } while ((mant & 0x400u) == 0);
+      mant &= 0x3ffu;
+      const std::uint32_t exp32 = static_cast<std::uint32_t>(127 - 15 - e);
+      f = sign | (exp32 << 23) | (mant << 13);
+    }
+  } else if (exp16 == 0x1f) {
+    f = sign | 0x7f800000u | (mant << 13);  // inf / NaN (payload widened)
+  } else {
+    const std::uint32_t exp32 = exp16 + (127 - 15);
+    f = sign | (exp32 << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+inline float Half::to_float() const { return half_bits_to_float(bits_); }
+
+inline double Half::to_double() const {
+  return static_cast<double>(to_float());
+}
 
 std::ostream& operator<<(std::ostream& os, Half h);
 

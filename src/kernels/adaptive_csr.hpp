@@ -1,5 +1,5 @@
 #pragma once
-// cuSPARSE-style adaptive CSR SpMV (single precision).
+// cuSPARSE-style adaptive CSR SpMV.
 //
 // cuSPARSE's implementation is closed; this stand-in follows the published
 // CSR-Adaptive scheme (Greathouse & Daga, SC'14) that its behaviour matches:
@@ -66,11 +66,11 @@ std::vector<AdaptiveWorkItem> build_adaptive_worklist(
   return items;
 }
 
-template <typename IdxT>
+template <typename MatV, typename Acc, typename IdxT>
 SpmvRun run_adaptive_csr(gpusim::Gpu& gpu,
-                         const sparse::CsrMatrix<float, IdxT>& A,
+                         const sparse::CsrMatrix<MatV, IdxT>& A,
                          const std::vector<AdaptiveWorkItem>& worklist,
-                         std::span<const float> x, std::span<float> y,
+                         std::span<const Acc> x, std::span<Acc> y,
                          unsigned threads_per_block = kDefaultVectorTpb,
                          std::uint64_t schedule_seed = 0) {
   PD_CHECK_MSG(x.size() == A.num_cols, "adaptive: x size mismatch");
@@ -80,9 +80,9 @@ SpmvRun run_adaptive_csr(gpusim::Gpu& gpu,
   using namespace pd::gpusim;
   const std::uint32_t* row_ptr = A.row_ptr.data();
   const IdxT* col_idx = A.col_idx.data();
-  const float* values = A.values.data();
-  const float* xp = x.data();
-  float* yp = y.data();
+  const MatV* values = A.values.data();
+  const Acc* xp = x.data();
+  Acc* yp = y.data();
   const AdaptiveWorkItem* items = worklist.data();
   const std::uint64_t num_items = worklist.size();
 
@@ -91,7 +91,7 @@ SpmvRun run_adaptive_csr(gpusim::Gpu& gpu,
 
   SpmvRun run;
   run.config = cfg;
-  run.precision = FlopPrecision::kFp32;
+  run.precision = sizeof(Acc) == 8 ? FlopPrecision::kFp64 : FlopPrecision::kFp32;
   run.stats = gpu.run(
       cfg,
       [&](WarpCtx& w) {
@@ -106,26 +106,26 @@ SpmvRun run_adaptive_csr(gpusim::Gpu& gpu,
           const std::uint32_t row = item.row_begin;
           const std::uint32_t start = w.load_uniform(row_ptr + row);
           const std::uint32_t end = w.load_uniform(row_ptr + row + 1);
-          Lanes<float> acc{};
+          Lanes<Acc> acc{};
           for (std::uint64_t base = start; base < end; base += kWarpSize) {
             const auto remaining = static_cast<unsigned>(
                 std::min<std::uint64_t>(kWarpSize, end - base));
             const LaneMask m = first_lanes(remaining);
             const Lanes<IdxT> cols = w.load_contiguous(col_idx, base, m);
-            const Lanes<float> vals = w.load_contiguous(values, base, m);
+            const Lanes<MatV> vals = w.load_contiguous(values, base, m);
             Lanes<std::uint64_t> ci{};
             for (unsigned lane = 0; lane < kWarpSize; ++lane) {
               if (lane_active(m, lane)) ci[lane] = cols[lane];
             }
-            const Lanes<float> xv = w.gather(xp, ci, m);
+            const Lanes<Acc> xv = w.gather(xp, ci, m);
             for (unsigned lane = 0; lane < kWarpSize; ++lane) {
               if (lane_active(m, lane)) {
-                acc[lane] = acc[lane] + vals[lane] * xv[lane];
+                acc[lane] = acc[lane] + convert_value<Acc>(vals[lane]) * xv[lane];
               }
             }
             w.count_flops(2, m);
           }
-          const float total = w.reduce_add(acc);
+          const Acc total = w.reduce_add(acc);
           w.store_uniform(yp + row, total);
           return;
         }
@@ -136,18 +136,18 @@ SpmvRun run_adaptive_csr(gpusim::Gpu& gpu,
         const unsigned count = end - start;
         const LaneMask m = first_lanes(count);
 
-        Lanes<float> prod{};
+        Lanes<Acc> prod{};
         if (count > 0) {
           const Lanes<IdxT> cols = w.load_contiguous(col_idx, start, m);
-          const Lanes<float> vals = w.load_contiguous(values, start, m);
+          const Lanes<MatV> vals = w.load_contiguous(values, start, m);
           Lanes<std::uint64_t> ci{};
           for (unsigned lane = 0; lane < kWarpSize; ++lane) {
             if (lane_active(m, lane)) ci[lane] = cols[lane];
           }
-          const Lanes<float> xv = w.gather(xp, ci, m);
+          const Lanes<Acc> xv = w.gather(xp, ci, m);
           for (unsigned lane = 0; lane < kWarpSize; ++lane) {
             if (lane_active(m, lane)) {
-              prod[lane] = vals[lane] * xv[lane];
+              prod[lane] = convert_value<Acc>(vals[lane]) * xv[lane];
             }
           }
           // Multiply + its add inside the upcoming segmented reduction: the
@@ -168,22 +168,35 @@ SpmvRun run_adaptive_csr(gpusim::Gpu& gpu,
             heads |= (LaneMask{1} << (rs - start));
           }
         }
-        const Lanes<float> incl = warp_segmented_inclusive_sum(prod, heads, m);
+        const Lanes<Acc> incl = warp_segmented_inclusive_sum(prod, heads, m);
         w.count_instrs(5, m);  // segmented-scan butterfly overhead
 
         // Each row's total sits at its last element's lane; empty rows get 0.
-        Lanes<float> results{};
+        Lanes<Acc> results{};
         const LaneMask store_mask = first_lanes(num_rows_here);
         for (std::uint32_t r = item.row_begin; r < item.row_end; ++r) {
           const std::uint32_t rs = row_ptr[r];
           const std::uint32_t re = row_ptr[r + 1];
           const unsigned j = r - item.row_begin;
-          results[j] = (re > rs) ? incl[re - 1 - start] : 0.0f;
+          results[j] = (re > rs) ? incl[re - 1 - start] : Acc{};
         }
         w.store_contiguous(yp, item.row_begin, results, store_mask);
       },
       schedule_seed);
   return run;
+}
+
+/// Single-precision form used by the Figure 6 comparison; keeps the original
+/// concrete signature so callers passing std::vector<float> still deduce.
+template <typename IdxT>
+SpmvRun run_adaptive_csr(gpusim::Gpu& gpu,
+                         const sparse::CsrMatrix<float, IdxT>& A,
+                         const std::vector<AdaptiveWorkItem>& worklist,
+                         std::span<const float> x, std::span<float> y,
+                         unsigned threads_per_block = kDefaultVectorTpb,
+                         std::uint64_t schedule_seed = 0) {
+  return run_adaptive_csr<float, float, IdxT>(gpu, A, worklist, x, y,
+                                              threads_per_block, schedule_seed);
 }
 
 }  // namespace pd::kernels

@@ -1,5 +1,5 @@
 #pragma once
-// Ginkgo-style "classical" CSR SpMV (single precision).
+// Ginkgo-style "classical" CSR SpMV.
 //
 // Ginkgo's classical kernel assigns a *subwarp* (1..32 lanes, power of two,
 // chosen from the mean row length) to each row; a full warp therefore covers
@@ -11,7 +11,9 @@
 // narrow, and warp iteration count governed by the longest row in the group
 // (divergence on skewed matrices).
 //
-// Used for Figure 6 (single precision only, like the paper's comparison).
+// Used for Figure 6 (single precision, like the paper's comparison); the
+// generic MatV/Acc form backs DoseEngine's family selection, where the same
+// accumulation order must also run in half/double and full double.
 
 #include <algorithm>
 #include <span>
@@ -36,10 +38,10 @@ inline unsigned classical_subwarp_size(std::uint64_t nnz, std::uint64_t rows) {
   return s;
 }
 
-template <typename IdxT>
+template <typename MatV, typename Acc, typename IdxT>
 SpmvRun run_classical_csr(gpusim::Gpu& gpu,
-                          const sparse::CsrMatrix<float, IdxT>& A,
-                          std::span<const float> x, std::span<float> y,
+                          const sparse::CsrMatrix<MatV, IdxT>& A,
+                          std::span<const Acc> x, std::span<Acc> y,
                           unsigned threads_per_block = kDefaultVectorTpb,
                           std::uint64_t schedule_seed = 0) {
   PD_CHECK_MSG(x.size() == A.num_cols, "classical: x size mismatch");
@@ -53,9 +55,9 @@ SpmvRun run_classical_csr(gpusim::Gpu& gpu,
 
   const std::uint32_t* row_ptr = A.row_ptr.data();
   const IdxT* col_idx = A.col_idx.data();
-  const float* values = A.values.data();
-  const float* xp = x.data();
-  float* yp = y.data();
+  const MatV* values = A.values.data();
+  const Acc* xp = x.data();
+  Acc* yp = y.data();
   const std::uint64_t num_rows = A.num_rows;
 
   const LaunchConfig cfg = LaunchConfig::warp_per_item(
@@ -63,7 +65,7 @@ SpmvRun run_classical_csr(gpusim::Gpu& gpu,
 
   SpmvRun run;
   run.config = cfg;
-  run.precision = FlopPrecision::kFp32;
+  run.precision = sizeof(Acc) == 8 ? FlopPrecision::kFp64 : FlopPrecision::kFp32;
   run.stats = gpu.run(
       cfg,
       [&](WarpCtx& w) {
@@ -85,7 +87,7 @@ SpmvRun run_classical_csr(gpusim::Gpu& gpu,
           max_len = std::max<std::uint64_t>(max_len, ends[j] - starts[j]);
         }
 
-        Lanes<float> acc{};
+        Lanes<Acc> acc{};
         // The warp iterates until its *longest* row is exhausted; shorter
         // rows' lanes idle (SIMT divergence on skewed matrices).
         for (std::uint64_t iter = 0; iter * sub < max_len; ++iter) {
@@ -107,17 +109,17 @@ SpmvRun run_classical_csr(gpusim::Gpu& gpu,
             continue;
           }
           const Lanes<IdxT> cols = w.gather(col_idx, k, m);
-          const Lanes<float> vals = w.gather(values, k, m);
+          const Lanes<MatV> vals = w.gather(values, k, m);
           Lanes<std::uint64_t> ci{};
           for (unsigned lane = 0; lane < kWarpSize; ++lane) {
             if (lane_active(m, lane)) {
               ci[lane] = cols[lane];
             }
           }
-          const Lanes<float> xv = w.gather(xp, ci, m);
+          const Lanes<Acc> xv = w.gather(xp, ci, m);
           for (unsigned lane = 0; lane < kWarpSize; ++lane) {
             if (lane_active(m, lane)) {
-              acc[lane] = acc[lane] + vals[lane] * xv[lane];
+              acc[lane] = acc[lane] + convert_value<Acc>(vals[lane]) * xv[lane];
             }
           }
           w.count_flops(2, m);
@@ -125,13 +127,13 @@ SpmvRun run_classical_csr(gpusim::Gpu& gpu,
 
         // Per-subwarp tree reduction, then the subwarp leaders store the
         // (consecutive) row results.
-        Lanes<float> results{};
+        Lanes<Acc> results{};
         LaneMask store_mask = 0;
         for (unsigned j = 0; j < rows_per_warp; ++j) {
           if (first_row + j >= num_rows) {
             continue;
           }
-          float partial[kWarpSize] = {};
+          Acc partial[kWarpSize] = {};
           for (unsigned o = 0; o < sub; ++o) {
             partial[o] = acc[j * sub + o];
           }
@@ -148,6 +150,18 @@ SpmvRun run_classical_csr(gpusim::Gpu& gpu,
       },
       schedule_seed);
   return run;
+}
+
+/// Single-precision form used by the Figure 6 comparison; keeps the original
+/// concrete signature so callers passing std::vector<float> still deduce.
+template <typename IdxT>
+SpmvRun run_classical_csr(gpusim::Gpu& gpu,
+                          const sparse::CsrMatrix<float, IdxT>& A,
+                          std::span<const float> x, std::span<float> y,
+                          unsigned threads_per_block = kDefaultVectorTpb,
+                          std::uint64_t schedule_seed = 0) {
+  return run_classical_csr<float, float, IdxT>(gpu, A, x, y, threads_per_block,
+                                               schedule_seed);
 }
 
 }  // namespace pd::kernels

@@ -3,16 +3,34 @@
 #include <algorithm>
 
 #include "common/error.hpp"
-#include "sparse/convert.hpp"
+#include "kernels/classical_csr.hpp"
+#include "kernels/multivector_csr.hpp"
 #include "kernels/vector_csr.hpp"
+#include "sparse/convert.hpp"
 
 namespace pd::kernels {
 
 DoseEngine::DoseEngine(sparse::CsrF64 matrix, gpusim::DeviceSpec device,
-                       Mode mode, unsigned threads_per_block)
-    : mode_(mode), threads_per_block_(threads_per_block) {
+                       Mode mode, unsigned threads_per_block, Family family,
+                       Backend backend)
+    : mode_(mode),
+      family_(family),
+      backend_(backend),
+      threads_per_block_(threads_per_block) {
   matrix.validate();
   stats_ = sparse::compute_stats(matrix);
+  // Host-side analysis runs on the structure, which every precision mode
+  // shares with the double input.
+  switch (family_) {
+    case Family::kRowSplit:
+      rowsplit_plan_ = build_row_split_plan(matrix);
+      break;
+    case Family::kAdaptive:
+      adaptive_worklist_ = build_adaptive_worklist(matrix);
+      break;
+    default:
+      break;
+  }
   switch (mode_) {
     case Mode::kHalfDouble:
       half_matrix_ = sparse::convert_values<pd::Half>(matrix);
@@ -37,6 +55,88 @@ const gpusim::EngineOptions& DoseEngine::engine_options() const {
   return gpu_->engine();
 }
 
+template <typename MatV, typename Acc>
+void DoseEngine::execute(const sparse::CsrMatrix<MatV>& A,
+                         std::span<const Acc> x, std::span<Acc> y,
+                         std::uint64_t schedule_seed) {
+  if (backend_ == Backend::kNative) {
+    switch (family_) {
+      case Family::kVector:
+        native_vector_spmv(A, x, y, native_);
+        break;
+      case Family::kClassical:
+        native_classical_spmv(A, x, y, native_);
+        break;
+      case Family::kRowSplit:
+        native_rowsplit_spmv(A, rowsplit_plan_, x, y, native_);
+        break;
+      case Family::kAdaptive:
+        native_adaptive_spmv(A, adaptive_worklist_, x, y, native_);
+        break;
+    }
+    return;
+  }
+  switch (family_) {
+    case Family::kVector:
+      last_run_ = run_vector_csr<MatV, Acc>(*gpu_, A, x, y, threads_per_block_,
+                                            schedule_seed);
+      break;
+    case Family::kClassical:
+      last_run_ = run_classical_csr<MatV, Acc, std::uint32_t>(
+          *gpu_, A, x, y, threads_per_block_, schedule_seed);
+      break;
+    case Family::kRowSplit:
+      last_run_ = run_rowsplit_csr<MatV, Acc>(*gpu_, A, rowsplit_plan_, x, y,
+                                              threads_per_block_,
+                                              schedule_seed);
+      break;
+    case Family::kAdaptive:
+      last_run_ = run_adaptive_csr<MatV, Acc, std::uint32_t>(
+          *gpu_, A, adaptive_worklist_, x, y, threads_per_block_,
+          schedule_seed);
+      break;
+  }
+  has_run_ = true;
+}
+
+template <typename MatV, typename Acc>
+void DoseEngine::execute_batch(const sparse::CsrMatrix<MatV>& A,
+                               std::span<const Acc* const> xs,
+                               std::span<Acc* const> ys,
+                               std::uint64_t schedule_seed) {
+  const std::size_t batch = xs.size();
+  if (family_ == Family::kVector && backend_ == Backend::kNative) {
+    native_vector_spmv_batch(A, xs, ys, native_);
+    return;
+  }
+  if (family_ == Family::kVector && backend_ == Backend::kGpusim) {
+    // Chunk through the multi-vector kernel (register pressure caps the
+    // simulated batch width); each chunk streams the matrix once.
+    std::size_t done = 0;
+    while (done < batch) {
+      const std::size_t width = std::min(kMaxSpmvBatch, batch - done);
+      std::vector<std::span<const Acc>> xspans;
+      std::vector<std::span<Acc>> yspans;
+      for (std::size_t j = 0; j < width; ++j) {
+        xspans.emplace_back(xs[done + j], A.num_cols);
+        yspans.emplace_back(ys[done + j], A.num_rows);
+      }
+      last_run_ = run_vector_csr_multi<MatV, Acc>(
+          *gpu_, A, std::span<const std::span<const Acc>>(xspans),
+          std::span<const std::span<Acc>>(yspans), threads_per_block_,
+          schedule_seed);
+      has_run_ = true;
+      done += width;
+    }
+    return;
+  }
+  // Remaining families have no batched traversal; loop single products.
+  for (std::size_t j = 0; j < batch; ++j) {
+    execute<MatV, Acc>(A, std::span<const Acc>(xs[j], A.num_cols),
+                       std::span<Acc>(ys[j], A.num_rows), schedule_seed);
+  }
+}
+
 std::vector<double> DoseEngine::compute(std::span<const double> spot_weights,
                                         std::uint64_t schedule_seed) {
   PD_CHECK_MSG(spot_weights.size() == stats_.cols,
@@ -44,42 +144,89 @@ std::vector<double> DoseEngine::compute(std::span<const double> spot_weights,
   std::vector<double> dose(stats_.rows, 0.0);
 
   switch (mode_) {
-    case Mode::kHalfDouble: {
-      last_run_ = run_vector_csr<pd::Half, double>(
-          *gpu_, half_matrix_, spot_weights, std::span<double>(dose),
-          threads_per_block_, schedule_seed);
+    case Mode::kHalfDouble:
+      execute<pd::Half, double>(half_matrix_, spot_weights,
+                                std::span<double>(dose), schedule_seed);
       break;
-    }
     case Mode::kSingle: {
       std::vector<float> x32(spot_weights.size());
       std::transform(spot_weights.begin(), spot_weights.end(), x32.begin(),
                      [](double v) { return static_cast<float>(v); });
       std::vector<float> y32(stats_.rows, 0.0f);
-      last_run_ = run_vector_csr<float, float>(
-          *gpu_, single_matrix_, std::span<const float>(x32),
-          std::span<float>(y32), threads_per_block_, schedule_seed);
+      execute<float, float>(single_matrix_, std::span<const float>(x32),
+                            std::span<float>(y32), schedule_seed);
       std::transform(y32.begin(), y32.end(), dose.begin(),
                      [](float v) { return static_cast<double>(v); });
       break;
     }
-    case Mode::kDouble: {
-      last_run_ = run_vector_csr<double, double>(
-          *gpu_, double_matrix_, spot_weights, std::span<double>(dose),
-          threads_per_block_, schedule_seed);
+    case Mode::kDouble:
+      execute<double, double>(double_matrix_, spot_weights,
+                              std::span<double>(dose), schedule_seed);
       break;
-    }
   }
-  has_run_ = true;
   return dose;
 }
 
+std::vector<std::vector<double>> DoseEngine::compute_batch(
+    std::span<const double> weights, std::size_t batch,
+    std::uint64_t schedule_seed) {
+  PD_CHECK_MSG(batch > 0, "DoseEngine::compute_batch: empty batch");
+  PD_CHECK_MSG(weights.size() == batch * stats_.cols,
+               "DoseEngine::compute_batch: weights must hold batch x spots");
+  std::vector<std::vector<double>> doses(batch,
+                                         std::vector<double>(stats_.rows, 0.0));
+  switch (mode_) {
+    case Mode::kHalfDouble:
+    case Mode::kDouble: {
+      std::vector<const double*> xs(batch);
+      std::vector<double*> ys(batch);
+      for (std::size_t j = 0; j < batch; ++j) {
+        xs[j] = weights.data() + j * stats_.cols;
+        ys[j] = doses[j].data();
+      }
+      if (mode_ == Mode::kHalfDouble) {
+        execute_batch<pd::Half, double>(half_matrix_, xs, ys, schedule_seed);
+      } else {
+        execute_batch<double, double>(double_matrix_, xs, ys, schedule_seed);
+      }
+      break;
+    }
+    case Mode::kSingle: {
+      std::vector<std::vector<float>> x32(batch,
+                                          std::vector<float>(stats_.cols));
+      std::vector<std::vector<float>> y32(batch,
+                                          std::vector<float>(stats_.rows, 0.0f));
+      std::vector<const float*> xs(batch);
+      std::vector<float*> ys(batch);
+      for (std::size_t j = 0; j < batch; ++j) {
+        const double* w = weights.data() + j * stats_.cols;
+        std::transform(w, w + stats_.cols, x32[j].begin(),
+                       [](double v) { return static_cast<float>(v); });
+        xs[j] = x32[j].data();
+        ys[j] = y32[j].data();
+      }
+      execute_batch<float, float>(single_matrix_, xs, ys, schedule_seed);
+      for (std::size_t j = 0; j < batch; ++j) {
+        std::transform(y32[j].begin(), y32[j].end(), doses[j].begin(),
+                       [](float v) { return static_cast<double>(v); });
+      }
+      break;
+    }
+  }
+  return doses;
+}
+
 const SpmvRun& DoseEngine::last_run() const {
-  PD_CHECK_MSG(has_run_, "DoseEngine: no compute() has run yet");
+  PD_CHECK_MSG(has_run_,
+               "DoseEngine: no gpusim compute() has run yet (the native "
+               "backend records no counters)");
   return last_run_;
 }
 
 gpusim::PerfEstimate DoseEngine::last_estimate() const {
-  PD_CHECK_MSG(has_run_, "DoseEngine: no compute() has run yet");
+  PD_CHECK_MSG(has_run_,
+               "DoseEngine: no gpusim compute() has run yet (the native "
+               "backend records no counters)");
   gpusim::PerfInput in;
   in.stats = last_run_.stats;
   in.config = last_run_.config;

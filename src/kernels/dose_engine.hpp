@@ -7,6 +7,15 @@
 // default mode is the paper's mixed half/double kernel, which satisfies both
 // RayStation requirements from §II-D: double-precision vectors and bitwise
 // run-to-run reproducibility.
+//
+// Two execution backends share the engine's storage and produce bitwise
+// identical dose vectors (docs/native_backend.md):
+//  * Backend::kGpusim — the simulated GPU, with traffic counters and the
+//    performance model (the differential oracle);
+//  * Backend::kNative — host-native scalar row kernels replicating the warp
+//    kernels' exact accumulation orders, multithreaded over an nnz-balanced
+//    row partition.  No counters, but much faster wall-clock — the backend
+//    optimizer inner loops run on.
 
 #include <cstdint>
 #include <memory>
@@ -17,6 +26,9 @@
 #include "gpusim/device.hpp"
 #include "gpusim/launch.hpp"
 #include "gpusim/perf.hpp"
+#include "kernels/adaptive_csr.hpp"
+#include "kernels/native_backend.hpp"
+#include "kernels/rowsplit_csr.hpp"
 #include "kernels/spmv_common.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/stats.hpp"
@@ -31,11 +43,22 @@ class DoseEngine {
     kDouble,      ///< everything binary64 (reference-quality).
   };
 
+  enum class Backend {
+    kGpusim,  ///< simulated GPU: counters + perf model, slow wall-clock.
+    kNative,  ///< host-native, bitwise identical dose, no counters.
+  };
+
+  using Family = SpmvFamily;
+
   /// Takes ownership of the (double-precision) dose deposition matrix and
-  /// prepares the storage for `mode` on a simulated `device`.
+  /// prepares the storage for `mode` on a simulated `device`.  `family`
+  /// selects the SpMV kernel family (host-side analysis for rowsplit /
+  /// adaptive runs here); `backend` selects who executes it.
   DoseEngine(sparse::CsrF64 matrix, gpusim::DeviceSpec device,
              Mode mode = Mode::kHalfDouble,
-             unsigned threads_per_block = kDefaultVectorTpb);
+             unsigned threads_per_block = kDefaultVectorTpb,
+             Family family = Family::kVector,
+             Backend backend = Backend::kGpusim);
 
   DoseEngine(const DoseEngine&) = delete;
   DoseEngine& operator=(const DoseEngine&) = delete;
@@ -46,6 +69,16 @@ class DoseEngine {
   std::uint64_t num_spots() const { return stats_.cols; }
   const sparse::MatrixStats& stats() const { return stats_; }
   Mode mode() const { return mode_; }
+  Family family() const { return family_; }
+
+  Backend backend() const { return backend_; }
+  /// Switch backends between computes; dose bits do not change.
+  void set_backend(Backend backend) { backend_ = backend; }
+
+  /// Thread count for the native backend (default 1; 0 = all hardware
+  /// threads).  Results are bitwise identical for every thread count.
+  void set_native_threads(unsigned threads) { native_.set_threads(threads); }
+  unsigned native_threads() const { return native_.requested_threads(); }
 
   /// Compute the dose vector for the given spot weights.  `schedule_seed`
   /// permutes GPU block scheduling; the result is independent of it (that is
@@ -53,26 +86,50 @@ class DoseEngine {
   std::vector<double> compute(std::span<const double> spot_weights,
                               std::uint64_t schedule_seed = 0);
 
+  /// Compute `batch` dose vectors for `batch` weight vectors stored
+  /// back-to-back in `weights` (batch × num_spots doubles), traversing the
+  /// matrix once for the whole batch where the family supports it (vector
+  /// family on both backends; other families fall back to per-vector
+  /// launches).  Column j is bitwise identical to compute(weights_j).
+  std::vector<std::vector<double>> compute_batch(
+      std::span<const double> weights, std::size_t batch,
+      std::uint64_t schedule_seed = 0);
+
   /// Select how the simulated GPU executes launches (serial, trace-replay,
   /// or functional-only — see gpusim/trace.hpp).  Dose values are identical
   /// in every mode; traffic counters are zero under functional-only.
   void set_engine_options(const gpusim::EngineOptions& opts);
   const gpusim::EngineOptions& engine_options() const;
 
-  /// Counters and launch geometry of the most recent compute().
+  /// Counters and launch geometry of the most recent gpusim compute().
+  /// Native computes record no counters, so this throws until a gpusim
+  /// launch has run.
   const SpmvRun& last_run() const;
 
-  /// Modeled performance of the most recent compute() on this device.
+  /// Modeled performance of the most recent gpusim compute() on this device.
   gpusim::PerfEstimate last_estimate() const;
 
  private:
+  template <typename MatV, typename Acc>
+  void execute(const sparse::CsrMatrix<MatV>& A, std::span<const Acc> x,
+               std::span<Acc> y, std::uint64_t schedule_seed);
+  template <typename MatV, typename Acc>
+  void execute_batch(const sparse::CsrMatrix<MatV>& A,
+                     std::span<const Acc* const> xs, std::span<Acc* const> ys,
+                     std::uint64_t schedule_seed);
+
   Mode mode_;
+  Family family_;
+  Backend backend_;
   unsigned threads_per_block_;
   sparse::MatrixStats stats_;
   sparse::CsrMatrix<pd::Half> half_matrix_;  ///< kHalfDouble storage.
   sparse::CsrF32 single_matrix_;             ///< kSingle storage.
   sparse::CsrF64 double_matrix_;             ///< kDouble storage.
+  RowSplitPlan rowsplit_plan_;               ///< kRowSplit analysis.
+  std::vector<AdaptiveWorkItem> adaptive_worklist_;  ///< kAdaptive analysis.
   std::unique_ptr<gpusim::Gpu> gpu_;
+  NativeExecutor native_;
   SpmvRun last_run_;
   bool has_run_ = false;
 };

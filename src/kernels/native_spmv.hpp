@@ -1,0 +1,348 @@
+#pragma once
+// Native host row kernels, bitwise-faithful to the simulated warp kernels.
+//
+// The gpusim kernels execute real arithmetic — the simulator only adds
+// counter bookkeeping, per-lane address vectors, and mask checks around it.
+// These functions strip that scaffolding and keep *exactly* the arithmetic:
+// the same half/single/double conversion points (convert_value), the same
+// 32-lane strided partial sums accumulated in the same chunk order, and the
+// same fixed reduction trees (warp_reduce_add's shfl_down butterfly,
+// warp_segmented_inclusive_sum's segmented Hillis-Steele).  DoseEngine's
+// Backend::kNative runs these and is asserted bitwise identical to
+// Backend::kGpusim for every family x precision mode
+// (tests/test_native_backend.cpp).
+//
+// Short rows additionally take a fast path that skips the lanes the kernel
+// never touches.  This is bitwise-safe, not approximate: untouched lanes
+// hold exactly +0.0, x + (+0.0) reproduces x bitwise for every value an
+// accumulator can reach (lanes start at +0.0, and under round-to-nearest an
+// addition never yields -0.0 unless both operands are -0.0, so partial sums
+// are never -0.0), and in both reduction trees lane i depends only on lanes
+// <= i — so arithmetic on lanes that are never read can be dropped outright.
+//
+// Everything here is per-row/per-item and stateless: callers own the
+// partitioning and threading (native_backend.hpp).  Rows write disjoint
+// outputs, so any partition of the row space yields identical bits.
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+
+#include "fp16/half.hpp"
+#include "gpusim/lanes.hpp"
+#include "kernels/adaptive_csr.hpp"
+#include "kernels/rowsplit_csr.hpp"
+#include "kernels/spmv_common.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define PD_NATIVE_F16C_DISPATCH 1
+#endif
+
+namespace pd::kernels {
+
+#if defined(PD_NATIVE_F16C_DISPATCH)
+/// Hardware half->float conversion (VCVTPH2PS).  IEEE-754 defines a unique
+/// binary32 image for every binary16 value and both this instruction and
+/// half_bits_to_float implement exactly that mapping (subnormals included;
+/// NaN payloads widen by the same 13-bit shift), so the fast path is
+/// bitwise-identical, not approximate.
+__attribute__((target("f16c"))) inline void half_chunk_to_float_f16c(
+    const pd::Half* v, unsigned n, float* out) {
+  unsigned i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    _mm256_storeu_ps(out + i, _mm256_cvtph_ps(h));
+  }
+  for (; i < n; ++i) {
+    out[i] = v[i].to_float();
+  }
+}
+
+inline const bool kHaveF16c = __builtin_cpu_supports("f16c") != 0;
+#endif
+
+/// Convert a chunk of matrix halves to binary32 (exact widening), using the
+/// hardware converter when the CPU has one.
+inline void half_chunk_to_float(const pd::Half* v, unsigned n, float* out) {
+#if defined(PD_NATIVE_F16C_DISPATCH)
+  if (kHaveF16c) {
+    half_chunk_to_float_f16c(v, n, out);
+    return;
+  }
+#endif
+  for (unsigned i = 0; i < n; ++i) {
+    out[i] = v[i].to_float();
+  }
+}
+
+/// Stage a chunk (n <= 32) of matrix values into Acc precision.  For Half
+/// this funnels through the (possibly hardware) exact widening above;
+/// identical to calling convert_value per element.
+template <typename Acc, typename MatV>
+inline void convert_chunk(const MatV* v, unsigned n, Acc* out) {
+  if constexpr (std::is_same_v<MatV, pd::Half>) {
+    float f[gpusim::kWarpSize];
+    half_chunk_to_float(v, n, f);
+    for (unsigned i = 0; i < n; ++i) {
+      out[i] = static_cast<Acc>(f[i]);
+    }
+  } else {
+    for (unsigned i = 0; i < n; ++i) {
+      out[i] = convert_value<Acc>(v[i]);
+    }
+  }
+}
+
+/// warp_reduce_add over a warp whose lanes [n, 32) are exactly +0.0: runs
+/// the same butterfly passes but skips the additions whose right operand is
+/// one of those zero lanes (a bitwise no-op, see the header comment).
+/// `tmp[0..n-1]` is mutated in place; lanes >= n are never read.  n >= 1.
+template <typename Acc>
+inline Acc native_reduce_tail(Acc* tmp, unsigned n) {
+  for (unsigned offset = gpusim::kWarpSize / 2; offset > 0; offset /= 2) {
+    for (unsigned i = 0; i < offset && i + offset < n; ++i) {
+      tmp[i] = tmp[i] + tmp[i + offset];
+    }
+    n = std::min(n, offset);
+  }
+  return tmp[0];
+}
+
+/// One vector-kernel row: lanes stride the row's non-zeros in chunks of 32
+/// (vector_csr.hpp's accumulation loop), then the fixed butterfly reduction.
+/// Rows of <= 32 non-zeros (the dose-matrix common case, Figure 2) skip the
+/// 32-lane zero-fill and reduce only the lanes that were written.
+template <typename Acc, typename MatV, typename IdxT>
+inline Acc native_row_product(const MatV* values, const IdxT* col_idx,
+                              const Acc* x, std::uint64_t start,
+                              std::uint64_t end) {
+  const std::uint64_t nnz = end - start;
+  if (nnz <= gpusim::kWarpSize) {
+    if (nnz == 0) {
+      return Acc{};
+    }
+    const auto n = static_cast<unsigned>(nnz);
+    Acc conv[gpusim::kWarpSize];
+    convert_chunk(values + start, n, conv);
+    Acc tmp[gpusim::kWarpSize];  // lanes >= n stay unread
+    for (unsigned lane = 0; lane < n; ++lane) {
+      // Acc{} + ... is the kernel's first accumulation into the zeroed lane
+      // (it differs from the bare product only for a -0.0 product).
+      tmp[lane] = Acc{} + conv[lane] * x[col_idx[start + lane]];
+    }
+    return native_reduce_tail(tmp, n);
+  }
+  gpusim::Lanes<Acc> acc{};
+  Acc conv[gpusim::kWarpSize];
+  const std::uint64_t tail =
+      start + (nnz & ~static_cast<std::uint64_t>(gpusim::kWarpSize - 1));
+  for (std::uint64_t base = start; base < tail; base += gpusim::kWarpSize) {
+    convert_chunk(values + base, gpusim::kWarpSize, conv);
+    for (unsigned lane = 0; lane < gpusim::kWarpSize; ++lane) {
+      acc[lane] = acc[lane] + conv[lane] * x[col_idx[base + lane]];
+    }
+  }
+  const auto rem = static_cast<unsigned>(nnz & (gpusim::kWarpSize - 1));
+  if (rem != 0) {
+    convert_chunk(values + tail, rem, conv);
+    for (unsigned lane = 0; lane < rem; ++lane) {
+      acc[lane] = acc[lane] + conv[lane] * x[col_idx[tail + lane]];
+    }
+  }
+  // All 32 lanes are live, so warp_reduce_add's masked zero-fill copy is an
+  // identity; run its tree in place.
+  return native_reduce_tail(&acc[0], gpusim::kWarpSize);
+}
+
+/// Batched (multi-RHS) form of native_row_product: one pass over the row's
+/// non-zeros feeds all `batch` accumulators, matching multivector_csr.hpp.
+/// Each column's per-lane sums and reduction are those of the single-vector
+/// kernel, so every batch column is bitwise identical to a looped compute.
+/// `x_int` holds the batch vectors interleaved column-major — vector j's
+/// entry for matrix column c at `x_int[c*batch + j]` — so one non-zero's
+/// `batch` reads are contiguous.  `acc` is caller-provided scratch of
+/// `batch` lane registers (lanes this row does not touch are never read, so
+/// stale contents are fine); `out` receives the `batch` row results.
+template <typename Acc, typename MatV, typename IdxT>
+inline void native_row_product_batch(const MatV* values, const IdxT* col_idx,
+                                     const Acc* x_int, std::size_t batch,
+                                     std::uint64_t start, std::uint64_t end,
+                                     gpusim::Lanes<Acc>* acc, Acc* out) {
+  const std::uint64_t nnz = end - start;
+  if (nnz <= gpusim::kWarpSize) {
+    if (nnz == 0) {
+      for (std::size_t j = 0; j < batch; ++j) {
+        out[j] = Acc{};
+      }
+      return;
+    }
+    const auto n = static_cast<unsigned>(nnz);
+    Acc conv[gpusim::kWarpSize];
+    convert_chunk(values + start, n, conv);
+    for (unsigned lane = 0; lane < n; ++lane) {
+      const Acc v = conv[lane];
+      const Acc* xc = x_int + static_cast<std::size_t>(col_idx[start + lane]) * batch;
+      for (std::size_t j = 0; j < batch; ++j) {
+        acc[j][lane] = Acc{} + v * xc[j];
+      }
+    }
+    for (std::size_t j = 0; j < batch; ++j) {
+      out[j] = native_reduce_tail(&acc[j][0], n);
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < batch; ++j) {
+    acc[j] = gpusim::Lanes<Acc>{};
+  }
+  Acc conv[gpusim::kWarpSize];
+  for (std::uint64_t base = start; base < end; base += gpusim::kWarpSize) {
+    const auto remaining = static_cast<unsigned>(
+        std::min<std::uint64_t>(gpusim::kWarpSize, end - base));
+    convert_chunk(values + base, remaining, conv);
+    for (unsigned lane = 0; lane < remaining; ++lane) {
+      const Acc v = conv[lane];
+      const Acc* xc = x_int + static_cast<std::size_t>(col_idx[base + lane]) * batch;
+      for (std::size_t j = 0; j < batch; ++j) {
+        acc[j][lane] = acc[j][lane] + v * xc[j];
+      }
+    }
+  }
+  for (std::size_t j = 0; j < batch; ++j) {
+    out[j] = native_reduce_tail(&acc[j][0], gpusim::kWarpSize);
+  }
+}
+
+/// One classical-kernel row: element i of the row lands in sub-accumulator
+/// i % sub in ascending order (classical_csr.hpp's iter loop), then the
+/// kernel's in-register subwarp tree.  `sub` must be the launch-wide
+/// classical_subwarp_size(A.nnz(), A.num_rows) — it is a property of the
+/// whole matrix, not of the row — and is always a power of two, so the
+/// modulo is a mask.
+template <typename Acc, typename MatV, typename IdxT>
+inline Acc native_classical_row(const MatV* values, const IdxT* col_idx,
+                                const Acc* x, std::uint32_t start,
+                                std::uint32_t end, unsigned sub) {
+  Acc partial[gpusim::kWarpSize] = {};
+  const unsigned mask = sub - 1;
+  for (std::uint32_t i = 0; i < end - start; ++i) {
+    const std::uint32_t k = start + i;
+    const unsigned o = i & mask;
+    partial[o] = partial[o] + convert_value<Acc>(values[k]) * x[col_idx[k]];
+  }
+  for (unsigned offset = sub / 2; offset > 0; offset /= 2) {
+    for (unsigned i = 0; i < offset; ++i) {
+      partial[i] += partial[i + offset];
+    }
+  }
+  return partial[0];
+}
+
+/// warp_segmented_inclusive_sum restricted to the first `count` lanes: the
+/// Hillis-Steele passes give lane i a value that depends only on lanes <= i,
+/// so lanes >= count (inactive in the kernel, never read by the caller) are
+/// simply not computed.  In-place: the descending walk reads out[i - d]
+/// before that slot is written in the same pass, exactly the `prev` copy the
+/// kernel keeps.
+template <typename Acc>
+inline void native_segmented_inclusive_sum(Acc* out, gpusim::LaneMask heads,
+                                           unsigned count) {
+  unsigned seg[gpusim::kWarpSize];
+  unsigned current = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    if (gpusim::lane_active(heads, i)) {
+      current = i;
+    }
+    seg[i] = current;
+  }
+  for (unsigned d = 1; d < count; d *= 2) {
+    for (unsigned i = count; i-- > d;) {
+      if (seg[i] <= i - d) {
+        out[i] = out[i - d] + out[i];
+      }
+    }
+  }
+}
+
+/// One adaptive work item: long rows take the vector path; short-row groups
+/// form the per-lane products and reduce them with the same segmented
+/// inclusive sum (and the same head-flag construction) as the kernel.
+template <typename Acc, typename MatV, typename IdxT>
+inline void native_adaptive_item(const std::uint32_t* row_ptr,
+                                 const MatV* values, const IdxT* col_idx,
+                                 const Acc* x, Acc* y,
+                                 const AdaptiveWorkItem& item) {
+  if (item.long_row != 0) {
+    const std::uint32_t row = item.row_begin;
+    y[row] = native_row_product(values, col_idx, x, row_ptr[row],
+                                row_ptr[row + 1]);
+    return;
+  }
+  const std::uint32_t start = row_ptr[item.row_begin];
+  const std::uint32_t end = row_ptr[item.row_end];
+  const unsigned count = end - start;
+
+  Acc incl[gpusim::kWarpSize];  // lanes >= count stay unread
+  for (unsigned lane = 0; lane < count; ++lane) {
+    const std::uint32_t k = start + lane;
+    incl[lane] = convert_value<Acc>(values[k]) * x[col_idx[k]];
+  }
+  gpusim::LaneMask heads = 0;
+  for (std::uint32_t r = item.row_begin; r < item.row_end; ++r) {
+    const std::uint32_t rs = row_ptr[r];
+    if (rs < end && rs >= start && row_ptr[r + 1] > rs) {
+      heads |= (gpusim::LaneMask{1} << (rs - start));
+    }
+  }
+  native_segmented_inclusive_sum(incl, heads, count);
+  for (std::uint32_t r = item.row_begin; r < item.row_end; ++r) {
+    const std::uint32_t rs = row_ptr[r];
+    const std::uint32_t re = row_ptr[r + 1];
+    y[r] = (re > rs) ? incl[re - 1 - start] : Acc{};
+  }
+}
+
+/// Rowsplit phase 1: one chunk's partial sum, written to y (unsplit rows) or
+/// to the chunk's fixed partial slot.  The chunk sum is the vector row loop
+/// over [item.begin, item.end).
+template <typename Acc, typename MatV, typename IdxT>
+inline void native_rowsplit_item(const MatV* values, const IdxT* col_idx,
+                                 const Acc* x, Acc* y, Acc* partials,
+                                 const RowSplitPlan::WorkItem& item) {
+  const Acc total =
+      native_row_product(values, col_idx, x, item.begin, item.end);
+  if (item.partial_slot < 0) {
+    y[item.row] = total;
+  } else {
+    partials[item.partial_slot] = total;
+  }
+}
+
+/// Rowsplit phase 2: fold one split row's partial slots with the same
+/// 32-strided accumulation + butterfly as the kernel's second launch.
+template <typename Acc>
+inline Acc native_rowsplit_fold(const Acc* partials,
+                                const RowSplitPlan::SplitRow& split) {
+  const std::uint64_t first = split.first_slot;
+  const std::uint64_t last = first + split.num_slots;
+  if (split.num_slots <= gpusim::kWarpSize) {
+    const auto n = static_cast<unsigned>(split.num_slots);
+    Acc tmp[gpusim::kWarpSize];  // lanes >= n stay unread
+    for (unsigned lane = 0; lane < n; ++lane) {
+      tmp[lane] = Acc{} + partials[first + lane];
+    }
+    return native_reduce_tail(tmp, n);
+  }
+  gpusim::Lanes<Acc> acc{};
+  for (std::uint64_t base = first; base < last; base += gpusim::kWarpSize) {
+    const auto remaining = static_cast<unsigned>(
+        std::min<std::uint64_t>(gpusim::kWarpSize, last - base));
+    for (unsigned lane = 0; lane < remaining; ++lane) {
+      acc[lane] = acc[lane] + partials[base + lane];
+    }
+  }
+  return native_reduce_tail(&acc[0], gpusim::kWarpSize);
+}
+
+}  // namespace pd::kernels

@@ -27,6 +27,16 @@ inline Acc convert_value(V v) {
   return static_cast<Acc>(v);
 }
 
+/// Kernel-family selector shared by DoseEngine's two execution backends.
+/// Every family keeps the §II-D bitwise-reproducibility guarantee; they
+/// differ in load balancing and metadata cost (Figures 5-6).
+enum class SpmvFamily {
+  kVector,     ///< warp-per-row (the paper's kernel).
+  kClassical,  ///< Ginkgo-style subwarp-per-row.
+  kRowSplit,   ///< deterministic two-phase row splitting.
+  kAdaptive,   ///< cuSPARSE-style adaptive row binning.
+};
+
 /// Per-thread register footprints, as a CUDA compiler would report them.
 /// They drive the Figure 4 occupancy sweep: 40 registers puts the knee of
 /// the half/double kernel at 512 threads/block (75% occupancy) with dips at

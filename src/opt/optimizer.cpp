@@ -64,12 +64,19 @@ PlanOptimizer::PlanOptimizer(const sparse::CsrF64& D, DoseObjective objective,
                              gpusim::DeviceSpec device, OptimizerConfig config)
     : objective_(std::move(objective)),
       config_(config),
-      forward_(sparse::CsrF64(D), device, config.mode),
-      transpose_(sparse::transpose(D), device, config.mode) {
+      forward_(sparse::CsrF64(D), device, config.mode,
+               kernels::kDefaultVectorTpb, kernels::SpmvFamily::kVector,
+               config.backend),
+      transpose_(sparse::transpose(D), device, config.mode,
+                 kernels::kDefaultVectorTpb, kernels::SpmvFamily::kVector,
+                 config.backend) {
+  setup_seconds_ = setup_timer_.seconds();
   PD_CHECK_MSG(config_.max_iterations > 0, "optimizer: need >= 1 iteration");
   PD_CHECK_MSG(config_.lbfgs_history > 0, "optimizer: need >= 1 history pair");
   forward_.set_engine_options(config_.engine);
   transpose_.set_engine_options(config_.engine);
+  forward_.set_native_threads(config_.native_threads);
+  transpose_.set_native_threads(config_.native_threads);
 }
 
 OptimizerResult PlanOptimizer::optimize() {
@@ -178,6 +185,7 @@ OptimizerResult PlanOptimizer::optimize() {
 
   result.spot_weights = std::move(x);
   result.dose = std::move(dose);
+  result.setup_seconds = setup_seconds_;
   return result;
 }
 

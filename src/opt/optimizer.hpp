@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/dose_engine.hpp"
 #include "opt/objective.hpp"
@@ -42,6 +43,13 @@ struct OptimizerConfig {
   /// to functional-only execution (no cache simulation) — dose values and the
   /// optimization trajectory are identical to the serial engine's.
   gpusim::EngineOptions engine{gpusim::TraceMode::kFunctionalOnly, 0};
+  /// The inner loop defaults to the native backend: bitwise-identical dose
+  /// (so the trajectory is unchanged), much faster wall-clock.  Set kGpusim
+  /// to route every product through the simulator instead.
+  kernels::DoseEngine::Backend backend = kernels::DoseEngine::Backend::kNative;
+  /// Native-backend threads (0 = all hardware threads); any value yields the
+  /// same bits.
+  unsigned native_threads = 0;
 };
 
 struct OptimizerResult {
@@ -50,7 +58,15 @@ struct OptimizerResult {
   std::vector<double> objective_history;  ///< One value per accepted iterate.
   unsigned iterations = 0;
   bool converged = false;
-  std::uint64_t spmv_count = 0;  ///< Forward + transposed products performed.
+  /// Forward + transposed products performed.  Batch-aware: a compute_batch
+  /// of K vectors counts K products (one per dose), even though it traverses
+  /// the matrix once — keeping throughput numbers comparable across
+  /// backends and batching strategies.
+  std::uint64_t spmv_count = 0;
+  /// Wall-clock seconds spent building engines (matrix copies, transposes,
+  /// precision conversions) before the first iteration, plus any engines
+  /// built lazily during the run.
+  double setup_seconds = 0.0;
 };
 
 class PlanOptimizer {
@@ -65,8 +81,11 @@ class PlanOptimizer {
  private:
   DoseObjective objective_;
   OptimizerConfig config_;
+  WallTimer setup_timer_;  ///< Declared before the engines to time their
+                           ///< construction (members initialize in order).
   kernels::DoseEngine forward_;
   kernels::DoseEngine transpose_;
+  double setup_seconds_ = 0.0;
 };
 
 }  // namespace pd::opt

@@ -2,11 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <span>
 
 #include "common/error.hpp"
 #include "sparse/coo.hpp"
+#include "sparse/partition.hpp"
 
 namespace pd::opt {
+
+namespace {
+
+kernels::DoseEngine make_engine(sparse::CsrF64 matrix,
+                                const gpusim::DeviceSpec& device,
+                                const RobustConfig& config) {
+  kernels::DoseEngine engine(std::move(matrix), device, config.precision,
+                             kernels::kDefaultVectorTpb,
+                             kernels::SpmvFamily::kVector, config.backend);
+  engine.set_engine_options(config.engine);
+  engine.set_native_threads(config.native_threads);
+  return engine;
+}
+
+}  // namespace
 
 RobustPlanOptimizer::RobustPlanOptimizer(std::vector<sparse::CsrF64> scenarios,
                                          DoseObjective objective,
@@ -15,15 +33,18 @@ RobustPlanOptimizer::RobustPlanOptimizer(std::vector<sparse::CsrF64> scenarios,
                                          std::vector<double> weights)
     : objective_(std::move(objective)),
       config_(config),
+      device_(device),
       scenario_weights_(std::move(weights)) {
   PD_CHECK_MSG(!scenarios.empty(), "robust: need at least one scenario");
   const std::uint64_t cols = scenarios.front().num_cols;
   const std::uint64_t rows = scenarios.front().num_rows;
+  std::uint64_t total_nnz = 0;
   for (const auto& s : scenarios) {
     PD_CHECK_MSG(s.num_cols == cols,
                  "robust: scenarios must share the spot set");
     PD_CHECK_MSG(s.num_rows == rows,
                  "robust: scenarios must share the dose grid");
+    total_nnz += s.nnz();
   }
   if (scenario_weights_.empty()) {
     scenario_weights_.assign(scenarios.size(),
@@ -34,15 +55,44 @@ RobustPlanOptimizer::RobustPlanOptimizer(std::vector<sparse::CsrF64> scenarios,
   for (const double w : scenario_weights_) {
     PD_CHECK_MSG(w >= 0.0, "robust: negative scenario weight");
   }
+  num_scenarios_ = scenarios.size();
+  rows_per_scenario_ = rows;
 
-  for (auto& s : scenarios) {
-    transpose_.push_back(std::make_unique<kernels::DoseEngine>(
-        sparse::transpose(s), device, config_.precision));
-    forward_.push_back(std::make_unique<kernels::DoseEngine>(
-        std::move(s), device, config_.precision));
-    transpose_.back()->set_engine_options(config_.engine);
-    forward_.back()->set_engine_options(config_.engine);
+  WallTimer timer;
+  if (num_scenarios_ > 1 &&
+      total_nnz <= std::numeric_limits<std::uint32_t>::max()) {
+    forward_stacked_ = std::make_unique<kernels::DoseEngine>(make_engine(
+        sparse::vstack_rows(std::span<const sparse::CsrF64>(scenarios)),
+        device_, config_));
+  } else if (num_scenarios_ == 1) {
+    // One scenario: the "stack" is the matrix itself; skip the copy.
+    forward_stacked_ = std::make_unique<kernels::DoseEngine>(
+        make_engine(sparse::CsrF64(scenarios.front()), device_, config_));
+  } else {
+    // Stacked offsets would overflow 32-bit row_ptr: keep one forward
+    // engine per scenario and loop them in evaluate().
+    for (const auto& s : scenarios) {
+      forward_split_.push_back(std::make_unique<kernels::DoseEngine>(
+          make_engine(sparse::CsrF64(s), device_, config_)));
+    }
   }
+  // Transpose engines are built lazily in transpose_engine(); keep the
+  // scenario matrices as their sources until then.
+  transpose_.resize(num_scenarios_);
+  scenario_matrices_ = std::move(scenarios);
+  setup_seconds_ = timer.seconds();
+}
+
+kernels::DoseEngine& RobustPlanOptimizer::transpose_engine(std::size_t k) {
+  if (!transpose_[k]) {
+    WallTimer timer;
+    transpose_[k] = std::make_unique<kernels::DoseEngine>(
+        make_engine(sparse::transpose(scenario_matrices_[k]), device_,
+                    config_));
+    scenario_matrices_[k] = sparse::CsrF64{};  // source no longer needed
+    setup_seconds_ += timer.seconds();
+  }
+  return *transpose_[k];
 }
 
 double RobustPlanOptimizer::combine(
@@ -60,11 +110,26 @@ double RobustPlanOptimizer::combine(
 RobustPlanOptimizer::Evaluation RobustPlanOptimizer::evaluate(
     const std::vector<double>& x, std::uint64_t* spmv_count) {
   Evaluation ev;
-  ev.doses.reserve(forward_.size());
-  for (auto& engine : forward_) {
-    ev.doses.push_back(engine->compute(x));
-    ++*spmv_count;
-    ev.per_scenario.push_back(objective_.value(ev.doses.back()));
+  ev.doses.reserve(num_scenarios_);
+  if (forward_stacked_) {
+    // One traversal of the stacked matrix yields every scenario dose as a
+    // row slice; batch-aware accounting still counts K products.
+    const std::vector<double> stacked = forward_stacked_->compute(x);
+    *spmv_count += num_scenarios_;
+    for (std::size_t k = 0; k < num_scenarios_; ++k) {
+      const auto begin = stacked.begin() +
+                         static_cast<std::ptrdiff_t>(k * rows_per_scenario_);
+      ev.doses.emplace_back(begin,
+                            begin + static_cast<std::ptrdiff_t>(
+                                        rows_per_scenario_));
+      ev.per_scenario.push_back(objective_.value(ev.doses.back()));
+    }
+  } else {
+    for (auto& engine : forward_split_) {
+      ev.doses.push_back(engine->compute(x));
+      ++*spmv_count;
+      ev.per_scenario.push_back(objective_.value(ev.doses.back()));
+    }
   }
   ev.robust_value = combine(ev.per_scenario);
   return ev;
@@ -72,7 +137,9 @@ RobustPlanOptimizer::Evaluation RobustPlanOptimizer::evaluate(
 
 RobustResult RobustPlanOptimizer::optimize() {
   RobustResult result;
-  const std::uint64_t num_spots = forward_.front()->num_spots();
+  const std::uint64_t num_spots =
+      forward_stacked_ ? forward_stacked_->num_spots()
+                       : forward_split_.front()->num_spots();
   std::vector<double> x(num_spots, 1.0);
 
   Evaluation current = evaluate(x, &result.spmv_count);
@@ -103,19 +170,19 @@ RobustResult RobustPlanOptimizer::optimize() {
           continue;  // scenario far from active: skip its transpose product
         }
         const auto gdose = objective_.dose_gradient(current.doses[k]);
-        const auto gk = transpose_[k]->compute(gdose);
+        const auto gk = transpose_engine(k).compute(gdose);
         ++result.spmv_count;
         for (std::uint64_t i = 0; i < num_spots; ++i) {
           gx[i] += soft[k] * gk[i];
         }
       }
     } else {
-      for (std::size_t k = 0; k < forward_.size(); ++k) {
+      for (std::size_t k = 0; k < num_scenarios_; ++k) {
         if (scenario_weights_[k] == 0.0) {
           continue;
         }
         const auto gdose = objective_.dose_gradient(current.doses[k]);
-        const auto gk = transpose_[k]->compute(gdose);
+        const auto gk = transpose_engine(k).compute(gdose);
         ++result.spmv_count;
         for (std::uint64_t i = 0; i < num_spots; ++i) {
           gx[i] += scenario_weights_[k] * gk[i];
@@ -150,6 +217,7 @@ RobustResult RobustPlanOptimizer::optimize() {
   result.spot_weights = std::move(x);
   result.scenario_doses = std::move(current.doses);
   result.final_scenario_objectives = std::move(current.per_scenario);
+  result.setup_seconds = setup_seconds_;
   return result;
 }
 

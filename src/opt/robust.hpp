@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/dose_engine.hpp"
 #include "opt/objective.hpp"
@@ -36,6 +37,10 @@ struct RobustConfig {
   /// See OptimizerConfig::engine — scenario SpMVs never read traffic, so skip
   /// cache simulation by default.
   gpusim::EngineOptions engine{gpusim::TraceMode::kFunctionalOnly, 0};
+  /// See OptimizerConfig::backend — native is bitwise identical and faster.
+  kernels::DoseEngine::Backend backend = kernels::DoseEngine::Backend::kNative;
+  /// Native-backend threads (0 = all hardware threads).
+  unsigned native_threads = 0;
 };
 
 struct RobustResult {
@@ -45,7 +50,12 @@ struct RobustResult {
   std::vector<double> objective_history;  ///< Robust objective per iterate.
   std::vector<double> final_scenario_objectives;
   unsigned iterations = 0;
-  std::uint64_t spmv_count = 0;  ///< Grows ~2·scenarios per iteration.
+  /// Grows ~2·scenarios per iteration.  Batch-aware: the stacked forward
+  /// engine computes all K scenario doses in one traversal and counts K.
+  std::uint64_t spmv_count = 0;
+  /// Engine-construction seconds: the stacked forward engine up front plus
+  /// each transpose engine the moment a scenario first becomes active.
+  double setup_seconds = 0.0;
 };
 
 /// Optimizer over K scenario matrices sharing one spot-weight vector.
@@ -59,7 +69,7 @@ class RobustPlanOptimizer {
                       RobustConfig config = {},
                       std::vector<double> weights = {});
 
-  std::size_t num_scenarios() const { return forward_.size(); }
+  std::size_t num_scenarios() const { return num_scenarios_; }
 
   RobustResult optimize();
 
@@ -71,12 +81,28 @@ class RobustPlanOptimizer {
   };
   Evaluation evaluate(const std::vector<double>& x, std::uint64_t* spmv_count);
   double combine(const std::vector<double>& per_scenario) const;
+  /// Lazily build (and cache) scenario k's transpose engine.  Scenarios the
+  /// softmax skip never activates never pay their transpose + conversion.
+  kernels::DoseEngine& transpose_engine(std::size_t k);
 
   DoseObjective objective_;
   RobustConfig config_;
+  gpusim::DeviceSpec device_;
   std::vector<double> scenario_weights_;
-  std::vector<std::unique_ptr<kernels::DoseEngine>> forward_;
+  std::size_t num_scenarios_ = 0;
+  std::uint64_t rows_per_scenario_ = 0;
+  /// All K scenario matrices stacked row-wise into ONE engine: a single
+  /// (batched) traversal yields every scenario dose, and the warp-per-row
+  /// kernel makes each row block bitwise identical to a standalone
+  /// per-scenario product.  Falls back to per-scenario engines
+  /// (forward_split_) when the stacked nnz would overflow 32-bit offsets.
+  std::unique_ptr<kernels::DoseEngine> forward_stacked_;
+  std::vector<std::unique_ptr<kernels::DoseEngine>> forward_split_;
+  /// Transpose engines, built on first use; slot k is null until then.
   std::vector<std::unique_ptr<kernels::DoseEngine>> transpose_;
+  /// Sources for lazy transpose builds; slot k is released once built.
+  std::vector<sparse::CsrF64> scenario_matrices_;
+  double setup_seconds_ = 0.0;
 };
 
 }  // namespace pd::opt
