@@ -21,6 +21,7 @@
 #include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "gpusim/simcheck.hpp"
 #include "gpusim/trace.hpp"
 #include "kernels/dose_engine.hpp"
 #include "sparse/random.hpp"
@@ -151,6 +152,10 @@ int main() {
   json << "  \"beam\": \"" << beam.label << "\",\n";
   json << "  \"scale\": " << scale << ",\n";
   json << "  \"kernel\": \"vector_csr<half,double> (DoseEngine, kHalfDouble)\",\n";
+  // DoseEngine auto-enables the analyzer under PROTONDOSE_SIMCHECK; brand the
+  // record so scripts/check_bench_results.sh can reject checked-run numbers.
+  json << "  \"simcheck\": "
+       << (pd::gpusim::simcheck_env_enabled() ? "true" : "false") << ",\n";
   json << "  \"modes\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];

@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "fp16/half.hpp"
+#include "gpusim/simcheck.hpp"
 #include "gpusim/trace.hpp"
 #include "kernels/vector_csr.hpp"
 #include "sparse/convert.hpp"
@@ -85,11 +86,23 @@ int main() {
         .stats;
   };
 
+  // Honour PROTONDOSE_SIMCHECK like the engine does, so a checked run is an
+  // explicit choice — and is branded as such in BENCH_gpusim.json, where the
+  // CI gate rejects it (checked numbers are not comparable across PRs).
+  const bool simcheck = pd::gpusim::simcheck_env_enabled();
+  if (simcheck) {
+    std::cout << "PROTONDOSE_SIMCHECK is set: running with the correctness "
+                 "analyzer enabled; numbers are NOT trajectory-comparable.\n\n";
+  }
+
   std::vector<ModeResult> results;
   for (const auto& mode : modes) {
     pd::gpusim::Gpu gpu(pd::gpusim::make_a100());
     gpu.set_reference_memory_path(mode.reference_path);
     gpu.set_engine(mode.engine);
+    if (simcheck) {
+      gpu.enable_check();
+    }
 
     ModeResult r;
     r.name = mode.name;
@@ -155,6 +168,7 @@ int main() {
   json << "  \"beam\": \"" << beam.label << "\",\n";
   json << "  \"scale\": " << scale << ",\n";
   json << "  \"kernel\": \"vector_csr<half,double> tpb=512\",\n";
+  json << "  \"simcheck\": " << (simcheck ? "true" : "false") << ",\n";
   json << "  \"warp_instrs_per_launch\": "
        << results.front().stats.compute.warp_arith_instrs << ",\n";
   json << "  \"sectors_per_launch\": "

@@ -65,6 +65,21 @@ for f in "$workdir"/bench_results/*.csv; do
   echo "ok   $rel ($((rows - 1)) rows)"
 done
 
+# Trajectory records from checked (simcheck) runs are not comparable across
+# PRs: the analyzer forces serial phase-1 execution and adds per-access work.
+# Every record must carry an explicit "simcheck": false brand.
+check_simcheck_brand() {
+  local f="$1" name="$2"
+  if ! grep -q '"simcheck"' "$f"; then
+    echo "FAIL $name: missing \"simcheck\" key (bench predates the brand?)"
+    fail=1
+  elif grep -Eq '"simcheck"[[:space:]]*:[[:space:]]*true' "$f"; then
+    echo "FAIL $name: produced by a checked run (PROTONDOSE_SIMCHECK was set);"
+    echo "  checked wallclock numbers must not enter the trajectory record"
+    fail=1
+  fi
+}
+
 # Machine-readable trajectory records must exist and keep their schema.
 echo "== checking BENCH_native.json =="
 nat="$workdir/BENCH_native.json"
@@ -80,9 +95,32 @@ else
       fail=1
     fi
   done
+  check_simcheck_brand "$nat" BENCH_native.json
   if command -v python3 >/dev/null 2>&1; then
     if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$nat"; then
       echo "FAIL BENCH_native.json: not valid JSON"
+      fail=1
+    fi
+  fi
+fi
+
+echo "== checking BENCH_gpusim.json =="
+sim="$workdir/BENCH_gpusim.json"
+if [ ! -f "$sim" ]; then
+  echo "FAIL BENCH_gpusim.json: not produced by wallclock_sim_throughput"
+  fail=1
+else
+  for key in '"bench"' '"beam"' '"scale"' '"kernel"' '"modes"' \
+             '"us_per_launch"' '"warp_instr_per_sec"'; do
+    if ! grep -q "$key" "$sim"; then
+      echo "FAIL BENCH_gpusim.json: missing key $key"
+      fail=1
+    fi
+  done
+  check_simcheck_brand "$sim" BENCH_gpusim.json
+  if command -v python3 >/dev/null 2>&1; then
+    if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$sim"; then
+      echo "FAIL BENCH_gpusim.json: not valid JSON"
       fail=1
     fi
   fi

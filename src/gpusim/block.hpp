@@ -20,6 +20,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/error.hpp"
@@ -53,26 +55,43 @@ class BlockCtx {
   unsigned warps_per_block() const { return block_dim_ / kWarpSize; }
   std::uint64_t grid_dim() const { return grid_dim_; }
 
-  /// Allocate n elements of block-shared storage (zero-initialized, like
-  /// static __shared__).  Throws if the block exceeds the device limit.
+  /// Allocate n elements of block-shared storage.  Throws if the block
+  /// exceeds the device limit — the budget check is overflow-safe and active
+  /// in every build.  Like real __shared__ memory, the storage starts
+  /// *uninitialized*; only under simcheck is it zero-filled (deterministic
+  /// shadow state) and registered with the arena tracker so initcheck can
+  /// flag reads of never-written slots.
   template <typename T>
   T* shared_alloc(std::size_t n) {
-    const std::size_t bytes = n * sizeof(T);
-    PD_CHECK_MSG(shared_used_ + bytes <= shared_limit_,
+    PD_CHECK_MSG(shared_used_ <= shared_limit_ &&
+                     n <= (shared_limit_ - shared_used_) / sizeof(T),
                  "shared_alloc: exceeds the per-block shared memory limit");
-    arenas_.emplace_back(bytes, std::byte{0});
+    const std::size_t bytes = n * sizeof(T);
+    arenas_.push_back(std::make_unique_for_overwrite<std::byte[]>(bytes));
+    std::byte* base = arenas_.back().get();
     shared_used_ += bytes;
-    return reinterpret_cast<T*>(arenas_.back().data());
+    if (CheckContext* chk = route_.check()) {
+      std::memset(base, 0, bytes);
+      chk->shared_arena(block_idx_, base, bytes);
+    }
+    return reinterpret_cast<T*>(base);
   }
 
   /// Run `fn(WarpCtx&)` for every warp of this block.  Consecutive calls are
   /// separated by an implicit __syncthreads().
   template <typename Fn>
   void for_each_warp(Fn&& fn) {
+    CheckContext* chk = route_.check();
+    if (chk != nullptr) {
+      chk->phase_begin(block_idx_, warps_per_block());
+    }
     for (unsigned w = 0; w < warps_per_block(); ++w) {
       WarpCtx ctx(route_, *compute_, block_idx_, w, block_dim_, grid_dim_);
       ctx.attach_shared(shared_counters_);
       fn(ctx);
+    }
+    if (chk != nullptr) {
+      chk->phase_end(block_idx_);
     }
   }
 
@@ -85,7 +104,7 @@ class BlockCtx {
   std::uint64_t grid_dim_;
   std::size_t shared_limit_;
   std::size_t shared_used_ = 0;
-  std::vector<std::vector<std::byte>> arenas_;
+  std::vector<std::unique_ptr<std::byte[]>> arenas_;
 };
 
 }  // namespace pd::gpusim

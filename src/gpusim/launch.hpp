@@ -43,6 +43,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/memory.hpp"
 #include "gpusim/pool.hpp"
+#include "gpusim/simcheck.hpp"
 #include "gpusim/trace.hpp"
 #include "gpusim/warp.hpp"
 
@@ -120,6 +121,29 @@ class Gpu {
   /// Route the serial engine through the seed (reference) coalescer and cache
   /// scan — the differential-testing oracle and bench baseline.
   void set_reference_memory_path(bool on) { mem_.set_reference_path(on); }
+
+  /// Enable the simcheck analyzer for subsequent launches (memcheck /
+  /// racecheck / synccheck / initcheck / determinism-lint, narrowable via
+  /// `cfg`).  Checked launches execute phase 1 serially — the shadow state
+  /// is not thread-safe and serial order keeps findings deterministic —
+  /// but every counter and kernel result stays bitwise identical.
+  void enable_check(const CheckConfig& cfg = CheckConfig::all()) {
+    check_ = std::make_unique<CheckContext>(cfg);
+  }
+  void disable_check() { check_.reset(); }
+
+  /// The active analyzer, or nullptr when checking is disabled.  Kernel
+  /// launchers use this to register their buffer tables.
+  CheckContext* check() { return check_.get(); }
+  bool check_enabled() const { return check_ != nullptr; }
+
+  /// Findings accumulated across every checked launch since enable_check /
+  /// the last clear.  Requires checking to be enabled.
+  const CheckReport& check_report() const {
+    PD_CHECK_MSG(check_ != nullptr,
+                 "check_report: simcheck is not enabled on this Gpu");
+    return check_->report();
+  }
 
   /// Execute `warp_fn(WarpCtx&)` for every warp of the grid.  Blocks run in
   /// ascending order when schedule_seed == 0, otherwise in a seeded random
@@ -201,6 +225,13 @@ class Gpu {
     return *pool_;
   }
 
+  /// Attach the active analyzer (if any) to a route before handing it to a
+  /// block — the one place the check pointer enters the execution path.
+  MemRoute routed(MemRoute route) {
+    route.set_check(check_.get());
+    return route;
+  }
+
   /// Mode dispatch shared by run() and run_blocks().  `run_block` executes
   /// one block's warps against a MemRoute, accumulating into the given
   /// ComputeCounters.
@@ -214,6 +245,10 @@ class Gpu {
     const std::vector<std::uint64_t> order =
         block_order(cfg.num_blocks, schedule_seed);
 
+    if (check_) {
+      check_->begin_launch(cfg.num_blocks, cfg.warps_per_block());
+    }
+
     switch (opts_.mode) {
       case TraceMode::kSerial: {
         if (cold_cache) {
@@ -222,16 +257,20 @@ class Gpu {
         mem_.begin_kernel();
         ComputeCounters compute;
         for (const std::uint64_t block : order) {
-          run_block(MemRoute::direct(mem_), compute, block);
+          run_block(routed(MemRoute::direct(mem_)), compute, block);
         }
         stats.traffic = mem_.end_kernel();
         stats.compute = compute;
-        return stats;
+        break;
       }
 
       case TraceMode::kFunctionalOnly: {
         std::vector<ComputeCounters> compute(cfg.num_blocks);
-        const unsigned contexts = phase1_contexts();
+        // Checked launches run serially: the shadow state is not
+        // thread-safe, and serial schedule order keeps findings (and FP
+        // atomic application) deterministic.  Counters are mode- and
+        // parallelism-invariant, so nothing observable changes.
+        const unsigned contexts = check_ ? 1 : phase1_contexts();
         if (contexts > 1 && cfg.num_blocks > 1) {
           MemRoute route = MemRoute::functional();
           route.set_concurrent(true);
@@ -244,20 +283,20 @@ class Gpu {
           // Serial functional execution follows the schedule order so FP
           // atomics apply exactly as in the serial engine.
           for (const std::uint64_t block : order) {
-            run_block(MemRoute::functional(), compute[block], block);
+            run_block(routed(MemRoute::functional()), compute[block], block);
           }
         }
         for (const ComputeCounters& c : compute) {
           stats.compute += c;
         }
-        return stats;
+        break;
       }
 
       case TraceMode::kTraceReplay: {
         // Phase 1: functional execution, recording per-block sector traces.
         std::vector<BlockTrace> traces(cfg.num_blocks);
         std::vector<ComputeCounters> compute(cfg.num_blocks);
-        const unsigned contexts = phase1_contexts();
+        const unsigned contexts = check_ ? 1 : phase1_contexts();
         if (contexts > 1 && cfg.num_blocks > 1) {
           pool(contexts).parallel_for(
               cfg.num_blocks, [&](std::size_t block) {
@@ -268,7 +307,8 @@ class Gpu {
               });
         } else {
           for (const std::uint64_t block : order) {
-            run_block(MemRoute::record(traces[block]), compute[block], block);
+            run_block(routed(MemRoute::record(traces[block])), compute[block],
+                      block);
           }
         }
         // Phase 2: replay through the cache in schedule order — the same
@@ -284,10 +324,13 @@ class Gpu {
         for (const ComputeCounters& c : compute) {
           stats.compute += c;
         }
-        return stats;
+        break;
       }
     }
-    PD_CHECK_MSG(false, "unreachable engine mode");
+
+    if (check_) {
+      check_->end_launch();
+    }
     return stats;
   }
 
@@ -295,6 +338,7 @@ class Gpu {
   MemoryModel mem_;
   EngineOptions opts_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<CheckContext> check_;
 };
 
 }  // namespace pd::gpusim

@@ -31,6 +31,8 @@
 
 namespace pd::gpusim {
 
+class CheckContext;  // gpusim/simcheck.hpp — optional correctness analyzer
+
 /// Traffic counters in the spirit of Nsight Compute's memory tables.
 struct TrafficCounters {
   std::uint64_t dram_read_bytes = 0;
@@ -224,6 +226,12 @@ class MemRoute {
   bool concurrent() const { return concurrent_; }
   void set_concurrent(bool on) { concurrent_ = on; }
 
+  /// The launch's simcheck context, or nullptr when checking is disabled.
+  /// WarpCtx/BlockCtx hooks are guarded on this pointer, so the disabled
+  /// path costs one null test per instruction and nothing else.
+  CheckContext* check() const { return check_; }
+  void set_check(CheckContext* check) { check_ = check; }
+
   void warp_access(const Lanes<std::uint64_t>& addr, unsigned size,
                    LaneMask mask, bool write);
   void scalar_access(std::uint64_t addr, unsigned size, bool write);
@@ -234,6 +242,7 @@ class MemRoute {
   MemoryModel* mem_ = nullptr;
   BlockTrace* trace_ = nullptr;
   bool concurrent_ = false;
+  CheckContext* check_ = nullptr;
 };
 
 }  // namespace pd::gpusim

@@ -1,0 +1,391 @@
+#include "gpusim/simcheck.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace pd::gpusim {
+
+const char* violation_kind_name(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kGlobalOutOfBounds:
+      return "global-out-of-bounds";
+    case ViolationKind::kSharedOutOfBounds:
+      return "shared-out-of-bounds";
+    case ViolationKind::kSharedRace:
+      return "shared-race";
+    case ViolationKind::kBarrierDivergence:
+      return "barrier-divergence";
+    case ViolationKind::kUninitRead:
+      return "uninitialized-read";
+    case ViolationKind::kNonDeterministicAtomic:
+      return "non-deterministic-atomic";
+  }
+  return "unknown";
+}
+
+std::uint64_t CheckReport::count(ViolationKind kind) const {
+  std::uint64_t n = 0;
+  for (const Violation& v : violations) {
+    if (v.kind == kind) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string CheckReport::summary() const {
+  std::ostringstream os;
+  if (clean()) {
+    os << "simcheck: 0 violations across " << launches_checked
+       << " checked launch(es)\n";
+    return os.str();
+  }
+  os << "simcheck: " << violations.size() << " violation(s)";
+  if (suppressed > 0) {
+    os << " (+" << suppressed << " suppressed)";
+  }
+  os << " across " << launches_checked << " checked launch(es)\n";
+  constexpr ViolationKind kKinds[] = {
+      ViolationKind::kGlobalOutOfBounds,  ViolationKind::kSharedOutOfBounds,
+      ViolationKind::kSharedRace,         ViolationKind::kBarrierDivergence,
+      ViolationKind::kUninitRead,         ViolationKind::kNonDeterministicAtomic,
+  };
+  for (const ViolationKind k : kKinds) {
+    const std::uint64_t n = count(k);
+    if (n > 0) {
+      os << "  " << violation_kind_name(k) << ": " << n << "\n";
+    }
+  }
+  const std::size_t shown = std::min<std::size_t>(violations.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const Violation& v = violations[i];
+    os << "  [" << violation_kind_name(v.kind) << "] block " << v.block
+       << " warp " << v.warp << " lane " << v.lane;
+    if (!v.buffer.empty()) {
+      os << " buffer '" << v.buffer << "'";
+    }
+    os << ": " << v.detail << "\n";
+  }
+  if (violations.size() > shown) {
+    os << "  ... " << (violations.size() - shown) << " more\n";
+  }
+  return os.str();
+}
+
+void CheckContext::clear_tracking() { buffers_.clear(); }
+
+void CheckContext::track_global(const void* ptr, std::size_t bytes,
+                                std::string label, bool initialized) {
+  if (ptr == nullptr || bytes == 0) {
+    return;
+  }
+  TrackedBuffer buf;
+  buf.begin = reinterpret_cast<std::uint64_t>(ptr);
+  buf.end = buf.begin + bytes;
+  buf.label = std::move(label);
+  buf.initialized = initialized;
+  if (!initialized) {
+    buf.written.assign(bytes, false);
+  }
+  const auto pos = std::lower_bound(
+      buffers_.begin(), buffers_.end(), buf.begin,
+      [](const TrackedBuffer& b, std::uint64_t begin) { return b.begin < begin; });
+  buffers_.insert(pos, std::move(buf));
+}
+
+void CheckContext::begin_launch(std::uint64_t num_blocks,
+                                unsigned warps_per_block) {
+  launch_total_warps_ = num_blocks * warps_per_block;
+  fp_atomic_flagged_ = false;
+  ++report_.launches_checked;
+}
+
+void CheckContext::end_launch() {
+  // Arena heap addresses are recycled across launches; the per-block shadow
+  // must not leak into the next launch.  Tracked global buffers and their
+  // written-shadows persist (multi-launch kernels like rowsplit hand results
+  // between launches through them).
+  blocks_.clear();
+}
+
+void CheckContext::record(Violation v) {
+  if (report_.violations.size() >= config_.max_violations) {
+    ++report_.suppressed;
+    return;
+  }
+  report_.violations.push_back(std::move(v));
+}
+
+CheckContext::TrackedBuffer* CheckContext::find_buffer(std::uint64_t address) {
+  // buffers_ is sorted by begin; the candidate is the last begin <= address.
+  auto it = std::upper_bound(
+      buffers_.begin(), buffers_.end(), address,
+      [](std::uint64_t addr, const TrackedBuffer& b) { return addr < b.begin; });
+  if (it == buffers_.begin()) {
+    return nullptr;
+  }
+  --it;
+  return address < it->end ? &*it : nullptr;
+}
+
+void CheckContext::global_access(std::uint64_t address, unsigned size,
+                                 bool write, std::uint64_t block, unsigned warp,
+                                 unsigned lane) {
+  if (buffers_.empty()) {
+    return;  // nothing registered: no information to check against
+  }
+  TrackedBuffer* buf = find_buffer(address);
+  if (buf == nullptr || address + size > buf->end) {
+    if (config_.memcheck) {
+      Violation v;
+      v.kind = ViolationKind::kGlobalOutOfBounds;
+      v.block = block;
+      v.warp = warp;
+      v.lane = lane;
+      v.address = address;
+      if (buf != nullptr) {
+        v.buffer = buf->label;
+        v.detail = std::to_string(size) + "-byte " +
+                   (write ? std::string("write") : std::string("read")) +
+                   " straddles the end of the buffer";
+      } else {
+        v.detail = std::to_string(size) + "-byte " +
+                   (write ? std::string("write") : std::string("read")) +
+                   " hits no tracked buffer";
+      }
+      record(std::move(v));
+    }
+    return;
+  }
+  if (buf->initialized) {
+    return;
+  }
+  const std::size_t off = static_cast<std::size_t>(address - buf->begin);
+  if (write) {
+    for (unsigned b = 0; b < size; ++b) {
+      buf->written[off + b] = true;
+    }
+    return;
+  }
+  if (!config_.initcheck) {
+    return;
+  }
+  for (unsigned b = 0; b < size; ++b) {
+    if (!buf->written[off + b]) {
+      Violation v;
+      v.kind = ViolationKind::kUninitRead;
+      v.block = block;
+      v.warp = warp;
+      v.lane = lane;
+      v.address = address;
+      v.buffer = buf->label;
+      v.detail = "read of output memory never written by the launch";
+      record(std::move(v));
+      return;  // one finding per lane access, not per byte
+    }
+  }
+}
+
+CheckContext::SharedArena* CheckContext::find_arena(BlockState& state,
+                                                    std::uint64_t address) {
+  for (SharedArena& arena : state.arenas) {
+    if (address >= arena.begin && address < arena.end) {
+      return &arena;
+    }
+  }
+  return nullptr;
+}
+
+void CheckContext::shared_arena(std::uint64_t block, const void* base,
+                                std::size_t bytes) {
+  if (base == nullptr || bytes == 0) {
+    return;
+  }
+  SharedArena arena;
+  arena.begin = reinterpret_cast<std::uint64_t>(base);
+  arena.end = arena.begin + bytes;
+  arena.bytes.assign(bytes, ByteShadow{});
+  blocks_[block].arenas.push_back(std::move(arena));
+}
+
+void CheckContext::shared_access(std::uint64_t address, unsigned size,
+                                 bool write, std::uint64_t block, unsigned warp,
+                                 unsigned lane) {
+  auto it = blocks_.find(block);
+  SharedArena* arena =
+      it == blocks_.end() ? nullptr : find_arena(it->second, address);
+  if (arena == nullptr || address + size > arena->end) {
+    if (config_.memcheck) {
+      Violation v;
+      v.kind = ViolationKind::kSharedOutOfBounds;
+      v.block = block;
+      v.warp = warp;
+      v.lane = lane;
+      v.address = address;
+      v.detail = std::to_string(size) + "-byte shared " +
+                 (write ? std::string("write") : std::string("read")) +
+                 " outside every arena of this block";
+      record(std::move(v));
+    }
+    return;
+  }
+  BlockState& state = it->second;
+  const std::uint32_t phase = state.phase;
+  const std::uint32_t seg =
+      warp < state.sync_counts.size() ? state.sync_counts[warp] : 0;
+  const std::size_t off = static_cast<std::size_t>(address - arena->begin);
+  bool race_reported = false;
+  bool uninit_reported = false;
+  for (unsigned b = 0; b < size; ++b) {
+    ByteShadow& s = arena->bytes[off + b];
+    if (s.phase != phase || s.seg != seg) {
+      // A barrier separates the previous record from this access: ordered.
+      s.phase = phase;
+      s.seg = seg;
+      s.writer = kNoWarp;
+      s.reader = kNoWarp;
+      s.multi_reader = false;
+    }
+    const auto w = static_cast<std::int32_t>(warp);
+    if (write) {
+      if (config_.racecheck && !race_reported) {
+        const bool ww = s.writer != kNoWarp && s.writer != w;
+        const bool rw = s.reader != kNoWarp && (s.reader != w || s.multi_reader);
+        if (ww || rw) {
+          Violation v;
+          v.kind = ViolationKind::kSharedRace;
+          v.block = block;
+          v.warp = warp;
+          v.lane = lane;
+          v.address = address;
+          v.detail = ww ? "write/write hazard with warp " +
+                              std::to_string(s.writer) +
+                              " in the same barrier epoch"
+                        : "write after a read by another warp in the same "
+                          "barrier epoch";
+          record(std::move(v));
+          race_reported = true;
+        }
+      }
+      s.writer = w;
+      s.written_ever = true;
+    } else {
+      if (config_.racecheck && !race_reported && s.writer != kNoWarp &&
+          s.writer != w) {
+        Violation v;
+        v.kind = ViolationKind::kSharedRace;
+        v.block = block;
+        v.warp = warp;
+        v.lane = lane;
+        v.address = address;
+        v.detail = "read/write hazard with warp " + std::to_string(s.writer) +
+                   " in the same barrier epoch";
+        record(std::move(v));
+        race_reported = true;
+      }
+      if (config_.initcheck && !uninit_reported && !s.written_ever) {
+        Violation v;
+        v.kind = ViolationKind::kUninitRead;
+        v.block = block;
+        v.warp = warp;
+        v.lane = lane;
+        v.address = address;
+        v.detail = "read of shared memory never written by this block";
+        record(std::move(v));
+        uninit_reported = true;
+      }
+      if (s.reader == kNoWarp) {
+        s.reader = w;
+      } else if (s.reader != w) {
+        s.multi_reader = true;
+      }
+    }
+  }
+}
+
+void CheckContext::fp_atomic(std::uint64_t address, std::uint64_t block,
+                             unsigned warp) {
+  if (!config_.determinism_lint || fp_atomic_flagged_) {
+    return;
+  }
+  if (launch_total_warps_ <= 1) {
+    return;  // a single warp applies its lanes in a fixed order
+  }
+  fp_atomic_flagged_ = true;
+  Violation v;
+  v.kind = ViolationKind::kNonDeterministicAtomic;
+  v.block = block;
+  v.warp = warp;
+  v.address = address;
+  TrackedBuffer* buf = find_buffer(address);
+  if (buf != nullptr) {
+    v.buffer = buf->label;
+  }
+  v.detail =
+      "floating-point atomicAdd across " +
+      std::to_string(launch_total_warps_) +
+      " warps: accumulation order depends on the block schedule (breaks the "
+      "paper's bitwise run-to-run reproducibility contract)";
+  record(std::move(v));
+}
+
+void CheckContext::sync_mark(std::uint64_t block, unsigned warp,
+                             LaneMask mask) {
+  BlockState& state = blocks_[block];
+  if (config_.synccheck && mask != kFullMask) {
+    Violation v;
+    v.kind = ViolationKind::kBarrierDivergence;
+    v.block = block;
+    v.warp = warp;
+    v.detail = "sync() reached with a partial lane mask (" +
+               std::to_string(popcount_mask(mask)) + "/32 lanes active)";
+    record(std::move(v));
+  }
+  if (warp < state.sync_counts.size()) {
+    ++state.sync_counts[warp];
+  }
+}
+
+void CheckContext::phase_begin(std::uint64_t block, unsigned warps) {
+  BlockState& state = blocks_[block];
+  state.phase_open = true;
+  state.sync_counts.assign(warps, 0);
+}
+
+void CheckContext::phase_end(std::uint64_t block) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end() || !it->second.phase_open) {
+    return;
+  }
+  BlockState& state = it->second;
+  if (config_.synccheck && !state.sync_counts.empty()) {
+    const std::uint32_t expected = state.sync_counts.front();
+    for (std::size_t w = 1; w < state.sync_counts.size(); ++w) {
+      if (state.sync_counts[w] != expected) {
+        Violation v;
+        v.kind = ViolationKind::kBarrierDivergence;
+        v.block = block;
+        v.warp = static_cast<unsigned>(w);
+        v.detail = "warp reached " + std::to_string(state.sync_counts[w]) +
+                   " barrier(s) this phase while warp 0 reached " +
+                   std::to_string(expected);
+        record(std::move(v));
+      }
+    }
+  }
+  state.phase_open = false;
+  state.sync_counts.clear();
+  ++state.phase;  // the implicit barrier between phases opens a new epoch
+}
+
+bool simcheck_env_enabled() {
+  const char* v = std::getenv("PROTONDOSE_SIMCHECK");
+  if (v == nullptr) {
+    return false;
+  }
+  const std::string s(v);
+  return s == "1" || s == "true" || s == "on" || s == "yes";
+}
+
+}  // namespace pd::gpusim

@@ -24,6 +24,7 @@
 
 #include "gpusim/lanes.hpp"
 #include "gpusim/memory.hpp"
+#include "gpusim/simcheck.hpp"
 
 namespace pd::gpusim {
 
@@ -102,6 +103,10 @@ class WarpCtx {
   /// row_ptr bounds in Listing 1).
   template <typename T>
   T load_uniform(const T* p) {
+    if (CheckContext* chk = route_.check()) {
+      chk->global_access(reinterpret_cast<std::uint64_t>(p), sizeof(T),
+                         /*write=*/false, block_idx_, warp_in_block_, 0);
+    }
     route_.scalar_access(reinterpret_cast<std::uint64_t>(p), sizeof(T),
                          /*write=*/false);
     note_instr(1);
@@ -112,6 +117,9 @@ class WarpCtx {
   /// the coalesced access pattern the vector-CSR kernel is built around.
   template <typename T>
   Lanes<T> load_contiguous(const T* base, std::uint64_t start, LaneMask mask) {
+    if (CheckContext* chk = route_.check()) {
+      check_contiguous(chk, base + start, sizeof(T), mask, /*write=*/false);
+    }
     Lanes<T> out{};
     if (route_.functional_only()) {
       for (unsigned i = 0; i < kWarpSize; ++i) {
@@ -137,6 +145,9 @@ class WarpCtx {
   /// Indexed gather: lane i reads base[idx[i]] (the input-vector access).
   template <typename T, typename I>
   Lanes<T> gather(const T* base, const Lanes<I>& idx, LaneMask mask) {
+    if (CheckContext* chk = route_.check()) {
+      check_indexed(chk, base, idx, mask, /*write=*/false);
+    }
     Lanes<T> out{};
     if (route_.functional_only()) {
       for (unsigned i = 0; i < kWarpSize; ++i) {
@@ -162,6 +173,10 @@ class WarpCtx {
   /// Single-lane store (lane 0 writes the per-row result).
   template <typename T>
   void store_uniform(T* p, T value) {
+    if (CheckContext* chk = route_.check()) {
+      chk->global_access(reinterpret_cast<std::uint64_t>(p), sizeof(T),
+                         /*write=*/true, block_idx_, warp_in_block_, 0);
+    }
     *p = value;
     route_.scalar_access(reinterpret_cast<std::uint64_t>(p), sizeof(T),
                          /*write=*/true);
@@ -172,6 +187,9 @@ class WarpCtx {
   template <typename T>
   void store_contiguous(T* base, std::uint64_t start, const Lanes<T>& val,
                         LaneMask mask) {
+    if (CheckContext* chk = route_.check()) {
+      check_contiguous(chk, base + start, sizeof(T), mask, /*write=*/true);
+    }
     if (route_.functional_only()) {
       for (unsigned i = 0; i < kWarpSize; ++i) {
         if (lane_active(mask, i)) {
@@ -197,6 +215,9 @@ class WarpCtx {
   /// real hardware too).
   template <typename T, typename I>
   void scatter(T* base, const Lanes<I>& idx, const Lanes<T>& val, LaneMask mask) {
+    if (CheckContext* chk = route_.check()) {
+      check_indexed(chk, base, idx, mask, /*write=*/true);
+    }
     if (route_.functional_only()) {
       for (unsigned i = 0; i < kWarpSize; ++i) {
         if (lane_active(mask, i)) {
@@ -226,6 +247,18 @@ class WarpCtx {
   template <typename T, typename I>
   void atomic_add_scatter(T* base, const Lanes<I>& idx, const Lanes<T>& val,
                           LaneMask mask) {
+    if (CheckContext* chk = route_.check()) {
+      check_indexed(chk, base, idx, mask, /*write=*/true);
+      if constexpr (std::is_floating_point_v<T>) {
+        for (unsigned i = 0; i < kWarpSize; ++i) {
+          if (lane_active(mask, i)) {
+            chk->fp_atomic(reinterpret_cast<std::uint64_t>(base + idx[i]),
+                           block_idx_, warp_in_block_);
+            break;  // one mark per instruction; the lint dedups per launch
+          }
+        }
+      }
+    }
     if constexpr (std::is_arithmetic_v<T>) {
       if (route_.concurrent()) {
         for (unsigned i = 0; i < kWarpSize; ++i) {
@@ -262,6 +295,9 @@ class WarpCtx {
   Lanes<T> shared_gather(const T* base, const Lanes<I>& idx, LaneMask mask) {
     PD_CHECK_MSG(shared_ != nullptr,
                  "shared access outside a block-scope kernel");
+    if (CheckContext* chk = route_.check()) {
+      check_shared(chk, base, idx, mask, /*write=*/false);
+    }
     Lanes<T> out{};
     count_bank_conflicts(base, idx, mask);
     for (unsigned i = 0; i < kWarpSize; ++i) {
@@ -279,6 +315,9 @@ class WarpCtx {
                       LaneMask mask) {
     PD_CHECK_MSG(shared_ != nullptr,
                  "shared access outside a block-scope kernel");
+    if (CheckContext* chk = route_.check()) {
+      check_shared(chk, base, idx, mask, /*write=*/true);
+    }
     count_bank_conflicts(base, idx, mask);
     for (unsigned i = 0; i < kWarpSize; ++i) {
       if (lane_active(mask, i)) {
@@ -286,6 +325,16 @@ class WarpCtx {
       }
     }
     note_instr(popcount_mask(mask));
+  }
+
+  /// Barrier-participation mark for __syncthreads().  Free when checking is
+  /// disabled (the simulator's for_each_warp phases already provide the
+  /// execution barrier); under synccheck a partial `mask` is divergent by
+  /// definition, and per-warp sync counts must match within each phase.
+  void sync(LaneMask mask = kFullMask) {
+    if (CheckContext* chk = route_.check()) {
+      chk->sync_mark(block_idx_, warp_in_block_, mask);
+    }
   }
 
   // --- Arithmetic accounting ---------------------------------------------
@@ -325,6 +374,40 @@ class WarpCtx {
   }
 
  private:
+  // --- simcheck hook helpers: per-lane address reporting ------------------
+  template <typename T>
+  void check_contiguous(CheckContext* chk, const T* first, unsigned size,
+                        LaneMask mask, bool write) {
+    for (unsigned i = 0; i < kWarpSize; ++i) {
+      if (lane_active(mask, i)) {
+        chk->global_access(reinterpret_cast<std::uint64_t>(first + i), size,
+                           write, block_idx_, warp_in_block_, i);
+      }
+    }
+  }
+
+  template <typename T, typename I>
+  void check_indexed(CheckContext* chk, const T* base, const Lanes<I>& idx,
+                     LaneMask mask, bool write) {
+    for (unsigned i = 0; i < kWarpSize; ++i) {
+      if (lane_active(mask, i)) {
+        chk->global_access(reinterpret_cast<std::uint64_t>(base + idx[i]),
+                           sizeof(T), write, block_idx_, warp_in_block_, i);
+      }
+    }
+  }
+
+  template <typename T, typename I>
+  void check_shared(CheckContext* chk, const T* base, const Lanes<I>& idx,
+                    LaneMask mask, bool write) {
+    for (unsigned i = 0; i < kWarpSize; ++i) {
+      if (lane_active(mask, i)) {
+        chk->shared_access(reinterpret_cast<std::uint64_t>(base + idx[i]),
+                           sizeof(T), write, block_idx_, warp_in_block_, i);
+      }
+    }
+  }
+
   template <typename T, typename I>
   void count_bank_conflicts(const T* base, const Lanes<I>& idx, LaneMask mask) {
     ++shared_->accesses;

@@ -89,6 +89,11 @@ SpmvRun run_adaptive_csr(gpusim::Gpu& gpu,
   const LaunchConfig cfg = LaunchConfig::warp_per_item(
       num_items, threads_per_block, kAdaptiveRegs);
 
+  register_spmv_buffers(gpu, A, x, y);
+  if (gpusim::CheckContext* chk = gpu.check()) {
+    chk->track_global(items, num_items * sizeof(AdaptiveWorkItem),
+                      "adaptive.worklist", /*initialized=*/true);
+  }
   SpmvRun run;
   run.config = cfg;
   run.precision = sizeof(Acc) == 8 ? FlopPrecision::kFp64 : FlopPrecision::kFp32;

@@ -48,6 +48,22 @@ inline SpmvRun run_baseline_gpu(gpusim::Gpu& gpu, const rsformat::RsMatrix& D,
   const LaunchConfig cfg = LaunchConfig::warp_per_item(
       num_cols, threads_per_block, kBaselineRegs);
 
+  if (gpusim::CheckContext* chk = gpu.check()) {
+    chk->clear_tracking();
+    chk->track_global(col_ptr, D.col_ptr().size() * sizeof(std::uint64_t),
+                      "rs.col_ptr", /*initialized=*/true);
+    chk->track_global(first_row, D.col_first_row().size() * sizeof(std::uint32_t),
+                      "rs.first_row", /*initialized=*/true);
+    chk->track_global(scales, D.col_scale().size() * sizeof(float), "rs.scale",
+                      /*initialized=*/true);
+    chk->track_global(deltas, D.deltas().size() * sizeof(std::uint16_t),
+                      "rs.deltas", /*initialized=*/true);
+    chk->track_global(qvalues, D.qvalues().size() * sizeof(std::uint16_t),
+                      "rs.qvalues", /*initialized=*/true);
+    chk->track_global(xp, x.size_bytes(), "x", /*initialized=*/true);
+    // The host zero-fills y above; the kernel only accumulates into it.
+    chk->track_global(yp, y.size_bytes(), "y", /*initialized=*/true);
+  }
   SpmvRun run;
   run.config = cfg;
   run.precision = FlopPrecision::kFp64;

@@ -63,6 +63,7 @@ SpmvRun run_classical_csr(gpusim::Gpu& gpu,
   const LaunchConfig cfg = LaunchConfig::warp_per_item(
       warps_needed, threads_per_block, kClassicalRegs);
 
+  register_spmv_buffers(gpu, A, x, y);
   SpmvRun run;
   run.config = cfg;
   run.precision = sizeof(Acc) == 8 ? FlopPrecision::kFp64 : FlopPrecision::kFp32;

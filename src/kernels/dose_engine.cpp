@@ -43,6 +43,9 @@ DoseEngine::DoseEngine(sparse::CsrF64 matrix, gpusim::DeviceSpec device,
       break;
   }
   gpu_ = std::make_unique<gpusim::Gpu>(std::move(device));
+  if (gpusim::simcheck_env_enabled()) {
+    gpu_->enable_check();
+  }
 }
 
 DoseEngine::~DoseEngine() = default;
@@ -53,6 +56,18 @@ void DoseEngine::set_engine_options(const gpusim::EngineOptions& opts) {
 
 const gpusim::EngineOptions& DoseEngine::engine_options() const {
   return gpu_->engine();
+}
+
+void DoseEngine::enable_check(const gpusim::CheckConfig& cfg) {
+  gpu_->enable_check(cfg);
+}
+
+void DoseEngine::disable_check() { gpu_->disable_check(); }
+
+bool DoseEngine::check_enabled() const { return gpu_->check_enabled(); }
+
+const gpusim::CheckReport& DoseEngine::check_report() const {
+  return gpu_->check_report();
 }
 
 template <typename MatV, typename Acc>

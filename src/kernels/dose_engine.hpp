@@ -101,6 +101,17 @@ class DoseEngine {
   void set_engine_options(const gpusim::EngineOptions& opts);
   const gpusim::EngineOptions& engine_options() const;
 
+  /// Run subsequent gpusim computes under the simcheck analyzer
+  /// (docs/simcheck.md).  Dose bits and counters are unchanged; findings
+  /// accumulate in check_report().  Also enabled automatically when the
+  /// PROTONDOSE_SIMCHECK environment variable is set at construction.
+  /// Checking never applies to the native backend (no simulation there).
+  void enable_check(
+      const gpusim::CheckConfig& cfg = gpusim::CheckConfig::all());
+  void disable_check();
+  bool check_enabled() const;
+  const gpusim::CheckReport& check_report() const;
+
   /// Counters and launch geometry of the most recent gpusim compute().
   /// Native computes record no counters, so this throws until a gpusim
   /// launch has run.

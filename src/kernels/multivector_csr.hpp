@@ -57,6 +57,15 @@ SpmvRun run_vector_csr_multi(gpusim::Gpu& gpu,
   const LaunchConfig cfg =
       LaunchConfig::warp_per_item(num_rows, threads_per_block, regs);
 
+  register_spmv_buffers(gpu, A, xs[0], ys[0]);
+  if (gpusim::CheckContext* chk = gpu.check()) {
+    for (std::size_t j = 1; j < batch; ++j) {
+      chk->track_global(xs[j].data(), xs[j].size_bytes(), "x[batch]",
+                        /*initialized=*/true);
+      chk->track_global(ys[j].data(), ys[j].size_bytes(), "y[batch]",
+                        /*initialized=*/false);
+    }
+  }
   SpmvRun run;
   run.config = cfg;
   run.precision = sizeof(Acc) == 8 ? FlopPrecision::kFp64 : FlopPrecision::kFp32;

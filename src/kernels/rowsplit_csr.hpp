@@ -94,6 +94,21 @@ SpmvRun run_rowsplit_csr(gpusim::Gpu& gpu, const sparse::CsrMatrix<MatV, IdxT>& 
   // Phase 1: one warp per chunk; partial sums go to fixed slots.
   const LaunchConfig cfg1 = LaunchConfig::warp_per_item(
       num_items, threads_per_block, kVectorCsrRegs);
+  register_spmv_buffers(gpu, A, x, y);
+  if (gpusim::CheckContext* chk = gpu.check()) {
+    // Registered once for both phases (tracked buffers persist across
+    // launches): phase 1 fills the partial slots, phase 2's reads then pass
+    // initcheck against the same written-shadow.
+    chk->track_global(items, num_items * sizeof(RowSplitPlan::WorkItem),
+                      "rowsplit.items", /*initialized=*/true);
+    chk->track_global(partials.data(), partials.size() * sizeof(Acc),
+                      "rowsplit.partials", /*initialized=*/false);
+    if (!plan.split_rows.empty()) {
+      chk->track_global(plan.split_rows.data(),
+                        plan.split_rows.size() * sizeof(RowSplitPlan::SplitRow),
+                        "rowsplit.splits", /*initialized=*/true);
+    }
+  }
   SpmvRun run;
   run.config = cfg1;
   run.precision = sizeof(Acc) == 8 ? FlopPrecision::kFp64 : FlopPrecision::kFp32;

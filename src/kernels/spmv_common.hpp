@@ -4,13 +4,40 @@
 // result bundle every kernel launcher returns.
 
 #include <cstdint>
+#include <span>
 
 #include "fp16/bfloat16.hpp"
 #include "fp16/half.hpp"
 #include "gpusim/launch.hpp"
 #include "gpusim/perf.hpp"
+#include "sparse/csr.hpp"
 
 namespace pd::kernels {
+
+/// Register the standard SpMV buffer set (CSR arrays + input + output) with
+/// the Gpu's simcheck analyzer, when one is enabled.  Inputs are registered
+/// as initialized; `y` is an output whose bytes start unwritten (initcheck).
+/// Launchers call this right before gpu.run; with checking disabled it is a
+/// single branch.  Extra launch-specific buffers (worklists, partials) are
+/// added by the caller via gpu.check()->track_global.
+template <typename MatV, typename IdxT, typename Acc>
+inline void register_spmv_buffers(gpusim::Gpu& gpu,
+                                  const sparse::CsrMatrix<MatV, IdxT>& A,
+                                  std::span<const Acc> x, std::span<Acc> y) {
+  gpusim::CheckContext* chk = gpu.check();
+  if (chk == nullptr) {
+    return;
+  }
+  chk->clear_tracking();
+  chk->track_global(A.row_ptr.data(), A.row_ptr.size() * sizeof(std::uint32_t),
+                    "row_ptr", /*initialized=*/true);
+  chk->track_global(A.col_idx.data(), A.col_idx.size() * sizeof(IdxT),
+                    "col_idx", /*initialized=*/true);
+  chk->track_global(A.values.data(), A.values.size() * sizeof(MatV), "values",
+                    /*initialized=*/true);
+  chk->track_global(x.data(), x.size_bytes(), "x", /*initialized=*/true);
+  chk->track_global(y.data(), y.size_bytes(), "y", /*initialized=*/false);
+}
 
 /// Convert a stored matrix value to the accumulation type.  Half widens
 /// exactly (binary16 ⊂ binary32/64); float/double follow usual conversions.

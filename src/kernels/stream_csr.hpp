@@ -92,6 +92,11 @@ SpmvRun run_stream_csr(gpusim::Gpu& gpu, const sparse::CsrMatrix<MatV, IdxT>& A,
   cfg.num_blocks = plan.items.size();
   cfg.regs_per_thread = kAdaptiveRegs;
 
+  register_spmv_buffers(gpu, A, x, y);
+  if (gpusim::CheckContext* chk = gpu.check()) {
+    chk->track_global(items, plan.items.size() * sizeof(StreamPlan::BlockItem),
+                      "stream.items", /*initialized=*/true);
+  }
   SpmvRun run;
   run.config = cfg;
   run.precision = sizeof(Acc) == 8 ? FlopPrecision::kFp64 : FlopPrecision::kFp32;

@@ -48,6 +48,7 @@ SpmvRun run_vector_csr(gpusim::Gpu& gpu, const sparse::CsrMatrix<MatV, IdxT>& A,
   const LaunchConfig cfg = LaunchConfig::warp_per_item(
       num_rows, threads_per_block, kVectorCsrRegs);
 
+  register_spmv_buffers(gpu, A, x, y);
   SpmvRun run;
   run.config = cfg;
   run.precision = sizeof(Acc) == 8 ? FlopPrecision::kFp64 : FlopPrecision::kFp32;

@@ -178,6 +178,30 @@ RsMatrix RsMatrix::read_binary(std::istream& is) {
   PD_CHECK_MSG(!m.col_ptr_.empty() && m.col_ptr_.front() == 0 &&
                    m.col_ptr_.back() == m.deltas_.size(),
                "rsformat read: col_ptr inconsistent with streams");
+  // Decoded-content lint: walk every column's delta stream exactly the way
+  // the kernels decode it and verify each decoded row index stays inside
+  // the matrix, col_ptr is monotone, and the entry count matches the nnz
+  // header.  The GPU baseline scatters to these decoded rows without
+  // per-access bounds checks, so a corrupt stream must die here.
+  std::uint64_t decoded_entries = 0;
+  for (std::uint64_t c = 0; c < m.num_cols_; ++c) {
+    PD_CHECK_MSG(m.col_ptr_[c] <= m.col_ptr_[c + 1],
+                 "rsformat read: col_ptr not monotone");
+    std::uint64_t row = m.col_first_row_[c];
+    for (std::uint64_t k = m.col_ptr_[c]; k < m.col_ptr_[c + 1]; ++k) {
+      if (m.deltas_[k] == kEscape) {
+        row += kEscapeAdvance;
+        continue;
+      }
+      row += m.deltas_[k];
+      PD_CHECK_MSG(row < m.num_rows_,
+                   "rsformat read: decoded row index exceeds num_rows "
+                   "(corrupt delta stream)");
+      ++decoded_entries;
+    }
+  }
+  PD_CHECK_MSG(decoded_entries == m.nnz_,
+               "rsformat read: decoded entry count disagrees with nnz header");
   return m;
 }
 

@@ -55,6 +55,22 @@ struct CsrMatrix {
                    "CSR: column index out of range");
     }
   }
+
+  /// Strict loader-tier validation: everything validate() checks, plus each
+  /// row's column indices must be strictly ascending (sorted, no duplicate
+  /// columns) — the canonical form coo_to_csr emits and every kernel assumes
+  /// for its coalescing and reproducibility arguments.  File loaders call
+  /// this so malformed input dies with a clear error instead of silently
+  /// producing wrong dose.
+  void validate_canonical() const {
+    validate();
+    for (std::size_t r = 0; r + 1 < row_ptr.size(); ++r) {
+      for (std::uint32_t k = row_ptr[r] + 1; k < row_ptr[r + 1]; ++k) {
+        PD_CHECK_MSG(col_idx[k - 1] < col_idx[k],
+                     "CSR: unsorted or duplicate column indices within a row");
+      }
+    }
+  }
 };
 
 /// Common instantiations.

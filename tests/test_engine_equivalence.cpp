@@ -312,6 +312,83 @@ TEST(EngineEquivalence, SellCsKernel) {
       /*deterministic_values=*/true);
 }
 
+// --- simcheck must be a pure observer ----------------------------------------
+
+/// Enabling the simcheck analyzer may not perturb anything observable: dose
+/// bits, traffic counters, shared counters — in any TraceMode.  Same output
+/// buffer for both runs so the cache sees identical absolute addresses.
+TEST(EngineEquivalence, SimcheckDoesNotPerturbVectorCsr) {
+  const Problem p = make_problem(sparse::RandomStructure::kSkewed, 2111);
+  const auto mh = sparse::convert_values<pd::Half>(p.matrix);
+  std::vector<double> ybuf(p.matrix.num_rows);
+  const EngineOptions kModes[] = {
+      {TraceMode::kSerial, 0},
+      {TraceMode::kTraceReplay, 4},
+      {TraceMode::kFunctionalOnly, 4},
+  };
+  for (const EngineOptions& opts : kModes) {
+    SCOPED_TRACE(testing::Message() << "mode=" << to_string(opts.mode));
+    Gpu plain(gpusim::make_a100());
+    plain.set_engine(opts);
+    std::fill(ybuf.begin(), ybuf.end(), 0.0);
+    const KernelStats unchecked =
+        run_vector_csr<pd::Half, double>(plain, mh, p.x,
+                                         std::span<double>(ybuf), 512, 42)
+            .stats;
+    const std::vector<double> y_unchecked = ybuf;
+
+    Gpu checked_gpu(gpusim::make_a100());
+    checked_gpu.set_engine(opts);
+    checked_gpu.enable_check();
+    std::fill(ybuf.begin(), ybuf.end(), 0.0);
+    const KernelStats checked =
+        run_vector_csr<pd::Half, double>(checked_gpu, mh, p.x,
+                                         std::span<double>(ybuf), 512, 42)
+            .stats;
+    expect_stats_bitwise_equal(unchecked, checked);
+    EXPECT_EQ(ybuf, y_unchecked);
+    EXPECT_TRUE(checked_gpu.check_report().clean())
+        << checked_gpu.check_report().summary();
+  }
+}
+
+TEST(EngineEquivalence, SimcheckDoesNotPerturbStreamCsr) {
+  // run_blocks path: shared memory, bank conflicts, barrier phases.
+  const Problem p = make_problem(sparse::RandomStructure::kUniform, 2112, 400,
+                                 100, 16.0);
+  const auto plan = build_stream_plan(p.matrix, 2048);
+  std::vector<double> ybuf(p.matrix.num_rows);
+  const EngineOptions kModes[] = {
+      {TraceMode::kSerial, 0},
+      {TraceMode::kTraceReplay, 4},
+      {TraceMode::kFunctionalOnly, 4},
+  };
+  for (const EngineOptions& opts : kModes) {
+    SCOPED_TRACE(testing::Message() << "mode=" << to_string(opts.mode));
+    Gpu plain(gpusim::make_a100());
+    plain.set_engine(opts);
+    std::fill(ybuf.begin(), ybuf.end(), 0.0);
+    const KernelStats unchecked =
+        run_stream_csr<double, double>(plain, p.matrix, plan, p.x,
+                                       std::span<double>(ybuf), 512, 7)
+            .stats;
+    const std::vector<double> y_unchecked = ybuf;
+
+    Gpu checked_gpu(gpusim::make_a100());
+    checked_gpu.set_engine(opts);
+    checked_gpu.enable_check();
+    std::fill(ybuf.begin(), ybuf.end(), 0.0);
+    const KernelStats checked =
+        run_stream_csr<double, double>(checked_gpu, p.matrix, plan, p.x,
+                                       std::span<double>(ybuf), 512, 7)
+            .stats;
+    expect_stats_bitwise_equal(unchecked, checked);
+    EXPECT_EQ(ybuf, y_unchecked);
+    EXPECT_TRUE(checked_gpu.check_report().clean())
+        << checked_gpu.check_report().summary();
+  }
+}
+
 // --- optimized vs reference hot path (differential) --------------------------
 
 TEST(EngineEquivalence, OptimizedHotPathMatchesReferencePath) {

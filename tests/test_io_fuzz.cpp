@@ -96,6 +96,34 @@ TEST(IoFuzz, BitFlippedStructuralBytesAreRejectedOrEquivalent) {
   EXPECT_GT(rejected, 0);  // structural corruption is actually caught
 }
 
+TEST(IoFuzz, NonCanonicalStructureIsRejectedByTheLoader) {
+  // Unsorted or duplicate columns within a row pass the basic structural
+  // validate() but violate the canonical form every kernel assumes; the
+  // strict loader tier (validate_canonical) must reject such files.
+  CsrF64 m;
+  m.num_rows = 2;
+  m.num_cols = 2;
+  m.row_ptr = {0, 2, 2};
+  m.col_idx = {1, 0};  // unsorted
+  m.values = {1.0, 2.0};
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_THROW(m.validate_canonical(), pd::Error);
+  std::stringstream unsorted(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(unsorted, m);
+  EXPECT_THROW(read_binary(unsorted), pd::Error);
+
+  m.col_idx = {0, 0};  // duplicate column
+  EXPECT_THROW(m.validate_canonical(), pd::Error);
+  std::stringstream dup(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(dup, m);
+  EXPECT_THROW(read_binary(dup), pd::Error);
+
+  m.col_idx = {0, 1};  // canonical form round-trips
+  std::stringstream ok(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(ok, m);
+  EXPECT_NO_THROW(read_binary(ok));
+}
+
 TEST(IoFuzz, MatrixMarketGarbageLines) {
   Rng rng(11);
   for (int trial = 0; trial < 200; ++trial) {

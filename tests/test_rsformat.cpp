@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "common/rng.hpp"
@@ -156,6 +157,39 @@ TEST(RsMatrix, BinaryRejectsCorruption) {
   // Truncation.
   std::stringstream s2(bytes.substr(0, bytes.size() / 3),
                        std::ios::in | std::ios::binary);
+  EXPECT_THROW(RsMatrix::read_binary(s2), pd::Error);
+}
+
+TEST(RsMatrix, ReadLintsTheDecodedDeltaStream) {
+  // The reader decodes every column exactly like the kernels and must
+  // reject streams whose decoded content disagrees with the header — the
+  // GPU baseline scatters to decoded row indices with no per-access bounds
+  // check, so corruption has to die at load time.
+  const auto csr = dose_like_matrix(23);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  rs.write_binary(ss);
+  const std::string bytes = ss.str();
+
+  // Layout: magic(4) version(4) rows(8) cols(8) nnz(8) ... — bump the nnz
+  // header so it disagrees with the decoded entry count.
+  std::string bad_nnz = bytes;
+  std::uint64_t nnz = 0;
+  std::memcpy(&nnz, bad_nnz.data() + 24, sizeof(nnz));
+  ++nnz;
+  std::memcpy(bad_nnz.data() + 24, &nnz, sizeof(nnz));
+  std::stringstream s1(bad_nnz, std::ios::in | std::ios::binary);
+  EXPECT_THROW(RsMatrix::read_binary(s1), pd::Error);
+
+  // Blow up a delta so a decoded row index runs past num_rows.  The deltas
+  // vector sits after col_ptr / col_first_row / col_scale.
+  const std::uint64_t cols = rs.num_cols();
+  const std::size_t deltas_off = 32 + (8 + (cols + 1) * 8) + (8 + cols * 4) +
+                                 (8 + cols * 4) + 8;
+  std::string bad_delta = bytes;
+  const std::uint16_t huge = 0x7fff;  // well past any 400-row matrix
+  std::memcpy(bad_delta.data() + deltas_off, &huge, sizeof(huge));
+  std::stringstream s2(bad_delta, std::ios::in | std::ios::binary);
   EXPECT_THROW(RsMatrix::read_binary(s2), pd::Error);
 }
 

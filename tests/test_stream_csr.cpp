@@ -80,12 +80,16 @@ TEST(BlockEngine, SharedAllocRespectsDeviceLimit) {
                                 block.shared_alloc<double>(48 * 1024);  // 384 KiB
                               }),
                pd::Error);
-  // Within the limit: fine, and zero-initialized.
+  // Within the limit: fine.  Shared storage is uninitialized by contract
+  // (like real __shared__); only checked launches zero-fill it, which is
+  // the one configuration where reading unwritten slots is defined.
+  gpu.enable_check();
   gpu.run_blocks(cfg, [&](BlockCtx& block) {
     double* a = block.shared_alloc<double>(1024);
     EXPECT_EQ(a[0], 0.0);
     EXPECT_EQ(a[1023], 0.0);
   });
+  gpu.disable_check();
 }
 
 TEST(BlockEngine, SharedAccessOutsideBlockKernelThrows) {

@@ -128,6 +128,9 @@ int cmd_spmv(int argc, const char* const* argv) {
   cli.add_option("mode", "half_double", "precision: half_double, single, double");
   cli.add_option("tpb", "512", "threads per block");
   cli.add_flag("profile", "print the full Nsight-style kernel profile");
+  cli.add_flag("check", "run under the simcheck correctness analyzer "
+                        "(memcheck/racecheck/synccheck/initcheck/"
+                        "determinism-lint); nonzero exit on findings");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::string mode_str = cli.get("mode");
@@ -145,6 +148,9 @@ int cmd_spmv(int argc, const char* const* argv) {
   pd::kernels::DoseEngine engine(
       load_or_generate(cli), device_by_name(cli.get("device")), mode,
       static_cast<unsigned>(cli.get_int("tpb")));
+  if (cli.get_flag("check")) {
+    engine.enable_check();
+  }
   const std::vector<double> weights(engine.num_spots(), 1.0);
   engine.compute(weights);
   const auto est = engine.last_estimate();
@@ -170,6 +176,12 @@ int cmd_spmv(int argc, const char* const* argv) {
     std::cout << "\n"
               << pd::gpusim::profile_report(
                      device_by_name(cli.get("device")), in, est, mode_str);
+  }
+  if (engine.check_enabled()) {
+    std::cout << "\n" << engine.check_report().summary();
+    if (!engine.check_report().clean()) {
+      return 2;
+    }
   }
   return 0;
 }
