@@ -126,6 +126,30 @@ else
   fi
 fi
 
+echo "== checking BENCH_service.json =="
+svc="$workdir/BENCH_service.json"
+if [ ! -f "$svc" ]; then
+  echo "FAIL BENCH_service.json: not produced by wallclock_service"
+  fail=1
+else
+  for key in '"bench"' '"beam"' '"scale"' '"kernel"' '"requests"' \
+             '"configs"' '"workers"' '"batch_cap"' '"req_per_s"' \
+             '"mean_batch_size"' '"p50_ms"' '"p99_ms"' '"headline"' \
+             '"baseline_cap"' '"batched_speedup"'; do
+    if ! grep -q "$key" "$svc"; then
+      echo "FAIL BENCH_service.json: missing key $key"
+      fail=1
+    fi
+  done
+  check_simcheck_brand "$svc" BENCH_service.json
+  if command -v python3 >/dev/null 2>&1; then
+    if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$svc"; then
+      echo "FAIL BENCH_service.json: not valid JSON"
+      fail=1
+    fi
+  fi
+fi
+
 # Benches that used to emit a CSV must still emit one.
 for rel in "${!OLD_HEADER[@]}"; do
   if [ ! -f "$workdir/$rel" ]; then

@@ -188,6 +188,14 @@ std::vector<std::vector<double>> DoseEngine::compute_batch(
   PD_CHECK_MSG(batch > 0, "DoseEngine::compute_batch: empty batch");
   PD_CHECK_MSG(weights.size() == batch * stats_.cols,
                "DoseEngine::compute_batch: weights must hold batch x spots");
+  if (batch == 1) {
+    // A width-1 batch is exactly one product; the single-product kernels are
+    // bitwise identical per column (the compute_batch contract) and skip the
+    // batched accumulator's per-nonzero inner loop over j.
+    std::vector<std::vector<double>> doses(1);
+    doses[0] = compute(weights, schedule_seed);
+    return doses;
+  }
   std::vector<std::vector<double>> doses(batch,
                                          std::vector<double>(stats_.rows, 0.0));
   switch (mode_) {

@@ -124,7 +124,7 @@ void native_vector_spmv_batch(const sparse::CsrMatrix<MatV, IdxT>& A,
     }
   }
   exec.run(part.parts(), [&](std::size_t p) {
-    std::vector<gpusim::Lanes<Acc>> acc(batch);
+    std::vector<Acc> acc(gpusim::kWarpSize * batch);
     std::vector<Acc> out(batch);
     for (std::uint64_t r = part.boundaries[p]; r < part.boundaries[p + 1];
          ++r) {

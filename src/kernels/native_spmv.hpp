@@ -156,6 +156,277 @@ inline Acc native_row_product(const MatV* values, const IdxT* col_idx,
   return native_reduce_tail(&acc[0], gpusim::kWarpSize);
 }
 
+#if defined(PD_NATIVE_F16C_DISPATCH)
+/// AVX2 forms of the batched inner loops.  Each vector lane performs the
+/// scalar code's exact mul-then-add (separate _mm256_mul / _mm256_add — never
+/// an FMA, honoring the -ffp-contract=off reproducibility contract), and
+/// column j's accumulator sees the same operation sequence as the scalar
+/// loop, so the bits are identical; only how many columns advance per
+/// instruction changes.  The baseline build stays SSE2, hence the runtime
+/// dispatch mirroring half_chunk_to_float_f16c.
+__attribute__((target("avx2"))) inline void batch_madd_avx2(
+    double* __restrict a, double v, const double* __restrict xc,
+    std::size_t batch) {
+  const __m256d vv = _mm256_set1_pd(v);
+  std::size_t j = 0;
+  for (; j + 4 <= batch; j += 4) {
+    const __m256d prod = _mm256_mul_pd(vv, _mm256_loadu_pd(xc + j));
+    _mm256_storeu_pd(a + j, _mm256_add_pd(_mm256_loadu_pd(a + j), prod));
+  }
+  for (; j < batch; ++j) {
+    a[j] = a[j] + v * xc[j];
+  }
+}
+
+__attribute__((target("avx2"))) inline void batch_madd_avx2(
+    float* __restrict a, float v, const float* __restrict xc,
+    std::size_t batch) {
+  const __m256 vv = _mm256_set1_ps(v);
+  std::size_t j = 0;
+  for (; j + 8 <= batch; j += 8) {
+    const __m256 prod = _mm256_mul_ps(vv, _mm256_loadu_ps(xc + j));
+    _mm256_storeu_ps(a + j, _mm256_add_ps(_mm256_loadu_ps(a + j), prod));
+  }
+  for (; j < batch; ++j) {
+    a[j] = a[j] + v * xc[j];
+  }
+}
+
+__attribute__((target("avx2"))) inline void batch_add_avx2(
+    double* __restrict a, const double* __restrict b, std::size_t batch) {
+  std::size_t j = 0;
+  for (; j + 4 <= batch; j += 4) {
+    _mm256_storeu_pd(
+        a + j, _mm256_add_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j)));
+  }
+  for (; j < batch; ++j) {
+    a[j] = a[j] + b[j];
+  }
+}
+
+__attribute__((target("avx2"))) inline void batch_add_avx2(
+    float* __restrict a, const float* __restrict b, std::size_t batch) {
+  std::size_t j = 0;
+  for (; j + 8 <= batch; j += 8) {
+    _mm256_storeu_ps(
+        a + j, _mm256_add_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j)));
+  }
+  for (; j < batch; ++j) {
+    a[j] = a[j] + b[j];
+  }
+}
+
+__attribute__((target("avx2"))) inline void batch_first_madd_avx2(
+    double* __restrict a, double v, const double* __restrict xc,
+    std::size_t batch) {
+  const __m256d vv = _mm256_set1_pd(v);
+  std::size_t j = 0;
+  for (; j + 4 <= batch; j += 4) {
+    const __m256d prod = _mm256_mul_pd(vv, _mm256_loadu_pd(xc + j));
+    _mm256_storeu_pd(a + j, _mm256_add_pd(_mm256_setzero_pd(), prod));
+  }
+  for (; j < batch; ++j) {
+    a[j] = 0.0 + v * xc[j];
+  }
+}
+
+__attribute__((target("avx2"))) inline void batch_first_madd_avx2(
+    float* __restrict a, float v, const float* __restrict xc,
+    std::size_t batch) {
+  const __m256 vv = _mm256_set1_ps(v);
+  std::size_t j = 0;
+  for (; j + 8 <= batch; j += 8) {
+    const __m256 prod = _mm256_mul_ps(vv, _mm256_loadu_ps(xc + j));
+    _mm256_storeu_ps(a + j, _mm256_add_ps(_mm256_setzero_ps(), prod));
+  }
+  for (; j < batch; ++j) {
+    a[j] = 0.0f + v * xc[j];
+  }
+}
+
+inline const bool kHaveAvx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+
+/// a[j] = a[j] + v * xc[j] across the batch block (one non-zero feeding all
+/// right-hand sides).  AVX2 when the CPU has it; plain loop otherwise.
+template <typename Acc>
+inline void batch_madd(Acc* __restrict a, Acc v, const Acc* __restrict xc,
+                       std::size_t batch) {
+#if defined(PD_NATIVE_F16C_DISPATCH)
+  if constexpr (std::is_same_v<Acc, double> || std::is_same_v<Acc, float>) {
+    if (kHaveAvx2) {
+      batch_madd_avx2(a, v, xc, batch);
+      return;
+    }
+  }
+#endif
+  for (std::size_t j = 0; j < batch; ++j) {
+    a[j] = a[j] + v * xc[j];
+  }
+}
+
+/// a[j] = Acc{} + v * xc[j] across the batch block — the kernel's first
+/// accumulation into a zeroed lane, without requiring `a` to be pre-zeroed.
+template <typename Acc>
+inline void batch_first_madd(Acc* __restrict a, Acc v,
+                             const Acc* __restrict xc, std::size_t batch) {
+#if defined(PD_NATIVE_F16C_DISPATCH)
+  if constexpr (std::is_same_v<Acc, double> || std::is_same_v<Acc, float>) {
+    if (kHaveAvx2) {
+      batch_first_madd_avx2(a, v, xc, batch);
+      return;
+    }
+  }
+#endif
+  for (std::size_t j = 0; j < batch; ++j) {
+    a[j] = Acc{} + v * xc[j];
+  }
+}
+
+/// a[j] = a[j] + b[j] across the batch block (one reduction-tree step).
+template <typename Acc>
+inline void batch_add(Acc* __restrict a, const Acc* __restrict b,
+                      std::size_t batch) {
+#if defined(PD_NATIVE_F16C_DISPATCH)
+  if constexpr (std::is_same_v<Acc, double> || std::is_same_v<Acc, float>) {
+    if (kHaveAvx2) {
+      batch_add_avx2(a, b, batch);
+      return;
+    }
+  }
+#endif
+  for (std::size_t j = 0; j < batch; ++j) {
+    a[j] = a[j] + b[j];
+  }
+}
+
+/// native_reduce_tail applied to all `batch` columns of a lane-major
+/// accumulator block (lane l's `batch` partials at `acc[l*batch .. ]`).
+/// Column j sees exactly native_reduce_tail's tree — same passes, same
+/// operand order — so each column's bits match the single-vector reduction;
+/// the j loop is innermost purely so the adds are contiguous and vectorize.
+/// Results land in lane 0's block, `acc[0..batch)`.
+template <typename Acc>
+inline void native_reduce_tail_batch(Acc* acc, std::size_t batch, unsigned n) {
+  for (unsigned offset = gpusim::kWarpSize / 2; offset > 0; offset /= 2) {
+    for (unsigned i = 0; i < offset && i + offset < n; ++i) {
+      batch_add(acc + i * batch, acc + (i + offset) * batch, batch);
+    }
+    n = std::min(n, offset);
+  }
+}
+
+/// Long-row (nnz > kWarpSize) batched row product with the batch width a
+/// compile-time constant: loops lane-outer / stride-inner so each lane's
+/// B-wide accumulator lives in registers across the whole row instead of
+/// being re-read and re-stored per non-zero.  Per (lane, column) the
+/// accumulation order over strides is exactly the stride-outer loop's order,
+/// and per-element convert_value is bitwise convert_chunk (see its comment),
+/// so the result is bit-identical — this is purely a traffic optimization:
+/// the generic path moves 2*B accumulator values per non-zero, which does
+/// not amortize with batch width and caps the batched speedup at the x-read
+/// bound.  `acc` receives the lane-major partials for the reduction tree.
+template <unsigned B, typename Acc, typename MatV, typename IdxT>
+inline void native_row_product_batch_lanes(const MatV* values,
+                                           const IdxT* col_idx,
+                                           const Acc* x_int,
+                                           std::uint64_t start,
+                                           std::uint64_t end, Acc* acc) {
+  for (unsigned lane = 0; lane < gpusim::kWarpSize; ++lane) {
+    // nnz > kWarpSize, so every lane has a first element.
+    std::uint64_t k = start + lane;
+    const Acc v0 = convert_value<Acc>(values[k]);
+    const Acc* xc0 = x_int + static_cast<std::size_t>(col_idx[k]) * B;
+    Acc a[B];
+    for (unsigned j = 0; j < B; ++j) {
+      a[j] = Acc{} + v0 * xc0[j];
+    }
+    for (k += gpusim::kWarpSize; k < end; k += gpusim::kWarpSize) {
+      const Acc v = convert_value<Acc>(values[k]);
+      const Acc* xc = x_int + static_cast<std::size_t>(col_idx[k]) * B;
+      for (unsigned j = 0; j < B; ++j) {
+        a[j] += v * xc[j];
+      }
+    }
+    Acc* lane_acc = acc + lane * B;
+    for (unsigned j = 0; j < B; ++j) {
+      lane_acc[j] = a[j];
+    }
+  }
+}
+
+#if defined(PD_NATIVE_F16C_DISPATCH)
+/// AVX2-enabled clone of native_row_product_batch_lanes (the target attribute
+/// only widens codegen: vmulpd/vaddpd stay separate — AVX2 does not imply FMA
+/// and -ffp-contract=off holds — so every per-element rounding is identical
+/// to the baseline body).
+template <unsigned B, typename Acc, typename MatV, typename IdxT>
+__attribute__((target("avx2"))) inline void native_row_product_batch_lanes_avx2(
+    const MatV* values, const IdxT* col_idx, const Acc* x_int,
+    std::uint64_t start, std::uint64_t end, Acc* acc) {
+  for (unsigned lane = 0; lane < gpusim::kWarpSize; ++lane) {
+    std::uint64_t k = start + lane;
+    const Acc v0 = convert_value<Acc>(values[k]);
+    const Acc* xc0 = x_int + static_cast<std::size_t>(col_idx[k]) * B;
+    Acc a[B];
+    for (unsigned j = 0; j < B; ++j) {
+      a[j] = Acc{} + v0 * xc0[j];
+    }
+    for (k += gpusim::kWarpSize; k < end; k += gpusim::kWarpSize) {
+      const Acc v = convert_value<Acc>(values[k]);
+      const Acc* xc = x_int + static_cast<std::size_t>(col_idx[k]) * B;
+      for (unsigned j = 0; j < B; ++j) {
+        a[j] += v * xc[j];
+      }
+    }
+    Acc* lane_acc = acc + lane * B;
+    for (unsigned j = 0; j < B; ++j) {
+      lane_acc[j] = a[j];
+    }
+  }
+}
+#endif  // PD_NATIVE_F16C_DISPATCH
+
+/// Dispatch a long row to the fixed-width lane-outer kernel when the batch
+/// width has an instantiation; false means the caller runs the generic path.
+template <typename Acc, typename MatV, typename IdxT>
+inline bool native_row_product_batch_fixed(const MatV* values,
+                                           const IdxT* col_idx,
+                                           const Acc* x_int, std::size_t batch,
+                                           std::uint64_t start,
+                                           std::uint64_t end, Acc* acc) {
+  const auto run = [&](auto width) {
+    constexpr unsigned kB = decltype(width)::value;
+#if defined(PD_NATIVE_F16C_DISPATCH)
+    if (kHaveAvx2) {
+      native_row_product_batch_lanes_avx2<kB>(values, col_idx, x_int, start,
+                                              end, acc);
+      return;
+    }
+#endif
+    native_row_product_batch_lanes<kB>(values, col_idx, x_int, start, end,
+                                       acc);
+  };
+  switch (batch) {
+    case 2: run(std::integral_constant<unsigned, 2>{}); return true;
+    case 3: run(std::integral_constant<unsigned, 3>{}); return true;
+    case 4: run(std::integral_constant<unsigned, 4>{}); return true;
+    case 5: run(std::integral_constant<unsigned, 5>{}); return true;
+    case 6: run(std::integral_constant<unsigned, 6>{}); return true;
+    case 7: run(std::integral_constant<unsigned, 7>{}); return true;
+    case 8: run(std::integral_constant<unsigned, 8>{}); return true;
+    case 9: run(std::integral_constant<unsigned, 9>{}); return true;
+    case 10: run(std::integral_constant<unsigned, 10>{}); return true;
+    case 11: run(std::integral_constant<unsigned, 11>{}); return true;
+    case 12: run(std::integral_constant<unsigned, 12>{}); return true;
+    case 13: run(std::integral_constant<unsigned, 13>{}); return true;
+    case 14: run(std::integral_constant<unsigned, 14>{}); return true;
+    case 15: run(std::integral_constant<unsigned, 15>{}); return true;
+    case 16: run(std::integral_constant<unsigned, 16>{}); return true;
+    default: return false;
+  }
+}
+
 /// Batched (multi-RHS) form of native_row_product: one pass over the row's
 /// non-zeros feeds all `batch` accumulators, matching multivector_csr.hpp.
 /// Each column's per-lane sums and reduction are those of the single-vector
@@ -163,54 +434,64 @@ inline Acc native_row_product(const MatV* values, const IdxT* col_idx,
 /// `x_int` holds the batch vectors interleaved column-major — vector j's
 /// entry for matrix column c at `x_int[c*batch + j]` — so one non-zero's
 /// `batch` reads are contiguous.  `acc` is caller-provided scratch of
-/// `batch` lane registers (lanes this row does not touch are never read, so
-/// stale contents are fine); `out` receives the `batch` row results.
+/// kWarpSize*batch accumulators in lane-major layout (lane l's partials at
+/// `acc[l*batch + j]`, so the per-non-zero batch FMAs are contiguous too;
+/// lanes this row does not touch are never read, so stale contents are
+/// fine); `out` receives the `batch` row results.
 template <typename Acc, typename MatV, typename IdxT>
 inline void native_row_product_batch(const MatV* values, const IdxT* col_idx,
                                      const Acc* x_int, std::size_t batch,
                                      std::uint64_t start, std::uint64_t end,
-                                     gpusim::Lanes<Acc>* acc, Acc* out) {
+                                     Acc* acc, Acc* out) {
   const std::uint64_t nnz = end - start;
-  if (nnz <= gpusim::kWarpSize) {
-    if (nnz == 0) {
-      for (std::size_t j = 0; j < batch; ++j) {
-        out[j] = Acc{};
-      }
-      return;
-    }
-    const auto n = static_cast<unsigned>(nnz);
-    Acc conv[gpusim::kWarpSize];
-    convert_chunk(values + start, n, conv);
-    for (unsigned lane = 0; lane < n; ++lane) {
-      const Acc v = conv[lane];
-      const Acc* xc = x_int + static_cast<std::size_t>(col_idx[start + lane]) * batch;
-      for (std::size_t j = 0; j < batch; ++j) {
-        acc[j][lane] = Acc{} + v * xc[j];
-      }
-    }
+  if (nnz == 0) {
     for (std::size_t j = 0; j < batch; ++j) {
-      out[j] = native_reduce_tail(&acc[j][0], n);
+      out[j] = Acc{};
     }
     return;
   }
-  for (std::size_t j = 0; j < batch; ++j) {
-    acc[j] = gpusim::Lanes<Acc>{};
-  }
   Acc conv[gpusim::kWarpSize];
-  for (std::uint64_t base = start; base < end; base += gpusim::kWarpSize) {
-    const auto remaining = static_cast<unsigned>(
-        std::min<std::uint64_t>(gpusim::kWarpSize, end - base));
-    convert_chunk(values + base, remaining, conv);
-    for (unsigned lane = 0; lane < remaining; ++lane) {
+  if (nnz <= gpusim::kWarpSize) {
+    const auto n = static_cast<unsigned>(nnz);
+    convert_chunk(values + start, n, conv);
+    for (unsigned lane = 0; lane < n; ++lane) {
       const Acc v = conv[lane];
-      const Acc* xc = x_int + static_cast<std::size_t>(col_idx[base + lane]) * batch;
-      for (std::size_t j = 0; j < batch; ++j) {
-        acc[j][lane] = acc[j][lane] + v * xc[j];
+      batch_first_madd(
+          acc + lane * batch, v,
+          x_int + static_cast<std::size_t>(col_idx[start + lane]) * batch,
+          batch);
+    }
+    native_reduce_tail_batch(acc, batch, n);
+    for (std::size_t j = 0; j < batch; ++j) {
+      out[j] = acc[j];
+    }
+    return;
+  }
+  if (!native_row_product_batch_fixed(values, col_idx, x_int, batch, start,
+                                      end, acc)) {
+    // Generic width: stride-outer with the lane-major accumulator in memory.
+    // The first stride covers every lane, so its products are *stored*
+    // (Acc{} + v*x, exactly the zero-initialized first madd) instead of
+    // zero-filling the whole accumulator block up front.
+    for (std::uint64_t base = start; base < end; base += gpusim::kWarpSize) {
+      const auto remaining = static_cast<unsigned>(
+          std::min<std::uint64_t>(gpusim::kWarpSize, end - base));
+      convert_chunk(values + base, remaining, conv);
+      for (unsigned lane = 0; lane < remaining; ++lane) {
+        const Acc v = conv[lane];
+        const Acc* xc =
+            x_int + static_cast<std::size_t>(col_idx[base + lane]) * batch;
+        if (base == start) {
+          batch_first_madd(acc + lane * batch, v, xc, batch);
+        } else {
+          batch_madd(acc + lane * batch, v, xc, batch);
+        }
       }
     }
   }
+  native_reduce_tail_batch(acc, batch, gpusim::kWarpSize);
   for (std::size_t j = 0; j < batch; ++j) {
-    out[j] = native_reduce_tail(&acc[j][0], gpusim::kWarpSize);
+    out[j] = acc[j];
   }
 }
 

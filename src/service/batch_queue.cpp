@@ -1,0 +1,140 @@
+#include "service/batch_queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pd::service {
+
+BatchQueue::BatchQueue(const BatchQueueConfig& config) : config_(config) {
+  PD_CHECK_MSG(config_.batch_cap > 0, "BatchQueue: batch_cap must be >= 1");
+  PD_CHECK_MSG(config_.queue_bound > 0, "BatchQueue: queue_bound must be >= 1");
+}
+
+bool BatchQueue::submit(QueuedRequest request) {
+  if (depth_ >= config_.queue_bound) {
+    return false;
+  }
+  plans_[request.plan].pending.push_back(std::move(request));
+  ++depth_;
+  return true;
+}
+
+std::vector<QueuedRequest> BatchQueue::pop_ready(std::uint64_t now,
+                                                 bool drain) {
+  // Among launchable plans pick the one whose head waited longest, so a busy
+  // service stays fair across plans instead of ping-ponging on one.
+  auto best = plans_.end();
+  for (auto it = plans_.begin(); it != plans_.end(); ++it) {
+    PlanQueue& pq = it->second;
+    if (pq.busy || pq.pending.empty()) {
+      continue;
+    }
+    const bool full = pq.pending.size() >= config_.batch_cap;
+    const bool aged =
+        now >= pq.pending.front().enqueue_tick + config_.flush_age_ticks;
+    if (!full && !aged && !drain) {
+      continue;
+    }
+    if (best == plans_.end() || pq.pending.front().enqueue_tick <
+                                    best->second.pending.front().enqueue_tick) {
+      best = it;
+    }
+  }
+  std::vector<QueuedRequest> batch;
+  if (best == plans_.end()) {
+    return batch;
+  }
+  PlanQueue& pq = best->second;
+  const std::size_t width = std::min(config_.batch_cap, pq.pending.size());
+  batch.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    batch.push_back(std::move(pq.pending.front()));
+    pq.pending.pop_front();
+  }
+  depth_ -= width;
+  pq.busy = true;
+  return batch;
+}
+
+void BatchQueue::mark_idle(const std::string& plan) {
+  const auto it = plans_.find(plan);
+  if (it == plans_.end()) {
+    return;
+  }
+  it->second.busy = false;
+  if (it->second.pending.empty()) {
+    plans_.erase(it);
+  }
+}
+
+std::vector<QueuedRequest> BatchQueue::expire(std::uint64_t now) {
+  std::vector<QueuedRequest> dead;
+  for (auto it = plans_.begin(); it != plans_.end();) {
+    std::deque<QueuedRequest>& pending = it->second.pending;
+    for (auto req = pending.begin(); req != pending.end();) {
+      if (req->deadline_tick != 0 && req->deadline_tick <= now) {
+        dead.push_back(std::move(*req));
+        req = pending.erase(req);
+        --depth_;
+      } else {
+        ++req;
+      }
+    }
+    if (pending.empty() && !it->second.busy) {
+      it = plans_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dead;
+}
+
+bool BatchQueue::cancel(std::uint64_t id) {
+  for (auto it = plans_.begin(); it != plans_.end(); ++it) {
+    std::deque<QueuedRequest>& pending = it->second.pending;
+    for (auto req = pending.begin(); req != pending.end(); ++req) {
+      if (req->id == id) {
+        pending.erase(req);
+        --depth_;
+        if (pending.empty() && !it->second.busy) {
+          plans_.erase(it);
+        }
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<std::uint64_t> BatchQueue::next_event_tick() const {
+  std::optional<std::uint64_t> next;
+  const auto consider = [&next](std::uint64_t tick) {
+    if (!next || tick < *next) {
+      next = tick;
+    }
+  };
+  for (const auto& [plan, pq] : plans_) {
+    (void)plan;
+    if (pq.pending.empty()) {
+      continue;
+    }
+    if (!pq.busy) {
+      // Full batches are launchable immediately; otherwise the head's flush
+      // age is the next scheduling event for this plan.
+      if (pq.pending.size() >= config_.batch_cap) {
+        consider(0);
+      } else {
+        consider(pq.pending.front().enqueue_tick + config_.flush_age_ticks);
+      }
+    }
+    for (const QueuedRequest& req : pq.pending) {
+      if (req.deadline_tick != 0) {
+        consider(req.deadline_tick);
+      }
+    }
+  }
+  return next;
+}
+
+}  // namespace pd::service

@@ -1,0 +1,92 @@
+#pragma once
+// Adaptive request-coalescing queue for DoseService.
+//
+// BatchQueue groups submitted requests by plan and decides when a plan's
+// pending run should be launched as one DoseEngine::compute_batch: when the
+// plan has a full batch (batch_cap), when its oldest request has waited
+// flush_age_ticks (so a lone request is never parked indefinitely behind an
+// adaptive batch that will not fill), or when the caller drains.  Per plan
+// the order is strict FIFO — a batch is always a prefix of the plan's
+// submission order, and compute_batch preserves per-column bits — so
+// batching can never reorder or alter any request's dose (docs/service.md).
+//
+// The queue is deliberately *passive and deterministic*: no threads, no
+// clocks — time is an opaque monotone tick supplied by the caller, and all
+// methods are called under the service lock.  That makes the scheduling
+// logic exhaustively testable single-threaded (tests/test_batch_queue.cpp
+// drives seeded random interleavings of submit / flush / deadline ticks and
+// checks the FIFO, cap, and bound invariants).
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pd::service {
+
+struct BatchQueueConfig {
+  std::size_t batch_cap = 8;    ///< Max requests coalesced into one launch.
+  std::size_t queue_bound = 256;  ///< Max queued requests (backpressure).
+  std::uint64_t flush_age_ticks = 2000;  ///< Age at which a head flushes.
+};
+
+/// One queued request.  `deadline_tick` == 0 means no deadline.
+struct QueuedRequest {
+  std::uint64_t id = 0;
+  std::string plan;
+  std::uint64_t enqueue_tick = 0;
+  std::uint64_t deadline_tick = 0;
+};
+
+class BatchQueue {
+ public:
+  explicit BatchQueue(const BatchQueueConfig& config);
+
+  const BatchQueueConfig& config() const { return config_; }
+
+  /// Requests queued right now (across all plans).
+  std::size_t depth() const { return depth_; }
+
+  /// Enqueue; returns false when the queue bound is reached (the caller
+  /// rejects the request — the queue never grows past queue_bound).
+  bool submit(QueuedRequest request);
+
+  /// Pop the next launchable batch, oldest head first, and mark its plan
+  /// busy.  A plan is launchable when it is not busy (one in-flight batch
+  /// per plan keeps its engine single-writer and its ordering FIFO) and
+  /// (pending >= batch_cap, or its head aged >= flush_age_ticks, or `drain`).
+  /// Empty result = nothing launchable at `now`.
+  std::vector<QueuedRequest> pop_ready(std::uint64_t now, bool drain);
+
+  /// Clear a plan's busy mark once its in-flight batch completed.
+  void mark_idle(const std::string& plan);
+
+  /// Remove and return every queued request whose deadline has passed.
+  /// Busy plans are included: their *queued* requests (not the in-flight
+  /// batch) can still expire.
+  std::vector<QueuedRequest> expire(std::uint64_t now);
+
+  /// Remove a queued request by id.  False when unknown — already popped
+  /// into a batch (too late to cancel), expired, or never queued.
+  bool cancel(std::uint64_t id);
+
+  /// Earliest tick at which anything becomes actionable (a head reaches
+  /// flush age or a deadline passes); nullopt when nothing is pending.
+  /// A full non-busy plan is actionable *now*.
+  std::optional<std::uint64_t> next_event_tick() const;
+
+ private:
+  struct PlanQueue {
+    std::deque<QueuedRequest> pending;
+    bool busy = false;
+  };
+
+  BatchQueueConfig config_;
+  std::map<std::string, PlanQueue> plans_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace pd::service

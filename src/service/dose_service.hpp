@@ -1,0 +1,159 @@
+#pragma once
+// DoseService — concurrent dose serving with adaptive request batching.
+//
+// The paper's kernel exists to sit inside optimizer loops that fire thousands
+// of independent `dose = D · w` requests (§II).  DoseService turns that into
+// a many-client service: callers submit(plan, weights) and get a
+// future<DoseResult>; a BatchQueue coalesces requests that target the same
+// plan into one DoseEngine::compute_batch launch (flush on batch-size target,
+// flush deadline, or drain); a fixed worker pool executes launches over a
+// bounded LRU EngineCache; per-request deadlines, cancellation, and
+// queue-depth backpressure keep the queue bounded under overload.
+//
+// Reproducibility contract (§II-D): every request's dose is bitwise
+// identical to a sequential DoseEngine::compute of its weights on the same
+// matrix — independent of batching width, scheduling order, worker count,
+// backend, and cache eviction.  This follows from three enforced properties:
+// compute_batch column j is bitwise compute(w_j) (tests/test_native_backend);
+// one plan never has two in-flight batches (BatchQueue busy mark), so
+// per-plan execution is serial; and rebuilt engines are bit-identical to
+// evicted ones (EngineCache header).  tests/test_service.cpp hammers the
+// whole stack against fresh sequential engines to pin the contract.
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/batch_queue.hpp"
+#include "service/engine_cache.hpp"
+#include "service/stats.hpp"
+
+namespace pd::service {
+
+enum class RequestStatus {
+  kOk,               ///< dose holds the result.
+  kRejected,         ///< Queue at bound — retry after retry_after_ms.
+  kCancelled,        ///< cancel(id) removed it before launch.
+  kDeadlineExpired,  ///< Deadline passed while queued.
+  kFailed,           ///< Unknown plan, bad weights, engine build failure.
+};
+
+const char* to_string(RequestStatus status);
+
+struct DoseResult {
+  RequestStatus status = RequestStatus::kFailed;
+  std::vector<double> dose;     ///< kOk only.
+  std::string error;            ///< kFailed detail.
+  double latency_ms = 0.0;      ///< submit -> resolution.
+  std::size_t batch_size = 0;   ///< Launch width the request rode in (kOk).
+  double retry_after_ms = 0.0;  ///< kRejected hint.
+};
+
+struct ServiceConfig {
+  unsigned workers = 2;         ///< Worker threads (>= 1).
+  std::size_t batch_cap = 8;    ///< Max requests per compute_batch launch.
+  std::size_t queue_bound = 256;  ///< Backpressure threshold.
+  double flush_deadline_ms = 2.0;   ///< Max age of a queued head before a
+                                    ///< partial batch launches anyway.
+  double default_deadline_ms = 0.0;  ///< Per-request default; 0 = none.
+  std::size_t engine_cache_capacity = 4;
+  EngineParams engine;          ///< How cached engines are constructed.
+};
+
+/// Handle returned by submit: the future plus the id cancel() takes.
+struct Ticket {
+  std::uint64_t id = 0;
+  std::future<DoseResult> result;
+};
+
+struct SubmitOptions {
+  /// Queue-wait deadline in ms; < 0 uses ServiceConfig::default_deadline_ms,
+  /// 0 disables.  Applies while queued — once a request enters a launch it
+  /// always completes.
+  double deadline_ms = -1.0;
+};
+
+class DoseService {
+ public:
+  explicit DoseService(ServiceConfig config);
+  DoseService(const DoseService&) = delete;
+  DoseService& operator=(const DoseService&) = delete;
+  /// Drains (flushes partial batches, completes every accepted request),
+  /// then joins the workers.
+  ~DoseService();
+
+  /// Register a plan before submitting against it.  The source must be
+  /// deterministic (see EngineCache) and is re-invoked after cache eviction.
+  void register_plan(const std::string& plan, MatrixSource source);
+
+  /// Enqueue one dose request.  Never blocks on compute: over-bound queues
+  /// reject immediately (status kRejected + retry_after_ms), unknown plans
+  /// fail immediately.  Weight-length validation happens at launch (it needs
+  /// the engine) and resolves kFailed without disturbing batch-mates.
+  Ticket submit(const std::string& plan, std::vector<double> weights,
+                const SubmitOptions& options = {});
+
+  /// Remove a *queued* request.  False once it entered a launch (the result
+  /// will still arrive), expired, or was never accepted.
+  bool cancel(std::uint64_t id);
+
+  /// Flush partial batches and block until every accepted request resolved.
+  void drain();
+
+  ServiceStats stats() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    std::promise<DoseResult> promise;
+    std::vector<double> weights;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  std::uint64_t tick_now() const;
+  double elapsed_ms(std::chrono::steady_clock::time_point since) const;
+  void worker_loop();
+  /// Pop-side of one launch; called with `lock` held, unlocks around the
+  /// engine acquire + compute, relocks to publish stats and the busy mark.
+  void execute_batch(std::unique_lock<std::mutex>& lock,
+                     std::vector<QueuedRequest> batch);
+  void resolve_expired(std::uint64_t now);
+  double retry_after_hint() const;
+
+  ServiceConfig config_;
+  EngineCache cache_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Workers: new work / busy cleared.
+  std::condition_variable drain_cv_;  ///< drain(): queue + in-flight empty.
+  BatchQueue queue_;
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_id_ = 1;
+  unsigned in_flight_ = 0;
+  bool accepting_ = true;
+  bool draining_ = false;
+  bool stop_ = false;
+
+  // Counters (under mu_).  Latencies of recent kOk completions feed the
+  // p50/p99 snapshot; bounded ring so a long-lived service cannot grow it.
+  std::uint64_t submitted_ = 0, completed_ = 0, rejected_ = 0, cancelled_ = 0,
+                expired_ = 0, failed_ = 0, batches_ = 0;
+  std::vector<std::uint64_t> batch_size_counts_;
+  std::size_t max_queue_depth_ = 0;
+  std::vector<double> latencies_ms_;
+  std::size_t latency_next_ = 0;
+  double mean_launch_ms_ = 0.0;  ///< EWMA, feeds the retry-after hint.
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pd::service

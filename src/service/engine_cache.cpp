@@ -1,0 +1,117 @@
+#include "service/engine_cache.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace pd::service {
+
+EngineCache::EngineCache(std::size_t capacity, EngineParams params)
+    : capacity_(capacity), params_(std::move(params)) {
+  PD_CHECK_MSG(capacity_ > 0, "EngineCache: capacity must be >= 1");
+}
+
+void EngineCache::register_plan(const std::string& plan, MatrixSource source) {
+  PD_CHECK_MSG(static_cast<bool>(source),
+               "EngineCache: empty MatrixSource for plan '" + plan + "'");
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_[plan] = std::move(source);
+  entries_.erase(plan);
+}
+
+bool EngineCache::has_plan(const std::string& plan) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sources_.count(plan) != 0;
+}
+
+std::shared_ptr<kernels::DoseEngine> EngineCache::acquire(
+    const std::string& plan) {
+  MatrixSource source;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      const auto entry = entries_.find(plan);
+      if (entry != entries_.end()) {
+        ++hits_;
+        entry->second.last_use = ++use_tick_;
+        return entry->second.engine;
+      }
+      if (building_.count(plan) == 0) {
+        break;
+      }
+      // Another worker is building this plan's engine; share its result
+      // instead of generating the matrix twice.
+      build_cv_.wait(lock);
+    }
+    const auto src = sources_.find(plan);
+    PD_CHECK_MSG(src != sources_.end(),
+                 "EngineCache: unknown plan '" + plan + "'");
+    source = src->second;
+    ++misses_;
+    building_.insert(plan);
+  }
+
+  // Build outside the lock: matrix generation and engine analysis are the
+  // expensive parts and must not serialize unrelated plans.
+  std::shared_ptr<kernels::DoseEngine> engine;
+  try {
+    engine = std::make_shared<kernels::DoseEngine>(
+        source(), params_.device, params_.mode, params_.threads_per_block,
+        params_.family, params_.backend);
+    if (params_.backend == kernels::DoseEngine::Backend::kNative) {
+      engine->set_native_threads(params_.native_threads);
+    } else {
+      engine->set_engine_options(params_.engine_options);
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    building_.erase(plan);
+    build_cv_.notify_all();
+    throw;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  building_.erase(plan);
+  entries_[plan] = Entry{engine, ++use_tick_};
+  evict_over_capacity();
+  build_cv_.notify_all();
+  return engine;
+}
+
+void EngineCache::evict_over_capacity() {
+  while (entries_.size() > capacity_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.engine.use_count() > 1) {
+        continue;  // pinned by an in-flight batch — never destroy under it
+      }
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) {
+      return;  // everything pinned; transient overshoot, retry next acquire
+    }
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+EngineCacheStats EngineCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.resident = entries_.size();
+  for (const auto& [plan, entry] : entries_) {
+    (void)plan;
+    if (entry.engine.use_count() > 1) {
+      ++s.pinned;
+    }
+  }
+  return s;
+}
+
+}  // namespace pd::service

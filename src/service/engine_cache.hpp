@@ -1,0 +1,94 @@
+#pragma once
+// Bounded per-plan DoseEngine cache for DoseService.
+//
+// Engines are expensive (precision conversion, rowsplit/adaptive analysis,
+// simulated-device setup), so the service keeps at most `capacity` of them,
+// keyed by plan id, and reconstructs evicted ones from the plan's registered
+// MatrixSource on the next miss.  Eviction is LRU with *pinning*: entries
+// whose engine is referenced outside the cache (an in-flight batch holds the
+// shared_ptr) are never destroyed under the worker — the cache may
+// transiently exceed capacity instead and retires the entry once released.
+//
+// Reproducibility contract: a MatrixSource must be deterministic (same
+// matrix bits every call).  DoseEngine's host-side analysis and storage
+// conversion are deterministic functions of the matrix, so an engine rebuilt
+// after eviction produces bitwise the dose of the evicted one — cache
+// churn can never change a result (asserted by the eviction-race test in
+// tests/test_service.cpp).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <set>
+#include <string>
+
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+#include "kernels/dose_engine.hpp"
+#include "service/stats.hpp"
+#include "sparse/csr.hpp"
+
+namespace pd::service {
+
+/// Produces a plan's dose deposition matrix on a cache miss.  Must be
+/// deterministic and thread-safe (it runs outside the cache lock).
+using MatrixSource = std::function<sparse::CsrF64()>;
+
+/// How the cache constructs engines — one policy for every plan, so any two
+/// engines for the same plan are interchangeable bit-for-bit.
+struct EngineParams {
+  gpusim::DeviceSpec device;
+  kernels::DoseEngine::Mode mode = kernels::DoseEngine::Mode::kHalfDouble;
+  unsigned threads_per_block = kernels::kDefaultVectorTpb;
+  kernels::SpmvFamily family = kernels::SpmvFamily::kVector;
+  kernels::DoseEngine::Backend backend = kernels::DoseEngine::Backend::kNative;
+  unsigned native_threads = 1;
+  /// Applied to gpusim-backend engines (functional-only by default: a
+  /// serving layer wants dose bits and wall-clock, not traffic counters).
+  gpusim::EngineOptions engine_options{gpusim::TraceMode::kFunctionalOnly, 0};
+};
+
+class EngineCache {
+ public:
+  EngineCache(std::size_t capacity, EngineParams params);
+
+  /// Register (or replace) a plan's matrix source.  Replacing drops any
+  /// cached engine for the plan.
+  void register_plan(const std::string& plan, MatrixSource source);
+
+  bool has_plan(const std::string& plan) const;
+
+  /// Get the plan's engine, building it from the MatrixSource on a miss.
+  /// Concurrent acquires of the same missing plan build once: later callers
+  /// wait for the builder and count as hits.  Throws pd::Error for an
+  /// unregistered plan; a throwing MatrixSource propagates to every waiter.
+  std::shared_ptr<kernels::DoseEngine> acquire(const std::string& plan);
+
+  EngineCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<kernels::DoseEngine> engine;
+    std::uint64_t last_use = 0;
+  };
+
+  /// Drop LRU unpinned entries until within capacity (caller holds mu_).
+  void evict_over_capacity();
+
+  const std::size_t capacity_;
+  const EngineParams params_;
+  mutable std::mutex mu_;
+  std::condition_variable build_cv_;
+  std::map<std::string, MatrixSource> sources_;
+  std::map<std::string, Entry> entries_;
+  std::set<std::string> building_;
+  std::uint64_t use_tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace pd::service

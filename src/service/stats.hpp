@@ -1,0 +1,65 @@
+#pragma once
+// Observable state of a running DoseService (docs/service.md).
+//
+// ServiceStats is a consistent snapshot taken under the service lock: request
+// outcome counters, the adaptive batcher's launch-width histogram, engine
+// cache hit/miss/eviction counts, and completion-latency percentiles over a
+// sliding window.  Everything here is diagnostic — none of it feeds back into
+// scheduling, so reading stats never perturbs dose bits or ordering.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pd::service {
+
+/// Engine-cache counters (a sub-snapshot of ServiceStats, also available
+/// directly from EngineCache for cache-only tests).
+struct EngineCacheStats {
+  std::uint64_t hits = 0;        ///< acquire() served from the cache.
+  std::uint64_t misses = 0;      ///< acquire() had to build an engine.
+  std::uint64_t evictions = 0;   ///< LRU entries dropped over capacity.
+  std::size_t resident = 0;      ///< Engines currently in the cache.
+  std::size_t pinned = 0;        ///< Resident engines held by in-flight work.
+};
+
+/// Snapshot of the service's request/batch/latency counters.
+struct ServiceStats {
+  // Request outcomes (monotonic counters).
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< Resolved kOk.
+  std::uint64_t rejected = 0;   ///< Backpressure (kRejected).
+  std::uint64_t cancelled = 0;  ///< Cancelled while queued (kCancelled).
+  std::uint64_t expired = 0;    ///< Deadline passed in queue (kDeadlineExpired).
+  std::uint64_t failed = 0;     ///< Engine build / weight validation (kFailed).
+
+  // Adaptive batching.
+  std::uint64_t batches = 0;    ///< compute_batch launches issued.
+  /// batch_size_counts[k-1] = number of launches of width exactly k
+  /// (k in [1, batch_cap]).
+  std::vector<std::uint64_t> batch_size_counts;
+
+  // Queue.
+  std::size_t queue_depth = 0;      ///< Requests queued right now.
+  std::size_t max_queue_depth = 0;  ///< High-water mark.
+
+  // Engine cache.
+  EngineCacheStats cache;
+
+  // Completion latency (submit -> future resolved kOk), over a sliding
+  // window of the most recent completions.
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+
+  double mean_batch_size() const {
+    std::uint64_t requests = 0;
+    for (std::size_t k = 0; k < batch_size_counts.size(); ++k) {
+      requests += batch_size_counts[k] * (k + 1);
+    }
+    return batches == 0 ? 0.0
+                        : static_cast<double>(requests) /
+                              static_cast<double>(batches);
+  }
+};
+
+}  // namespace pd::service

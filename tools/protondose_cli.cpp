@@ -5,13 +5,19 @@
 //   stats      print Table I / Figure 2 style structure statistics
 //   spmv       run a kernel on the simulated GPU and report modeled performance
 //   optimize   run the treatment-plan optimizer on a case
+//   serve-replay  replay a request stream through the batching dose service
 //
 // Run `protondose <subcommand> --help` for per-command options.
 
+#include <future>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "cases/cases.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "service/dose_service.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
@@ -302,6 +308,109 @@ int cmd_tune(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_serve_replay(int argc, const char* const* argv) {
+  pd::CliParser cli(
+      "protondose serve-replay",
+      "replay a synthetic optimizer request stream through DoseService");
+  add_source_options(cli);
+  cli.add_option("backend", "native", "execution backend: native or gpusim");
+  cli.add_option("workers", "2", "service worker threads");
+  cli.add_option("batch-cap", "8", "max requests coalesced per launch");
+  cli.add_option("queue-bound", "256", "queue depth before backpressure");
+  cli.add_option("flush-ms", "2.0", "partial-batch flush deadline (ms)");
+  cli.add_option("clients", "4", "concurrent client threads");
+  cli.add_option("requests", "64", "requests per client");
+  cli.add_option("deadline-ms", "0", "per-request queue deadline (0 = none)");
+  cli.add_option("seed", "1", "weight-stream seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string backend_str = cli.get("backend");
+  pd::kernels::DoseEngine::Backend backend;
+  if (backend_str == "native") {
+    backend = pd::kernels::DoseEngine::Backend::kNative;
+  } else if (backend_str == "gpusim") {
+    backend = pd::kernels::DoseEngine::Backend::kGpusim;
+  } else {
+    throw pd::Error("unknown backend: " + backend_str);
+  }
+
+  const auto matrix = load_or_generate(cli);
+  const std::size_t spots = matrix.num_cols;
+
+  pd::service::ServiceConfig config;
+  config.workers = static_cast<unsigned>(cli.get_int("workers"));
+  config.batch_cap = static_cast<std::size_t>(cli.get_int("batch-cap"));
+  config.queue_bound = static_cast<std::size_t>(cli.get_int("queue-bound"));
+  config.flush_deadline_ms = cli.get_double("flush-ms");
+  config.default_deadline_ms = cli.get_double("deadline-ms");
+  config.engine.device = pd::gpusim::make_a100();
+  config.engine.backend = backend;
+  pd::service::DoseService service(config);
+  service.register_plan("replay", [&matrix] {
+    return pd::sparse::CsrF64(matrix);
+  });
+
+  const std::size_t clients = static_cast<std::size_t>(cli.get_int("clients"));
+  const std::size_t requests =
+      static_cast<std::size_t>(cli.get_int("requests"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  pd::WallTimer timer;
+  std::vector<std::vector<pd::service::Ticket>> tickets(clients);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&service, &tickets, c, requests, spots, seed] {
+        pd::Rng rng(seed + c);
+        tickets[c].reserve(requests);
+        for (std::size_t r = 0; r < requests; ++r) {
+          std::vector<double> weights(spots);
+          for (double& w : weights) w = rng.uniform(0.0, 2.0);
+          tickets[c].push_back(service.submit("replay", std::move(weights)));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  service.drain();
+  std::size_t ok = 0, other = 0;
+  for (auto& client_tickets : tickets) {
+    for (pd::service::Ticket& ticket : client_tickets) {
+      const pd::service::DoseResult result = ticket.result.get();
+      (result.status == pd::service::RequestStatus::kOk ? ok : other) += 1;
+    }
+  }
+  const double elapsed_s = timer.seconds();
+
+  const pd::service::ServiceStats stats = service.stats();
+  pd::TextTable t({"quantity", "value"});
+  t.add_row({"backend", backend_str});
+  t.add_row({"workers / batch cap",
+             std::to_string(config.workers) + " / " +
+                 std::to_string(config.batch_cap)});
+  t.add_row({"requests ok / other",
+             std::to_string(ok) + " / " + std::to_string(other)});
+  t.add_row({"throughput", pd::fmt_double(
+                               static_cast<double>(ok) / elapsed_s, 1) +
+                               " req/s"});
+  t.add_row({"compute_batch launches", std::to_string(stats.batches)});
+  t.add_row({"mean batch size", pd::fmt_double(stats.mean_batch_size(), 2)});
+  t.add_row({"p50 / p99 latency",
+             pd::fmt_double(stats.p50_latency_ms, 2) + " / " +
+                 pd::fmt_double(stats.p99_latency_ms, 2) + " ms"});
+  t.add_row({"max queue depth", std::to_string(stats.max_queue_depth)});
+  t.add_row({"rejected / expired",
+             std::to_string(stats.rejected) + " / " +
+                 std::to_string(stats.expired)});
+  t.add_row({"cache hit / miss / evict",
+             std::to_string(stats.cache.hits) + " / " +
+                 std::to_string(stats.cache.misses) + " / " +
+                 std::to_string(stats.cache.evictions)});
+  std::cout << t.str();
+  return 0;
+}
+
 void print_usage() {
   std::cout << "protondose <subcommand> [options]\n\n"
                "subcommands:\n"
@@ -310,7 +419,9 @@ void print_usage() {
                "  spmv       simulated-GPU dose calculation + perf model\n"
                "  roofline   ASCII roofline of the kernel family\n"
                "  tune       threads-per-block sweep (Figure 4)\n"
-               "  optimize   run the treatment-plan optimizer\n";
+               "  optimize   run the treatment-plan optimizer\n"
+               "  serve-replay  replay a request stream through the batching\n"
+               "                dose service and report serving stats\n";
 }
 
 }  // namespace
@@ -331,6 +442,7 @@ int main(int argc, char** argv) {
     if (cmd == "roofline") return cmd_roofline(sub_argc, sub_argv);
     if (cmd == "tune") return cmd_tune(sub_argc, sub_argv);
     if (cmd == "optimize") return cmd_optimize(sub_argc, sub_argv);
+    if (cmd == "serve-replay") return cmd_serve_replay(sub_argc, sub_argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       print_usage();
       return 0;
