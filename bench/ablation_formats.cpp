@@ -7,20 +7,47 @@
 // contains the padding.  Effective GFLOP/s are normalized by the *useful*
 // 2·nnz FLOPs so padded work shows up as lost performance.
 
+// A second table compares computing *on* compressed storage (the fast tier,
+// docs/fast_tier.md) against inflating it: the fused rsformat
+// decompress-SpMV and the native SELL-C-32 kernel versus the bitwise native
+// CSR-double kernel, host wall-clock, single thread.
+
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
+#include "kernels/dose_engine.hpp"
 #include "kernels/format_kernels.hpp"
+#include "kernels/rsformat_spmv.hpp"
+#include "kernels/sellcs_spmv.hpp"
 #include "kernels/vector_csr.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/ell.hpp"
+#include "sparse/random.hpp"
 #include "sparse/sellcs.hpp"
 
 namespace {
 
 double useful_gflops(double nnz, double seconds) {
   return 2.0 * nnz / seconds / 1e9;
+}
+
+template <typename Body>
+double time_per_call(const Body& body) {
+  body();  // warm-up
+  const auto t0 = std::chrono::steady_clock::now();
+  int reps = 0;
+  double elapsed = 0.0;
+  do {
+    body();
+    ++reps;
+    elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  } while (reps < 5 || elapsed < 0.2);
+  return elapsed / reps;
 }
 
 }  // namespace
@@ -104,5 +131,48 @@ int main() {
                         "ell_padding", "sell_padding", "csr_bytes",
                         "ell_bytes", "sell_bytes"},
                        csv_rows);
+
+  // Fused-vs-inflate: the fast tier computes on the compressed containers
+  // directly, so the interesting number is host wall-clock against the
+  // bitwise native CSR-double kernel it would otherwise inflate back to.
+  using pd::kernels::DoseEngine;
+  pd::TextTable fused({"beam", "CSR64 us", "fused rs us", "SELL-C-32 us",
+                       "rs bytes / CSR64"});
+  std::vector<std::vector<std::string>> fused_rows;
+  for (const auto& beam : beams) {
+    DoseEngine engine(pd::sparse::CsrF64(beam.matrix), gpu.spec(),
+                      DoseEngine::Mode::kDouble,
+                      pd::kernels::kDefaultVectorTpb,
+                      pd::kernels::SpmvFamily::kVector,
+                      DoseEngine::Backend::kNative);
+    engine.set_native_threads(1);
+    pd::Rng rng(17 + beam.matrix.nnz());
+    const std::vector<double> w =
+        pd::sparse::random_vector(rng, beam.matrix.num_cols, 0.5, 2.0);
+    const double us_csr = time_per_call([&] { engine.compute(w); }) * 1e6;
+    engine.set_tier(DoseEngine::Tier::kFast, DoseEngine::FastFormat::kRsFormat);
+    const double us_rs = time_per_call([&] { engine.compute(w); }) * 1e6;
+    const double ratio =
+        static_cast<double>(
+            pd::kernels::rsformat_streamed_bytes(engine.fast_rs_matrix())) /
+        static_cast<double>(beam.matrix.bytes());
+    engine.set_tier(DoseEngine::Tier::kFast, DoseEngine::FastFormat::kSellCs);
+    const double us_sell = time_per_call([&] { engine.compute(w); }) * 1e6;
+    fused.add_row({beam.label, pd::fmt_double(us_csr, 1),
+                   pd::fmt_double(us_rs, 1), pd::fmt_double(us_sell, 1),
+                   pd::fmt_percent(ratio, 1)});
+    fused_rows.push_back({beam.label, pd::fmt_double(us_csr, 1),
+                          pd::fmt_double(us_rs, 1), pd::fmt_double(us_sell, 1),
+                          pd::fmt_double(ratio, 4)});
+  }
+  std::cout << fused.str() << "\n";
+  std::cout << "fused decode: " << pd::kernels::rsformat_spmv_variant_name()
+            << ", SELL-C-32: " << pd::kernels::sellcs_spmv_variant_name(32)
+            << " — host wall-clock, 1 thread (see wallclock_fast_tier for "
+               "the full record).\n\n";
+  pd::bench::write_csv("ablation_formats_fused",
+                       {"beam", "us_native_csr64", "us_fused_rsformat",
+                        "us_sellcs", "rs_bytes_ratio"},
+                       fused_rows);
   return 0;
 }

@@ -1,0 +1,184 @@
+// Wallclock of the fast compute tier (docs/fast_tier.md) on the six Table I
+// beams: SpMV executed directly on compressed storage versus the bitwise
+// native CSR-double kernel.
+//
+// The fused rsformat kernel never inflates the 16-bit delta/value streams to
+// CSR — it decodes 16 entries at a time (AVX2 prefix-sum row reconstruction)
+// and accumulates contributions in the same pass, so it streams the
+// compressed container's bytes (~4 B/nnz) instead of CSR-double's
+// ~12 B/nnz.  The SELL-C-32 kernel streams float values with SIMD gathers.
+// Both are measured single-thread, K=1 — the shape the paper's optimizer
+// inner loop issues — against the same engine's bitwise tier.  Results land
+// in bench_results/wallclock_fast_tier.csv and BENCH_formats.json
+// (schema-checked by scripts/check_bench_results.sh).
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "gpusim/simcheck.hpp"
+#include "kernels/dose_engine.hpp"
+#include "kernels/rsformat_spmv.hpp"
+#include "kernels/sellcs_spmv.hpp"
+#include "kernels/tuner.hpp"
+#include "sparse/random.hpp"
+
+namespace {
+
+using pd::kernels::DoseEngine;
+
+std::string fmt(double v, int prec = 3) {
+  std::ostringstream os;
+  os << std::setprecision(prec) << std::fixed << v;
+  return os.str();
+}
+
+/// Warm-up + "at least 5 reps and 0.2 s" timing loop; seconds per call.
+template <typename Body>
+double time_per_call(const Body& body) {
+  body();
+  const auto t0 = std::chrono::steady_clock::now();
+  int reps = 0;
+  double elapsed = 0.0;
+  do {
+    body();
+    ++reps;
+    elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  } while (reps < 5 || elapsed < 0.2);
+  return elapsed / reps;
+}
+
+struct CaseResult {
+  std::string beam;
+  std::uint64_t csr_bytes = 0;
+  std::uint64_t rs_bytes = 0;
+  std::uint64_t sell_bytes = 0;
+  double us_native_csr = 0.0;
+  double us_fused_rsformat = 0.0;
+  double us_sellcs = 0.0;
+  double rs_ratio() const {
+    return static_cast<double>(rs_bytes) / static_cast<double>(csr_bytes);
+  }
+  double sell_ratio() const {
+    return static_cast<double>(sell_bytes) / static_cast<double>(csr_bytes);
+  }
+};
+
+}  // namespace
+
+int main() {
+  const double scale = pd::bench::bench_scale();
+  pd::bench::print_banner(
+      "wallclock_fast_tier",
+      "fast tier: compute on compressed storage vs native CSR-double", scale);
+  const auto beams = pd::bench::load_beams(scale);
+
+  std::vector<CaseResult> results;
+  for (const auto& beam : beams) {
+    DoseEngine engine(pd::sparse::CsrF64(beam.matrix), pd::gpusim::make_a100(),
+                      DoseEngine::Mode::kDouble,
+                      pd::kernels::kDefaultVectorTpb,
+                      pd::kernels::SpmvFamily::kVector,
+                      DoseEngine::Backend::kNative);
+    engine.set_native_threads(1);
+    pd::Rng rng(4096 + beam.matrix.nnz());
+    const std::vector<double> x =
+        pd::sparse::random_vector(rng, beam.matrix.num_cols, 0.5, 2.0);
+
+    CaseResult r;
+    r.beam = beam.label;
+    r.csr_bytes = beam.matrix.bytes();
+    r.us_native_csr = time_per_call([&] { engine.compute(x); }) * 1e6;
+
+    engine.set_tier(DoseEngine::Tier::kFast, DoseEngine::FastFormat::kRsFormat);
+    r.rs_bytes = pd::kernels::rsformat_streamed_bytes(engine.fast_rs_matrix());
+    r.us_fused_rsformat = time_per_call([&] { engine.compute(x); }) * 1e6;
+
+    engine.set_tier(DoseEngine::Tier::kFast, DoseEngine::FastFormat::kSellCs);
+    r.sell_bytes =
+        pd::kernels::sellcs_streamed_bytes(engine.fast_sell_matrix());
+    r.us_sellcs = time_per_call([&] { engine.compute(x); }) * 1e6;
+    results.push_back(r);
+  }
+
+  int fused_wins = 0;
+  double max_rs_ratio = 0.0;
+  for (const auto& r : results) {
+    fused_wins += r.us_fused_rsformat < r.us_native_csr ? 1 : 0;
+    max_rs_ratio = std::max(max_rs_ratio, r.rs_ratio());
+  }
+
+  pd::TextTable table({"beam", "CSR64 us", "fused rs us", "SELL-C-32 us",
+                       "rs bytes / CSR64", "sell bytes / CSR64"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const auto& r : results) {
+    table.add_row({r.beam, fmt(r.us_native_csr, 1), fmt(r.us_fused_rsformat, 1),
+                   fmt(r.us_sellcs, 1), pd::fmt_percent(r.rs_ratio(), 1),
+                   pd::fmt_percent(r.sell_ratio(), 1)});
+    csv_rows.push_back({r.beam, std::to_string(r.csr_bytes),
+                        std::to_string(r.rs_bytes),
+                        std::to_string(r.sell_bytes), fmt(r.us_native_csr, 1),
+                        fmt(r.us_fused_rsformat, 1), fmt(r.us_sellcs, 1),
+                        fmt(r.rs_ratio(), 4), fmt(r.sell_ratio(), 4)});
+  }
+  std::cout << table.str() << "\n";
+  std::cout << "fused rsformat decode: " << pd::kernels::rsformat_spmv_variant_name()
+            << ", SELL-C-32 kernel: "
+            << pd::kernels::sellcs_spmv_variant_name(32) << "\n";
+  std::cout << "fused rsformat beats native CSR-double on " << fused_wins
+            << "/" << results.size()
+            << " beams (single thread, K=1) while streaming "
+            << pd::fmt_percent(max_rs_ratio, 1)
+            << " of the CSR-double bytes at worst.\n\n";
+  pd::bench::write_csv("wallclock_fast_tier",
+                       {"beam", "csr_double_bytes", "rsformat_bytes",
+                        "sellcs_bytes", "us_native_csr", "us_fused_rsformat",
+                        "us_sellcs", "streamed_bytes_ratio",
+                        "sellcs_bytes_ratio"},
+                       csv_rows);
+
+  std::ofstream json("BENCH_formats.json");
+  json << "{\n";
+  json << "  \"bench\": \"wallclock_fast_tier\",\n";
+  json << "  \"scale\": " << scale << ",\n";
+  // DoseEngine auto-enables the analyzer under PROTONDOSE_SIMCHECK; the fast
+  // tier is host-native so checking cannot perturb it, but brand the record
+  // anyway so scripts/check_bench_results.sh treats all BENCH json uniformly.
+  json << "  \"simcheck\": "
+       << (pd::gpusim::simcheck_env_enabled() ? "true" : "false") << ",\n";
+  json << "  \"fused_variant\": \""
+       << pd::kernels::rsformat_spmv_variant_name() << "\",\n";
+  json << "  \"sellcs_variant\": \""
+       << pd::kernels::sellcs_spmv_variant_name(32) << "\",\n";
+  json << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    json << "    {\"beam\": \"" << r.beam << "\""
+         << ", \"csr_double_bytes\": " << r.csr_bytes
+         << ", \"rsformat_bytes\": " << r.rs_bytes
+         << ", \"sellcs_bytes\": " << r.sell_bytes
+         << ", \"streamed_bytes_ratio\": " << fmt(r.rs_ratio(), 4)
+         << ", \"sellcs_bytes_ratio\": " << fmt(r.sell_ratio(), 4)
+         << ", \"us_native_csr\": " << fmt(r.us_native_csr, 1)
+         << ", \"us_fused_rsformat\": " << fmt(r.us_fused_rsformat, 1)
+         << ", \"us_sellcs\": " << fmt(r.us_sellcs, 1) << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"headline\": {\"fused_wins\": " << fused_wins
+       << ", \"cases\": " << results.size()
+       << ", \"max_streamed_bytes_ratio\": " << fmt(max_rs_ratio, 4) << "}\n";
+  json << "}\n";
+  std::cout << "wrote BENCH_formats.json\n";
+  return 0;
+}

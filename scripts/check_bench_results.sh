@@ -150,6 +150,31 @@ else
   fi
 fi
 
+echo "== checking BENCH_formats.json =="
+fmt="$workdir/BENCH_formats.json"
+if [ ! -f "$fmt" ]; then
+  echo "FAIL BENCH_formats.json: not produced by wallclock_fast_tier"
+  fail=1
+else
+  for key in '"bench"' '"scale"' '"fused_variant"' '"sellcs_variant"' \
+             '"cases"' '"csr_double_bytes"' '"rsformat_bytes"' \
+             '"sellcs_bytes"' '"streamed_bytes_ratio"' '"us_native_csr"' \
+             '"us_fused_rsformat"' '"us_sellcs"' '"headline"' \
+             '"fused_wins"' '"max_streamed_bytes_ratio"'; do
+    if ! grep -q "$key" "$fmt"; then
+      echo "FAIL BENCH_formats.json: missing key $key"
+      fail=1
+    fi
+  done
+  check_simcheck_brand "$fmt" BENCH_formats.json
+  if command -v python3 >/dev/null 2>&1; then
+    if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$fmt"; then
+      echo "FAIL BENCH_formats.json: not valid JSON"
+      fail=1
+    fi
+  fi
+fi
+
 # Benches that used to emit a CSV must still emit one.
 for rel in "${!OLD_HEADER[@]}"; do
   if [ ! -f "$workdir/$rel" ]; then

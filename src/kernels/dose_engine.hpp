@@ -16,6 +16,15 @@
 //    kernels' exact accumulation orders, multithreaded over an nnz-balanced
 //    row partition.  No counters, but much faster wall-clock — the backend
 //    optimizer inner loops run on.
+//
+// Orthogonal to the backend axis, the engine exposes two accuracy *tiers*
+// (docs/fast_tier.md):
+//  * Tier::kBitwise (default) — everything above: bitwise run-to-run and
+//    cross-backend reproducible, the differential oracle.
+//  * Tier::kFast — SpMV executed directly on compressed storage (fused
+//    rsformat decompress-SpMV or a native SELL-C-σ kernel), streaming far
+//    fewer bytes than CSR.  Host-native only, verified against the bitwise
+//    tier with a derived tolerance bound instead of bit equality.
 
 #include <cstdint>
 #include <memory>
@@ -30,7 +39,9 @@
 #include "kernels/native_backend.hpp"
 #include "kernels/rowsplit_csr.hpp"
 #include "kernels/spmv_common.hpp"
+#include "rsformat/rsmatrix.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/sellcs.hpp"
 #include "sparse/stats.hpp"
 
 namespace pd::kernels {
@@ -46,6 +57,16 @@ class DoseEngine {
   enum class Backend {
     kGpusim,  ///< simulated GPU: counters + perf model, slow wall-clock.
     kNative,  ///< host-native, bitwise identical dose, no counters.
+  };
+
+  enum class Tier {
+    kBitwise,  ///< default: bitwise-reproducible CSR kernels (the oracle).
+    kFast,     ///< compute on compressed storage; tolerance-verified.
+  };
+
+  enum class FastFormat {
+    kRsFormat,  ///< fused decompress-SpMV on the 16-bit delta streams.
+    kSellCs,    ///< native SELL-C-σ kernel (float values, SIMD gathers).
   };
 
   using Family = SpmvFamily;
@@ -76,9 +97,31 @@ class DoseEngine {
   void set_backend(Backend backend) { backend_ = backend; }
 
   /// Thread count for the native backend (default 1; 0 = all hardware
-  /// threads).  Results are bitwise identical for every thread count.
+  /// threads).  Bitwise-tier results are bitwise identical for every thread
+  /// count; fast-tier results are run-to-run deterministic per thread count
+  /// (docs/fast_tier.md).
   void set_native_threads(unsigned threads) { native_.set_threads(threads); }
   unsigned native_threads() const { return native_.requested_threads(); }
+
+  /// Select the accuracy tier for subsequent computes.  Switching to
+  /// Tier::kFast builds the compressed storage for `format` on first use
+  /// (cached thereafter; throws pd::Error for kRsFormat if the stored matrix
+  /// has negative values).  The fast tier executes host-native regardless of
+  /// backend() — there is no simulated fast kernel, so gpusim counters and
+  /// simcheck do not apply to it.  Switching tiers never perturbs the
+  /// bitwise tier's bits.
+  void set_tier(Tier tier, FastFormat format = FastFormat::kRsFormat);
+  Tier tier() const { return tier_; }
+  FastFormat fast_format() const { return fast_format_; }
+
+  /// Fast-tier storage accessors (built by set_tier; throw if absent).
+  const rsformat::RsMatrix& fast_rs_matrix() const;
+  const sparse::SellCsMatrix<float>& fast_sell_matrix() const;
+
+  /// The matrix the selected mode actually computes with, widened to double
+  /// (exact: half and float embed in double).  This is what the fast tier
+  /// compresses and what the tolerance bound is derived against.
+  sparse::CsrF64 stored_matrix_as_double() const;
 
   /// Compute the dose vector for the given spot weights.  `schedule_seed`
   /// permutes GPU block scheduling; the result is independent of it (that is
@@ -128,6 +171,8 @@ class DoseEngine {
   void execute_batch(const sparse::CsrMatrix<MatV>& A,
                      std::span<const Acc* const> xs, std::span<Acc* const> ys,
                      std::uint64_t schedule_seed);
+  void ensure_fast_storage(FastFormat format);
+  void compute_fast(std::span<const double> x, std::span<double> y);
 
   Mode mode_;
   Family family_;
@@ -137,6 +182,12 @@ class DoseEngine {
   sparse::CsrMatrix<pd::Half> half_matrix_;  ///< kHalfDouble storage.
   sparse::CsrF32 single_matrix_;             ///< kSingle storage.
   sparse::CsrF64 double_matrix_;             ///< kDouble storage.
+  Tier tier_ = Tier::kBitwise;
+  FastFormat fast_format_ = FastFormat::kRsFormat;
+  /// Fast-tier containers, built lazily from stored_matrix_as_double() and
+  /// cached for the engine's lifetime (unique_ptr doubles as "built" flag).
+  std::unique_ptr<rsformat::RsMatrix> rs_matrix_;
+  std::unique_ptr<sparse::SellCsMatrix<float>> sell_matrix_;
   RowSplitPlan rowsplit_plan_;               ///< kRowSplit analysis.
   std::vector<AdaptiveWorkItem> adaptive_worklist_;  ///< kAdaptive analysis.
   std::unique_ptr<gpusim::Gpu> gpu_;

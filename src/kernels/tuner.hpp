@@ -36,6 +36,35 @@ inline std::vector<unsigned> default_block_sizes() {
   return {32, 64, 128, 256, 512, 1024};
 }
 
+/// Fast-tier format recommendation (docs/fast_tier.md).  Both fast kernels
+/// are DRAM-bound like everything else in this codebase, so the tuner picks
+/// whichever container streams fewer bytes per product; rsformat wins ties
+/// (no padding, no permutation scatter).  Callers feed it
+/// rsformat_streamed_bytes() / sellcs_streamed_bytes() from the built
+/// containers — or estimates, before paying for the build.
+struct FastFormatChoice {
+  std::uint64_t rsformat_bytes = 0;
+  std::uint64_t sellcs_bytes = 0;
+  bool prefer_rsformat = true;
+
+  double ratio_vs(std::uint64_t csr_bytes) const {
+    const std::uint64_t chosen =
+        prefer_rsformat ? rsformat_bytes : sellcs_bytes;
+    return csr_bytes == 0
+               ? 0.0
+               : static_cast<double>(chosen) / static_cast<double>(csr_bytes);
+  }
+};
+
+inline FastFormatChoice choose_fast_format(std::uint64_t rsformat_bytes,
+                                           std::uint64_t sellcs_bytes) {
+  FastFormatChoice c;
+  c.rsformat_bytes = rsformat_bytes;
+  c.sellcs_bytes = sellcs_bytes;
+  c.prefer_rsformat = rsformat_bytes <= sellcs_bytes;
+  return c;
+}
+
 /// `run_at(tpb)` must launch the kernel with that block size and return the
 /// SpmvRun; `mean_work_per_warp` feeds the perf model (see gpusim::PerfInput).
 template <typename RunFn>

@@ -46,7 +46,16 @@ std::vector<QueuedRequest> BatchQueue::pop_ready(std::uint64_t now,
     return batch;
   }
   PlanQueue& pq = best->second;
-  const std::size_t width = std::min(config_.batch_cap, pq.pending.size());
+  std::size_t width = std::min(config_.batch_cap, pq.pending.size());
+  // Never mix execution configurations in one launch: shrink to the FIFO
+  // prefix sharing the head's exec_key.  The suffix stays queued and
+  // launches (in order) once this batch's mark_idle frees the plan.
+  const std::uint32_t key = pq.pending.front().exec_key;
+  std::size_t uniform = 1;
+  while (uniform < width && pq.pending[uniform].exec_key == key) {
+    ++uniform;
+  }
+  width = uniform;
   batch.reserve(width);
   for (std::size_t i = 0; i < width; ++i) {
     batch.push_back(std::move(pq.pending.front()));

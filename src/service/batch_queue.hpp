@@ -34,11 +34,16 @@ struct BatchQueueConfig {
 };
 
 /// One queued request.  `deadline_tick` == 0 means no deadline.
+/// `exec_key` tags the execution configuration the request asked for
+/// (DoseService encodes the accuracy tier/format in it); a launched batch is
+/// always uniform in exec_key so the engine can be configured once per
+/// launch, under the plan's busy mark.
 struct QueuedRequest {
   std::uint64_t id = 0;
   std::string plan;
   std::uint64_t enqueue_tick = 0;
   std::uint64_t deadline_tick = 0;
+  std::uint32_t exec_key = 0;
 };
 
 class BatchQueue {
@@ -58,6 +63,9 @@ class BatchQueue {
   /// busy.  A plan is launchable when it is not busy (one in-flight batch
   /// per plan keeps its engine single-writer and its ordering FIFO) and
   /// (pending >= batch_cap, or its head aged >= flush_age_ticks, or `drain`).
+  /// The batch is the longest prefix of the plan's FIFO sharing the head's
+  /// exec_key (capped at batch_cap), so mixed-tier traffic splits into
+  /// uniform launches without ever reordering a plan's requests.
   /// Empty result = nothing launchable at `now`.
   std::vector<QueuedRequest> pop_ready(std::uint64_t now, bool drain);
 

@@ -14,6 +14,17 @@ namespace {
 // a long-lived service never grows it.
 constexpr std::size_t kLatencyWindow = 1u << 15;
 
+// BatchQueue exec_key encoding: batches are uniform in tier *and* fast
+// format, so one engine reconfiguration covers the whole launch.
+std::uint32_t exec_key_for(const SubmitOptions& options) {
+  if (options.tier == kernels::DoseEngine::Tier::kBitwise) {
+    return 0;
+  }
+  return options.fast_format == kernels::DoseEngine::FastFormat::kRsFormat
+             ? 1
+             : 2;
+}
+
 }  // namespace
 
 const char* to_string(RequestStatus status) {
@@ -132,9 +143,11 @@ Ticket DoseService::submit(const std::string& plan,
         deadline_ms <= 0.0
             ? 0
             : now + static_cast<std::uint64_t>(deadline_ms * 1000.0) + 1;
+    request.exec_key = exec_key_for(options);
     if (queue_.submit(std::move(request))) {
       pending_.emplace(
-          ticket.id, Pending{std::move(promise), std::move(weights), submitted});
+          ticket.id, Pending{std::move(promise), std::move(weights), submitted,
+                             options.tier, options.fast_format});
       max_queue_depth_ = std::max(max_queue_depth_, queue_.depth());
       lock.unlock();
       work_cv_.notify_one();
@@ -281,6 +294,7 @@ void DoseService::execute_batch(std::unique_lock<std::mutex>& lock,
   std::size_t launch_width = 0;
   std::uint64_t ok_count = 0;
   std::uint64_t fail_count = 0;
+  std::uint64_t fast_ok = 0;
   std::vector<double> ok_latencies;
 
   if (!engine) {
@@ -321,7 +335,17 @@ void DoseService::execute_batch(std::unique_lock<std::mutex>& lock,
         const std::vector<double>& w = items[valid[j]].entry.weights;
         std::copy(w.begin(), w.end(), weights.begin() + j * spots);
       }
+      // Batches are exec_key-uniform (BatchQueue), so the first valid item's
+      // tier speaks for the launch.  Reconfiguring the shared engine is safe
+      // here: the plan's busy mark makes this launch its only writer.
+      const Pending& head = items[valid.front()].entry;
+      const bool fast_launch =
+          head.tier == kernels::DoseEngine::Tier::kFast;
       try {
+        if (fast_launch) {
+          engine->set_tier(kernels::DoseEngine::Tier::kFast,
+                           head.fast_format);
+        }
         std::vector<std::vector<double>> doses =
             engine->compute_batch(weights, launch_width);
         ok_latencies.reserve(launch_width);
@@ -347,6 +371,16 @@ void DoseService::execute_batch(std::unique_lock<std::mutex>& lock,
         }
         launch_width = 0;
       }
+      // Later launches of this plan (and rebuilt cache entries' peers)
+      // expect the default tier; hand the engine back bitwise even when the
+      // fast launch threw.  set_tier(kBitwise) cannot throw — it builds
+      // nothing.
+      if (fast_launch) {
+        engine->set_tier(kernels::DoseEngine::Tier::kBitwise);
+        if (launch_width > 0) {
+          ++fast_ok;
+        }
+      }
     }
   }
 
@@ -361,6 +395,7 @@ void DoseService::execute_batch(std::unique_lock<std::mutex>& lock,
   failed_ += fail_count;
   if (launch_width > 0) {
     ++batches_;
+    fast_batches_ += fast_ok;
     batch_size_counts_[launch_width - 1] += 1;
     mean_launch_ms_ = mean_launch_ms_ == 0.0
                           ? launch_ms
@@ -387,6 +422,7 @@ ServiceStats DoseService::stats() const {
     s.expired = expired_;
     s.failed = failed_;
     s.batches = batches_;
+    s.fast_batches = fast_batches_;
     s.batch_size_counts = batch_size_counts_;
     s.queue_depth = queue_.depth();
     s.max_queue_depth = max_queue_depth_;

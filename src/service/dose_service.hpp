@@ -19,6 +19,12 @@
 // per-plan execution is serial; and rebuilt engines are bit-identical to
 // evicted ones (EngineCache header).  tests/test_service.cpp hammers the
 // whole stack against fresh sequential engines to pin the contract.
+//
+// Requests may opt into the engine's fast tier (docs/fast_tier.md) via
+// SubmitOptions::tier: those doses are tolerance-grade, not bitwise, and
+// ride in tier-uniform batches (BatchQueue::exec_key) so the shared engine
+// is reconfigured only under the plan's busy mark — default-tier traffic
+// keeps the bitwise contract above untouched.
 
 #include <condition_variable>
 #include <cstdint>
@@ -31,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "kernels/dose_engine.hpp"
 #include "service/batch_queue.hpp"
 #include "service/engine_cache.hpp"
 #include "service/stats.hpp"
@@ -78,6 +85,13 @@ struct SubmitOptions {
   /// 0 disables.  Applies while queued — once a request enters a launch it
   /// always completes.
   double deadline_ms = -1.0;
+  /// Accuracy tier for this request (docs/fast_tier.md).  The default keeps
+  /// the bitwise reproducibility contract; Tier::kFast trades it for
+  /// tolerance-grade dose computed on compressed storage.
+  kernels::DoseEngine::Tier tier = kernels::DoseEngine::Tier::kBitwise;
+  /// Compressed container for Tier::kFast requests (ignored when bitwise).
+  kernels::DoseEngine::FastFormat fast_format =
+      kernels::DoseEngine::FastFormat::kRsFormat;
 };
 
 class DoseService {
@@ -116,6 +130,9 @@ class DoseService {
     std::promise<DoseResult> promise;
     std::vector<double> weights;
     std::chrono::steady_clock::time_point submitted;
+    kernels::DoseEngine::Tier tier = kernels::DoseEngine::Tier::kBitwise;
+    kernels::DoseEngine::FastFormat fast_format =
+        kernels::DoseEngine::FastFormat::kRsFormat;
   };
 
   std::uint64_t tick_now() const;
@@ -146,7 +163,7 @@ class DoseService {
   // Counters (under mu_).  Latencies of recent kOk completions feed the
   // p50/p99 snapshot; bounded ring so a long-lived service cannot grow it.
   std::uint64_t submitted_ = 0, completed_ = 0, rejected_ = 0, cancelled_ = 0,
-                expired_ = 0, failed_ = 0, batches_ = 0;
+                expired_ = 0, failed_ = 0, batches_ = 0, fast_batches_ = 0;
   std::vector<std::uint64_t> batch_size_counts_;
   std::size_t max_queue_depth_ = 0;
   std::vector<double> latencies_ms_;

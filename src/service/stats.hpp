@@ -34,7 +34,8 @@ struct ServiceStats {
   std::uint64_t failed = 0;     ///< Engine build / weight validation (kFailed).
 
   // Adaptive batching.
-  std::uint64_t batches = 0;    ///< compute_batch launches issued.
+  std::uint64_t batches = 0;       ///< compute_batch launches issued.
+  std::uint64_t fast_batches = 0;  ///< …of which ran the fast tier.
   /// batch_size_counts[k-1] = number of launches of width exactly k
   /// (k in [1, batch_cap]).
   std::vector<std::uint64_t> batch_size_counts;

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "kernels/rsformat_spmv.hpp"
 #include "rsformat/cpu_engine.hpp"
 #include "rsformat/rsmatrix.hpp"
 #include "sparse/random.hpp"
@@ -191,6 +192,135 @@ TEST(RsMatrix, ReadLintsTheDecodedDeltaStream) {
   std::memcpy(bad_delta.data() + deltas_off, &huge, sizeof(huge));
   std::stringstream s2(bad_delta, std::ios::in | std::ios::binary);
   EXPECT_THROW(RsMatrix::read_binary(s2), pd::Error);
+}
+
+// --- delta-stream edge cases (shared by to_csr and the fused kernel) ---------
+
+// One matrix column holding entries at exactly `rows` (ascending), value 1.0.
+sparse::CsrF64 one_column_at_rows(const std::vector<std::uint64_t>& rows,
+                                  std::uint64_t num_rows) {
+  sparse::CsrF64 csr;
+  csr.num_rows = num_rows;
+  csr.num_cols = 1;
+  csr.row_ptr.assign(num_rows + 1, 0);
+  for (const std::uint64_t r : rows) {
+    csr.row_ptr[r + 1] = 1;
+  }
+  for (std::uint64_t r = 0; r < num_rows; ++r) {
+    csr.row_ptr[r + 1] += csr.row_ptr[r];
+  }
+  csr.col_idx.assign(rows.size(), 0);
+  csr.values.assign(rows.size(), 1.0);
+  csr.validate_canonical();
+  return csr;
+}
+
+std::vector<double> run_fused(const RsMatrix& rs,
+                              const std::vector<double>& x, unsigned threads,
+                              bool allow_simd) {
+  kernels::NativeExecutor exec;
+  exec.set_threads(threads);
+  std::vector<double> y(rs.num_rows());
+  kernels::rsformat_spmv(rs, x, y, exec, allow_simd);
+  return y;
+}
+
+// to_csr and the fused kernel must agree exactly: to_csr values are
+// double(q)*scale and the fused kernel computes (double(q)*scale)*w in
+// ascending column order per row — the same products reference_spmv sums.
+void expect_fused_matches_to_csr(const RsMatrix& rs,
+                                 const std::vector<double>& x) {
+  std::vector<double> y_ref(rs.num_rows());
+  sparse::reference_spmv(rs.to_csr(), x, y_ref);
+  EXPECT_EQ(run_fused(rs, x, 1, false), y_ref) << "scalar";
+  EXPECT_EQ(run_fused(rs, x, 1, true), y_ref) << "simd";
+  // Threaded runs merge per-part scratch (different order): tolerance, and
+  // deterministic per thread count.
+  for (const unsigned threads : {2u, 5u}) {
+    const auto y = run_fused(rs, x, threads, true);
+    ASSERT_EQ(y.size(), y_ref.size());
+    for (std::size_t r = 0; r < y.size(); ++r) {
+      EXPECT_NEAR(y[r], y_ref[r], 1e-12 * (1.0 + std::fabs(y_ref[r])))
+          << threads << " threads, row " << r;
+    }
+    EXPECT_EQ(y, run_fused(rs, x, threads, true)) << "rerun " << threads;
+  }
+}
+
+TEST(RsMatrixEdges, GapExactlyEscapeAdvanceIsADirectDelta) {
+  // kEscapeAdvance (0xfffe) still fits a raw uint16 delta — only gaps
+  // >= kEscape (0xffff) emit the escape code.  from_csr must not waste an
+  // escape here and every decoder must agree.
+  const std::uint64_t gap = RsMatrix::kEscapeAdvance;
+  const auto csr = one_column_at_rows({3, 3 + gap}, 3 + gap + 2);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  ASSERT_EQ(rs.deltas().size(), 2u);  // no escape slot
+  EXPECT_EQ(rs.deltas()[0], 0u);
+  EXPECT_EQ(rs.deltas()[1], RsMatrix::kEscapeAdvance);
+  EXPECT_EQ(rs.to_csr().row_ptr, csr.row_ptr);
+  expect_fused_matches_to_csr(rs, {1.25});
+}
+
+TEST(RsMatrixEdges, GapExactlyEscapeEmitsOneEscape) {
+  // The smallest gap that cannot be a raw delta: kEscape (0xffff) becomes
+  // one escape (advancing 0xfffe) plus a delta of 1.
+  const std::uint64_t gap = RsMatrix::kEscape;
+  const auto csr = one_column_at_rows({0, gap}, gap + 1);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  ASSERT_EQ(rs.deltas().size(), 3u);
+  EXPECT_EQ(rs.deltas()[1], RsMatrix::kEscape);
+  EXPECT_EQ(rs.deltas()[2], 1u);
+  EXPECT_EQ(rs.to_csr().row_ptr, csr.row_ptr);
+  expect_fused_matches_to_csr(rs, {0.75});
+}
+
+TEST(RsMatrixEdges, ConsecutiveEscapesDecodeUniformly) {
+  // A gap needing several escapes back-to-back, plus trailing entries close
+  // together so the fused kernel's escape-block scalar fallback hands back
+  // to the vector path mid-column.
+  const std::uint64_t gap = 2 * std::uint64_t{RsMatrix::kEscapeAdvance} + 7;
+  std::vector<std::uint64_t> rows = {1, 1 + gap};
+  for (std::uint64_t i = 1; i <= 40; ++i) {
+    rows.push_back(1 + gap + 3 * i);  // a vectorizable tail after the jump
+  }
+  const auto csr = one_column_at_rows(rows, rows.back() + 2);
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  // 2 escapes + one slot per entry.
+  ASSERT_EQ(rs.deltas().size(), rows.size() + 2);
+  EXPECT_EQ(rs.deltas()[1], RsMatrix::kEscape);
+  EXPECT_EQ(rs.deltas()[2], RsMatrix::kEscape);
+  EXPECT_EQ(rs.to_csr().row_ptr, csr.row_ptr);
+  expect_fused_matches_to_csr(rs, {2.0});
+}
+
+TEST(RsMatrixEdges, EmptyColumnsAgreeAcrossDecoders) {
+  // Leading, interior, and trailing empty columns; zero-weight columns are
+  // skipped by the fused kernel without touching their (absent) streams.
+  sparse::CsrF64 csr;
+  csr.num_rows = 6;
+  csr.num_cols = 5;
+  csr.row_ptr = {0, 1, 1, 2, 2, 2, 2};
+  csr.col_idx = {1, 3};
+  csr.values = {2.0, 4.0};
+  csr.validate_canonical();
+  const RsMatrix rs = RsMatrix::from_csr(csr);
+  EXPECT_EQ(rs.to_csr().row_ptr, csr.row_ptr);
+  expect_fused_matches_to_csr(rs, {9.0, 1.5, 9.0, 0.5, 9.0});
+  // All-zero weights: exact zeros out.
+  const auto y = run_fused(rs, {0.0, 0.0, 0.0, 0.0, 0.0}, 2, true);
+  for (const double v : y) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(RsMatrixEdges, FusedMatchesToCsrOnRandomMatrices) {
+  for (const std::uint64_t seed : {31u, 32u, 33u}) {
+    const auto csr = dose_like_matrix(seed, 700, 60);
+    const RsMatrix rs = RsMatrix::from_csr(csr);
+    Rng rng(seed);
+    const auto x = sparse::random_vector(rng, csr.num_cols, 0.0, 2.0);
+    expect_fused_matches_to_csr(rs, x);
+  }
 }
 
 // --- CPU engine --------------------------------------------------------------

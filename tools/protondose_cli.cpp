@@ -9,6 +9,8 @@
 //
 // Run `protondose <subcommand> --help` for per-command options.
 
+#include <algorithm>
+#include <cmath>
 #include <future>
 #include <iostream>
 #include <string>
@@ -25,6 +27,8 @@
 #include "gpusim/profile.hpp"
 #include "kernels/analytic.hpp"
 #include "kernels/dose_engine.hpp"
+#include "kernels/rsformat_spmv.hpp"
+#include "kernels/sellcs_spmv.hpp"
 #include "kernels/tuner.hpp"
 #include "kernels/vector_csr.hpp"
 #include "roofline/roofline.hpp"
@@ -126,6 +130,92 @@ int cmd_stats(int argc, const char* const* argv) {
   return 0;
 }
 
+// `spmv --tier fast`: execute on compressed storage (docs/fast_tier.md),
+// report wall-clock + streamed-bytes ratio + worst deviation from the
+// bitwise tier.  No modeled GPU numbers: the fast tier is host-native only.
+int run_spmv_fast_tier(const pd::CliParser& cli,
+                       pd::kernels::DoseEngine& engine,
+                       const std::vector<double>& weights,
+                       const std::string& mode_str) {
+  using Tier = pd::kernels::DoseEngine::Tier;
+  using FastFormat = pd::kernels::DoseEngine::FastFormat;
+
+  engine.set_backend(pd::kernels::DoseEngine::Backend::kNative);
+  engine.set_native_threads(static_cast<unsigned>(cli.get_int("threads")));
+  const std::vector<double> bitwise_dose = engine.compute(weights);
+
+  const std::string fmt_str = cli.get("format");
+  FastFormat fmt;
+  std::string fmt_name = fmt_str;
+  if (fmt_str == "auto") {
+    engine.set_tier(Tier::kFast, FastFormat::kRsFormat);
+    engine.set_tier(Tier::kFast, FastFormat::kSellCs);
+    const auto choice = pd::kernels::choose_fast_format(
+        pd::kernels::rsformat_streamed_bytes(engine.fast_rs_matrix()),
+        pd::kernels::sellcs_streamed_bytes(engine.fast_sell_matrix()));
+    fmt = choice.prefer_rsformat ? FastFormat::kRsFormat
+                                 : FastFormat::kSellCs;
+    fmt_name = choice.prefer_rsformat ? "rsformat" : "sellcs";
+  } else if (fmt_str == "rsformat") {
+    fmt = FastFormat::kRsFormat;
+  } else if (fmt_str == "sellcs") {
+    fmt = FastFormat::kSellCs;
+  } else {
+    throw pd::Error("unknown format '" + fmt_str +
+                    "' (expected rsformat, sellcs, or auto)");
+  }
+  engine.set_tier(Tier::kFast, fmt);
+
+  const std::uint64_t csr_bytes = engine.stored_matrix_as_double().bytes();
+  const std::uint64_t fast_bytes =
+      fmt == FastFormat::kRsFormat
+          ? pd::kernels::rsformat_streamed_bytes(engine.fast_rs_matrix())
+          : pd::kernels::sellcs_streamed_bytes(engine.fast_sell_matrix());
+  const char* variant =
+      fmt == FastFormat::kRsFormat
+          ? pd::kernels::rsformat_spmv_variant_name()
+          : pd::kernels::sellcs_spmv_variant_name(
+                engine.fast_sell_matrix().chunk_height);
+
+  std::vector<double> fast_dose = engine.compute(weights);  // warm-up
+  double best_s = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    pd::WallTimer timer;
+    fast_dose = engine.compute(weights);
+    best_s = std::min(best_s, timer.seconds());
+  }
+
+  double max_abs = 0.0, max_ref = 0.0;
+  for (std::size_t r = 0; r < fast_dose.size(); ++r) {
+    max_abs = std::max(max_abs, std::abs(fast_dose[r] - bitwise_dose[r]));
+    max_ref = std::max(max_ref, std::abs(bitwise_dose[r]));
+  }
+
+  pd::TextTable t({"quantity", "value"});
+  t.add_row({"tier", "fast (" + fmt_name + ", " + variant + ")"});
+  t.add_row({"mode", mode_str});
+  t.add_row({"native threads",
+             std::to_string(engine.native_threads())});
+  t.add_row({"wall-clock / product", pd::fmt_sci(best_s, 3) + " s"});
+  t.add_row({"streamed bytes",
+             pd::fmt_bytes(static_cast<double>(fast_bytes)) + " vs " +
+                 pd::fmt_bytes(static_cast<double>(csr_bytes)) +
+                 " CSR-double"});
+  t.add_row({"streamed-bytes ratio",
+             pd::fmt_double(static_cast<double>(fast_bytes) /
+                                static_cast<double>(csr_bytes),
+                            3)});
+  t.add_row({"max |fast - bitwise|",
+             pd::fmt_sci(max_abs, 3) + " (dose max " +
+                 pd::fmt_sci(max_ref, 3) + ")"});
+  std::cout << t.str();
+  if (cli.get_flag("check")) {
+    std::cout << "\nsimcheck: fast tier executes host-native; no simulated "
+                 "launches to check\n";
+  }
+  return 0;
+}
+
 int cmd_spmv(int argc, const char* const* argv) {
   pd::CliParser cli("protondose spmv",
                     "run a dose-calculation SpMV on the simulated GPU");
@@ -133,6 +223,15 @@ int cmd_spmv(int argc, const char* const* argv) {
   cli.add_option("device", "a100", "simulated device: a100, v100, p100");
   cli.add_option("mode", "half_double", "precision: half_double, single, double");
   cli.add_option("tpb", "512", "threads per block");
+  cli.add_option("tier", "bitwise",
+                 "accuracy tier: bitwise (simulated GPU, default) or fast "
+                 "(host-native compute on compressed storage, "
+                 "docs/fast_tier.md)");
+  cli.add_option("format", "rsformat",
+                 "fast-tier container: rsformat, sellcs, or auto "
+                 "(fewest streamed bytes wins)");
+  cli.add_option("threads", "1",
+                 "native threads for the fast tier (0 = all hardware)");
   cli.add_flag("profile", "print the full Nsight-style kernel profile");
   cli.add_flag("check", "run under the simcheck correctness analyzer "
                         "(memcheck/racecheck/synccheck/initcheck/"
@@ -158,6 +257,15 @@ int cmd_spmv(int argc, const char* const* argv) {
     engine.enable_check();
   }
   const std::vector<double> weights(engine.num_spots(), 1.0);
+
+  const std::string tier_str = cli.get("tier");
+  if (tier_str == "fast") {
+    return run_spmv_fast_tier(cli, engine, weights, mode_str);
+  }
+  if (tier_str != "bitwise") {
+    throw pd::Error("unknown tier '" + tier_str +
+                    "' (expected bitwise or fast)");
+  }
   engine.compute(weights);
   const auto est = engine.last_estimate();
 
