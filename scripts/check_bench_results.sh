@@ -175,6 +175,31 @@ else
   fi
 fi
 
+echo "== checking BENCH_delta.json =="
+dlt="$workdir/BENCH_delta.json"
+if [ ! -f "$dlt" ]; then
+  echo "FAIL BENCH_delta.json: not produced by wallclock_delta"
+  fail=1
+else
+  for key in '"bench"' '"scale"' '"variant"' '"cases"' '"changed_frac"' \
+             '"changed_cols"' '"delta_nnz"' '"touched_rows"' '"us_full"' \
+             '"us_delta_bitwise"' '"us_delta_fast"' '"us_apply_bitwise"' \
+             '"us_apply_fast"' '"bitwise_speedup"' '"fast_speedup"' \
+             '"headline"'; do
+    if ! grep -q "$key" "$dlt"; then
+      echo "FAIL BENCH_delta.json: missing key $key"
+      fail=1
+    fi
+  done
+  check_simcheck_brand "$dlt" BENCH_delta.json
+  if command -v python3 >/dev/null 2>&1; then
+    if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$dlt"; then
+      echo "FAIL BENCH_delta.json: not valid JSON"
+      fail=1
+    fi
+  fi
+fi
+
 # Benches that used to emit a CSV must still emit one.
 for rel in "${!OLD_HEADER[@]}"; do
   if [ ! -f "$workdir/$rel" ]; then

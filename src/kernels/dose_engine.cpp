@@ -9,6 +9,7 @@
 #include "kernels/sellcs_spmv.hpp"
 #include "kernels/vector_csr.hpp"
 #include "sparse/convert.hpp"
+#include "sparse/partition.hpp"
 
 namespace pd::kernels {
 
@@ -129,6 +130,222 @@ void DoseEngine::compute_fast(std::span<const double> x, std::span<double> y) {
   } else {
     sellcs_spmv(*sell_matrix_, x, y, native_);
   }
+}
+
+void DoseEngine::ensure_delta_context() {
+  if (delta_) {
+    return;
+  }
+  auto ctx = std::make_unique<DeltaContext>();
+  ctx->csc = build_csc_sidecar(stored_matrix_as_double());
+  switch (family_) {
+    case Family::kAdaptive: {
+      // Items partition the row space in order; invert to row → item.
+      ctx->adaptive_row_item.resize(stats_.rows);
+      for (std::size_t i = 0; i < adaptive_worklist_.size(); ++i) {
+        const AdaptiveWorkItem& item = adaptive_worklist_[i];
+        const std::uint32_t end =
+            item.long_row != 0 ? item.row_begin + 1 : item.row_end;
+        for (std::uint32_t r = item.row_begin; r < end; ++r) {
+          ctx->adaptive_row_item[r] = static_cast<std::uint32_t>(i);
+        }
+      }
+      break;
+    }
+    case Family::kRowSplit: {
+      // The plan is built row by row, so each row's items are contiguous and
+      // ascending; record the per-row item range and split-row index.
+      ctx->rowsplit_item_begin.assign(stats_.rows + 1, 0);
+      for (const RowSplitPlan::WorkItem& item : rowsplit_plan_.items) {
+        ++ctx->rowsplit_item_begin[item.row + 1];
+      }
+      for (std::uint64_t r = 0; r < stats_.rows; ++r) {
+        ctx->rowsplit_item_begin[r + 1] += ctx->rowsplit_item_begin[r];
+      }
+      ctx->rowsplit_split.assign(stats_.rows, -1);
+      for (std::size_t s = 0; s < rowsplit_plan_.split_rows.size(); ++s) {
+        ctx->rowsplit_split[rowsplit_plan_.split_rows[s].row] =
+            static_cast<std::int32_t>(s);
+      }
+      // Stale-safe scratch: a replayed row folds only the slots its own
+      // items just wrote, so the buffers are sized once and never cleared.
+      ctx->partials64.resize(rowsplit_plan_.num_partials);
+      ctx->partials32.resize(rowsplit_plan_.num_partials);
+      break;
+    }
+    default:
+      break;
+  }
+  delta_ = std::move(ctx);
+}
+
+const CscSidecar& DoseEngine::csc_sidecar() {
+  ensure_delta_context();
+  return delta_->csc;
+}
+
+template <typename MatV, typename Acc>
+void DoseEngine::delta_recompute_rows(const sparse::CsrMatrix<MatV>& A,
+                                      std::span<const Acc> x,
+                                      std::span<const std::uint32_t> rows,
+                                      std::span<double> dose) {
+  if (rows.empty()) {
+    return;
+  }
+  const std::uint32_t* row_ptr = A.row_ptr.data();
+  const MatV* values = A.values.data();
+  const auto* col_idx = A.col_idx.data();
+  if (family_ == Family::kAdaptive) {
+    // Short-row groups recompute as whole items (the segmented scan couples
+    // the group); unaffected group-mates are rewritten with identical bits.
+    // `rows` ascends and items partition the row space, so the item indices
+    // come out nondecreasing — dedupe by skipping repeats.
+    std::vector<std::uint32_t> items;
+    items.reserve(rows.size());
+    for (const std::uint32_t r : rows) {
+      const std::uint32_t i = delta_->adaptive_row_item[r];
+      if (items.empty() || items.back() != i) {
+        items.push_back(i);
+      }
+    }
+    std::vector<std::uint64_t> costs(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const AdaptiveWorkItem& item = adaptive_worklist_[items[i]];
+      const std::uint32_t end =
+          item.long_row != 0 ? item.row_begin + 1 : item.row_end;
+      costs[i] = row_ptr[end] - row_ptr[item.row_begin];
+    }
+    const sparse::RowPartition part =
+        sparse::balanced_cost_partition(costs, native_.parts_for(items.size()));
+    native_.run(part.parts(), [&](std::size_t p) {
+      for (std::uint64_t i = part.boundaries[p]; i < part.boundaries[p + 1];
+           ++i) {
+        native_adaptive_item_widen(row_ptr, values, col_idx, x.data(),
+                                   dose.data(), adaptive_worklist_[items[i]]);
+      }
+    });
+    return;
+  }
+  std::vector<std::uint64_t> costs(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    costs[i] = row_ptr[rows[i] + 1] - row_ptr[rows[i]];
+  }
+  const sparse::RowPartition part =
+      sparse::balanced_cost_partition(costs, native_.parts_for(rows.size()));
+  const unsigned sub = family_ == Family::kClassical
+                           ? classical_subwarp_size(stats_.nnz, stats_.rows)
+                           : 0;
+  Acc* partials = nullptr;
+  if (family_ == Family::kRowSplit) {
+    if constexpr (std::is_same_v<Acc, float>) {
+      partials = delta_->partials32.data();
+    } else {
+      partials = delta_->partials64.data();
+    }
+  }
+  native_.run(part.parts(), [&](std::size_t p) {
+    for (std::uint64_t i = part.boundaries[p]; i < part.boundaries[p + 1];
+         ++i) {
+      const std::uint32_t r = rows[i];
+      switch (family_) {
+        case Family::kVector:
+          dose[r] = static_cast<double>(native_row_product(
+              values, col_idx, x.data(), row_ptr[r], row_ptr[r + 1]));
+          break;
+        case Family::kClassical:
+          dose[r] = static_cast<double>(native_classical_row(
+              values, col_idx, x.data(), row_ptr[r], row_ptr[r + 1], sub));
+          break;
+        case Family::kRowSplit: {
+          // Replay the row's phase-1 items (distinct partial slots per row,
+          // so concurrent rows never collide), then its phase-2 fold.
+          Acc direct{};
+          for (std::uint32_t it = delta_->rowsplit_item_begin[r];
+               it < delta_->rowsplit_item_begin[r + 1]; ++it) {
+            const RowSplitPlan::WorkItem& item = rowsplit_plan_.items[it];
+            const Acc total = native_row_product(values, col_idx, x.data(),
+                                                 item.begin, item.end);
+            if (item.partial_slot < 0) {
+              direct = total;
+            } else {
+              partials[item.partial_slot] = total;
+            }
+          }
+          const std::int32_t s = delta_->rowsplit_split[r];
+          dose[r] = static_cast<double>(
+              s < 0 ? direct
+                    : native_rowsplit_fold(
+                          static_cast<const Acc*>(partials),
+                          rowsplit_plan_.split_rows[static_cast<std::size_t>(
+                              s)]));
+          break;
+        }
+        case Family::kAdaptive:
+          break;  // handled above
+      }
+    }
+  });
+}
+
+void DoseEngine::apply_delta(std::span<double> dose,
+                             std::span<const double> base_weights,
+                             std::span<const double> new_weights,
+                             DeltaMode mode) {
+  PD_CHECK_MSG(dose.size() == stats_.rows,
+               "DoseEngine::apply_delta: dose length mismatch");
+  PD_CHECK_MSG(base_weights.size() == stats_.cols,
+               "DoseEngine::apply_delta: base weight count mismatch");
+  PD_CHECK_MSG(new_weights.size() == stats_.cols,
+               "DoseEngine::apply_delta: new weight count mismatch");
+  ensure_delta_context();
+  const WeightDelta delta = diff_weights(base_weights, new_weights);
+  last_delta_ = DeltaRun{};
+  last_delta_.mode = mode;
+  last_delta_.changed_cols = delta.cols.size();
+  last_delta_.delta_nnz = csc_delta_nnz(delta_->csc, delta.cols);
+  if (delta.cols.empty()) {
+    return;
+  }
+  if (mode == DeltaMode::kFast) {
+    // touched_rows stays 0: the axpy never builds a row worklist (that pass
+    // would cost as much as the update itself).
+    csc_delta_axpy(delta_->csc, delta.cols, delta.dw, dose);
+    return;
+  }
+  const std::vector<std::uint32_t> rows =
+      csc_affected_rows(delta_->csc, delta.cols, delta_->row_mark);
+  last_delta_.touched_rows = rows.size();
+  switch (mode_) {
+    case Mode::kHalfDouble:
+      delta_recompute_rows<pd::Half, double>(half_matrix_, new_weights, rows,
+                                             dose);
+      break;
+    case Mode::kSingle: {
+      // Full compute converts the whole weight vector to float; replaying a
+      // row needs the same x32 (affected rows read unchanged columns too).
+      std::vector<float> x32(new_weights.size());
+      std::transform(new_weights.begin(), new_weights.end(), x32.begin(),
+                     [](double v) { return static_cast<float>(v); });
+      delta_recompute_rows<float, float>(single_matrix_,
+                                         std::span<const float>(x32), rows,
+                                         dose);
+      break;
+    }
+    case Mode::kDouble:
+      delta_recompute_rows<double, double>(double_matrix_, new_weights, rows,
+                                           dose);
+      break;
+  }
+}
+
+std::vector<double> DoseEngine::compute_delta(
+    std::span<const double> base_dose, std::span<const double> base_weights,
+    std::span<const double> new_weights, DeltaMode mode) {
+  PD_CHECK_MSG(base_dose.size() == stats_.rows,
+               "DoseEngine::compute_delta: base dose length mismatch");
+  std::vector<double> dose(base_dose.begin(), base_dose.end());
+  apply_delta(dose, base_weights, new_weights, mode);
+  return dose;
 }
 
 template <typename MatV, typename Acc>

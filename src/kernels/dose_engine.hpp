@@ -36,6 +36,7 @@
 #include "gpusim/launch.hpp"
 #include "gpusim/perf.hpp"
 #include "kernels/adaptive_csr.hpp"
+#include "kernels/delta_spmv.hpp"
 #include "kernels/native_backend.hpp"
 #include "kernels/rowsplit_csr.hpp"
 #include "kernels/spmv_common.hpp"
@@ -67,6 +68,22 @@ class DoseEngine {
   enum class FastFormat {
     kRsFormat,  ///< fused decompress-SpMV on the 16-bit delta streams.
     kSellCs,    ///< native SELL-C-σ kernel (float values, SIMD gathers).
+  };
+
+  /// Accuracy contract for compute_delta / apply_delta
+  /// (docs/delta_engine.md) — the delta analogue of the tier axis.
+  enum class DeltaMode {
+    kBitwise,  ///< recompute affected rows in the bitwise tier's order;
+               ///< result bitwise equal to a full compute of the new weights.
+    kFast,     ///< scatter-add D[:,j]·Δw_j; verified by a derived bound.
+  };
+
+  /// What the most recent delta update actually touched.
+  struct DeltaRun {
+    DeltaMode mode = DeltaMode::kBitwise;
+    std::uint64_t changed_cols = 0;  ///< bitwise-changed weight entries.
+    std::uint64_t delta_nnz = 0;     ///< nnz of the changed columns (|Δw| work).
+    std::uint64_t touched_rows = 0;  ///< dose rows written.
   };
 
   using Family = SpmvFamily;
@@ -138,6 +155,38 @@ class DoseEngine {
       std::span<const double> weights, std::size_t batch,
       std::uint64_t schedule_seed = 0);
 
+  /// Update `dose` (a dose vector previously computed for `base_weights` by
+  /// the bitwise tier) in place to the dose for `new_weights`, touching only
+  /// what the weight change reaches (docs/delta_engine.md).  Takes the full
+  /// new weight vector, not Δw: changed columns are detected by *bit*
+  /// comparison, which is what makes the kBitwise contract exact.
+  ///
+  ///  * DeltaMode::kBitwise — recomputes exactly the rows reachable from the
+  ///    changed columns, replaying the engine's per-row reduction order; the
+  ///    updated dose is bitwise identical to compute(new_weights).  Executes
+  ///    host-native regardless of backend() (like the fast tier, there is no
+  ///    simulated delta kernel); bits are invariant across thread counts.
+  ///  * DeltaMode::kFast — dose += Σ_j D[:,j]·Δw_j over the changed columns;
+  ///    cost ∝ nnz of the changed columns, verified by a derived per-row
+  ///    bound (tests/test_delta_engine.cpp).
+  ///
+  /// Builds the CSC sidecar on first use (cached for the engine's lifetime).
+  void apply_delta(std::span<double> dose, std::span<const double> base_weights,
+                   std::span<const double> new_weights,
+                   DeltaMode mode = DeltaMode::kBitwise);
+
+  /// Copying form: returns the new dose, `base_dose` untouched.
+  std::vector<double> compute_delta(std::span<const double> base_dose,
+                                    std::span<const double> base_weights,
+                                    std::span<const double> new_weights,
+                                    DeltaMode mode = DeltaMode::kBitwise);
+
+  /// The column-major sidecar (built lazily on first access).
+  const CscSidecar& csc_sidecar();
+
+  /// Touch counts of the most recent apply_delta / compute_delta.
+  const DeltaRun& last_delta() const { return last_delta_; }
+
   /// Select how the simulated GPU executes launches (serial, trace-replay,
   /// or functional-only — see gpusim/trace.hpp).  Dose values are identical
   /// in every mode; traffic counters are zero under functional-only.
@@ -173,6 +222,12 @@ class DoseEngine {
                      std::uint64_t schedule_seed);
   void ensure_fast_storage(FastFormat format);
   void compute_fast(std::span<const double> x, std::span<double> y);
+  void ensure_delta_context();
+  template <typename MatV, typename Acc>
+  void delta_recompute_rows(const sparse::CsrMatrix<MatV>& A,
+                            std::span<const Acc> x,
+                            std::span<const std::uint32_t> rows,
+                            std::span<double> dose);
 
   Mode mode_;
   Family family_;
@@ -190,6 +245,10 @@ class DoseEngine {
   std::unique_ptr<sparse::SellCsMatrix<float>> sell_matrix_;
   RowSplitPlan rowsplit_plan_;               ///< kRowSplit analysis.
   std::vector<AdaptiveWorkItem> adaptive_worklist_;  ///< kAdaptive analysis.
+  /// CSC sidecar + row→work-item maps + scratch for the delta path, built
+  /// lazily on the first apply_delta / csc_sidecar() and cached.
+  std::unique_ptr<DeltaContext> delta_;
+  DeltaRun last_delta_;
   std::unique_ptr<gpusim::Gpu> gpu_;
   NativeExecutor native_;
   SpmvRun last_run_;

@@ -25,6 +25,16 @@ std::uint32_t exec_key_for(const SubmitOptions& options) {
              : 2;
 }
 
+// Delta requests get their own key space (top bit) so they never coalesce
+// with full computes, split by mode (bit 30) and by the caller's base key —
+// requests updating the same base dose batch together.
+std::uint32_t delta_exec_key_for(std::uint32_t base_key,
+                                 kernels::DoseEngine::DeltaMode mode) {
+  const std::uint32_t fast_bit =
+      mode == kernels::DoseEngine::DeltaMode::kFast ? 0x40000000u : 0u;
+  return 0x80000000u | fast_bit | (base_key & 0x3FFFFFFFu);
+}
+
 }  // namespace
 
 const char* to_string(RequestStatus status) {
@@ -148,6 +158,76 @@ Ticket DoseService::submit(const std::string& plan,
       pending_.emplace(
           ticket.id, Pending{std::move(promise), std::move(weights), submitted,
                              options.tier, options.fast_format});
+      max_queue_depth_ = std::max(max_queue_depth_, queue_.depth());
+      lock.unlock();
+      work_cv_.notify_one();
+      return ticket;
+    }
+    immediate.status = RequestStatus::kRejected;
+    immediate.retry_after_ms = retry_after_hint();
+    ++rejected_;
+    resolve_now = true;
+  }
+
+  lock.unlock();
+  if (resolve_now) {
+    immediate.latency_ms = elapsed_ms(submitted);
+    promise.set_value(std::move(immediate));
+  }
+  return ticket;
+}
+
+Ticket DoseService::submit_delta(const std::string& plan,
+                                 std::shared_ptr<const DeltaBase> base,
+                                 std::vector<double> new_weights,
+                                 const DeltaOptions& options) {
+  std::promise<DoseResult> promise;
+  Ticket ticket;
+  ticket.result = promise.get_future();
+
+  const auto submitted = std::chrono::steady_clock::now();
+  const bool known_plan = cache_.has_plan(plan);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ticket.id = next_id_++;
+  ++submitted_;
+
+  DoseResult immediate;
+  bool resolve_now = false;
+  if (!accepting_) {
+    immediate.status = RequestStatus::kFailed;
+    immediate.error = "service is shutting down";
+    ++failed_;
+    resolve_now = true;
+  } else if (base == nullptr) {
+    immediate.status = RequestStatus::kFailed;
+    immediate.error = "submit_delta: null base";
+    ++failed_;
+    resolve_now = true;
+  } else if (!known_plan) {
+    immediate.status = RequestStatus::kFailed;
+    immediate.error = "unknown plan '" + plan + "'";
+    ++failed_;
+    resolve_now = true;
+  } else {
+    const std::uint64_t now = tick_now();
+    const double deadline_ms = options.deadline_ms < 0.0
+                                   ? config_.default_deadline_ms
+                                   : options.deadline_ms;
+    QueuedRequest request;
+    request.id = ticket.id;
+    request.plan = plan;
+    request.enqueue_tick = now;
+    request.deadline_tick =
+        deadline_ms <= 0.0
+            ? 0
+            : now + static_cast<std::uint64_t>(deadline_ms * 1000.0) + 1;
+    request.exec_key = delta_exec_key_for(base->key, options.mode);
+    if (queue_.submit(std::move(request))) {
+      Pending entry{std::move(promise), std::move(new_weights), submitted};
+      entry.delta_base = std::move(base);
+      entry.delta_mode = options.mode;
+      pending_.emplace(ticket.id, std::move(entry));
       max_queue_depth_ = std::max(max_queue_depth_, queue_.depth());
       lock.unlock();
       work_cv_.notify_one();
@@ -295,6 +375,7 @@ void DoseService::execute_batch(std::unique_lock<std::mutex>& lock,
   std::uint64_t ok_count = 0;
   std::uint64_t fail_count = 0;
   std::uint64_t fast_ok = 0;
+  std::uint64_t delta_ok = 0;
   std::vector<double> ok_latencies;
 
   if (!engine) {
@@ -328,7 +409,40 @@ void DoseService::execute_batch(std::unique_lock<std::mutex>& lock,
       }
     }
 
-    if (!valid.empty()) {
+    const bool delta_launch =
+        !valid.empty() &&
+        items[valid.front()].entry.delta_base != nullptr;
+    if (delta_launch) {
+      // Delta keys are exec_key-disjoint from full computes, so every valid
+      // item carries a base.  Each request updates against its own base
+      // copy; a bad base (wrong dose/weight length — compute_delta's checks
+      // throw) fails alone and its batch-mates still resolve.
+      launch_width = valid.size();
+      ok_latencies.reserve(launch_width);
+      for (const std::size_t i : valid) {
+        Item& item = items[i];
+        const DeltaBase& base = *item.entry.delta_base;
+        DoseResult result;
+        try {
+          result.dose = engine->compute_delta(base.dose, base.weights,
+                                              item.entry.weights,
+                                              item.entry.delta_mode);
+          result.status = RequestStatus::kOk;
+          result.batch_size = launch_width;
+          result.latency_ms = elapsed_ms(item.entry.submitted);
+          ok_latencies.push_back(result.latency_ms);
+          ++ok_count;
+        } catch (const std::exception& e) {
+          result = DoseResult{};
+          result.status = RequestStatus::kFailed;
+          result.error = std::string("compute_delta failed: ") + e.what();
+          result.latency_ms = elapsed_ms(item.entry.submitted);
+          ++fail_count;
+        }
+        item.entry.promise.set_value(std::move(result));
+      }
+      delta_ok = 1;
+    } else if (!valid.empty()) {
       launch_width = valid.size();
       std::vector<double> weights(spots * launch_width);
       for (std::size_t j = 0; j < launch_width; ++j) {
@@ -396,6 +510,7 @@ void DoseService::execute_batch(std::unique_lock<std::mutex>& lock,
   if (launch_width > 0) {
     ++batches_;
     fast_batches_ += fast_ok;
+    delta_batches_ += delta_ok;
     batch_size_counts_[launch_width - 1] += 1;
     mean_launch_ms_ = mean_launch_ms_ == 0.0
                           ? launch_ms
@@ -423,6 +538,7 @@ ServiceStats DoseService::stats() const {
     s.failed = failed_;
     s.batches = batches_;
     s.fast_batches = fast_batches_;
+    s.delta_batches = delta_batches_;
     s.batch_size_counts = batch_size_counts_;
     s.queue_depth = queue_.depth();
     s.max_queue_depth = max_queue_depth_;

@@ -80,6 +80,28 @@ struct Ticket {
   std::future<DoseResult> result;
 };
 
+/// Shared base state for incremental (submit_delta) requests
+/// (docs/delta_engine.md): a dose vector previously computed for `weights`
+/// on the plan, plus a small caller-chosen key identifying the base.
+/// Requests sharing a key coalesce into one launch (BatchQueue exec_key);
+/// each request still updates against its own base copy, so the key is a
+/// batching hint, not a correctness requirement.
+struct DeltaBase {
+  std::uint32_t key = 0;  ///< Caller's base identity, 30 bits used.
+  std::vector<double> weights;  ///< Weights the base dose was computed for.
+  std::vector<double> dose;     ///< Bitwise-tier dose for those weights.
+};
+
+struct DeltaOptions {
+  /// Queue-wait deadline in ms; same semantics as SubmitOptions::deadline_ms.
+  double deadline_ms = -1.0;
+  /// Accuracy contract for the update (docs/delta_engine.md).  kBitwise
+  /// keeps the service's reproducibility contract: the result is bitwise
+  /// identical to a full submit of the new weights.
+  kernels::DoseEngine::DeltaMode mode =
+      kernels::DoseEngine::DeltaMode::kBitwise;
+};
+
 struct SubmitOptions {
   /// Queue-wait deadline in ms; < 0 uses ServiceConfig::default_deadline_ms,
   /// 0 disables.  Applies while queued — once a request enters a launch it
@@ -114,6 +136,19 @@ class DoseService {
   Ticket submit(const std::string& plan, std::vector<double> weights,
                 const SubmitOptions& options = {});
 
+  /// Enqueue one incremental dose request: the result is `base->dose`
+  /// updated from `base->weights` to `new_weights` (docs/delta_engine.md),
+  /// touching only what the weight change reaches.  Requests sharing a
+  /// base key coalesce into one launch (a dedicated BatchQueue exec key per
+  /// (key, mode), so delta launches never mix with full computes);
+  /// deadlines, cancel, backpressure, and drain behave exactly as submit.
+  /// A null `base` fails immediately; base/weight length mismatches resolve
+  /// kFailed at launch without disturbing batch-mates.
+  Ticket submit_delta(const std::string& plan,
+                      std::shared_ptr<const DeltaBase> base,
+                      std::vector<double> new_weights,
+                      const DeltaOptions& options = {});
+
   /// Remove a *queued* request.  False once it entered a launch (the result
   /// will still arrive), expired, or was never accepted.
   bool cancel(std::uint64_t id);
@@ -133,6 +168,11 @@ class DoseService {
     kernels::DoseEngine::Tier tier = kernels::DoseEngine::Tier::kBitwise;
     kernels::DoseEngine::FastFormat fast_format =
         kernels::DoseEngine::FastFormat::kRsFormat;
+    /// Non-null marks a submit_delta request (exec_key-uniform batches keep
+    /// delta and full launches apart, so one flag speaks for a whole batch).
+    std::shared_ptr<const DeltaBase> delta_base;
+    kernels::DoseEngine::DeltaMode delta_mode =
+        kernels::DoseEngine::DeltaMode::kBitwise;
   };
 
   std::uint64_t tick_now() const;
@@ -163,7 +203,8 @@ class DoseService {
   // Counters (under mu_).  Latencies of recent kOk completions feed the
   // p50/p99 snapshot; bounded ring so a long-lived service cannot grow it.
   std::uint64_t submitted_ = 0, completed_ = 0, rejected_ = 0, cancelled_ = 0,
-                expired_ = 0, failed_ = 0, batches_ = 0, fast_batches_ = 0;
+                expired_ = 0, failed_ = 0, batches_ = 0, fast_batches_ = 0,
+                delta_batches_ = 0;
   std::vector<std::uint64_t> batch_size_counts_;
   std::size_t max_queue_depth_ = 0;
   std::vector<double> latencies_ms_;

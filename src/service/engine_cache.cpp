@@ -34,7 +34,14 @@ std::shared_ptr<kernels::DoseEngine> EngineCache::acquire(
       if (entry != entries_.end()) {
         ++hits_;
         entry->second.last_use = ++use_tick_;
-        return entry->second.engine;
+        // The local copy pins the requested engine before the retry below,
+        // so a hit can never evict the entry it is about to return.
+        std::shared_ptr<kernels::DoseEngine> engine = entry->second.engine;
+        // Retry eviction on hits too: an insert that found every candidate
+        // pinned leaves the cache over capacity, and without this the
+        // overshoot would persist for as long as traffic keeps hitting.
+        evict_over_capacity();
+        return engine;
       }
       if (building_.count(plan) == 0) {
         break;
@@ -91,7 +98,8 @@ void EngineCache::evict_over_capacity() {
       }
     }
     if (victim == entries_.end()) {
-      return;  // everything pinned; transient overshoot, retry next acquire
+      return;  // everything pinned; transient overshoot, retried on every
+                // subsequent acquire (hit or miss)
     }
     entries_.erase(victim);
     ++evictions_;

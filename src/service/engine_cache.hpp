@@ -7,7 +7,8 @@
 // MatrixSource on the next miss.  Eviction is LRU with *pinning*: entries
 // whose engine is referenced outside the cache (an in-flight batch holds the
 // shared_ptr) are never destroyed under the worker — the cache may
-// transiently exceed capacity instead and retires the entry once released.
+// transiently exceed capacity instead, and the next acquire (hit or miss)
+// after the pin is released retires the excess entry.
 //
 // Reproducibility contract: a MatrixSource must be deterministic (same
 // matrix bits every call).  DoseEngine's host-side analysis and storage

@@ -36,6 +36,7 @@ struct ServiceStats {
   // Adaptive batching.
   std::uint64_t batches = 0;       ///< compute_batch launches issued.
   std::uint64_t fast_batches = 0;  ///< …of which ran the fast tier.
+  std::uint64_t delta_batches = 0;  ///< …of which were submit_delta launches.
   /// batch_size_counts[k-1] = number of launches of width exactly k
   /// (k in [1, batch_cap]).
   std::vector<std::uint64_t> batch_size_counts;

@@ -23,6 +23,7 @@
 #include <cstdlib>
 #include <future>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -331,6 +332,22 @@ TEST(ServiceFaults, EvictionRacesInFlightBatch) {
   }
   service.drain();
 
+  // Serialized alternation tail: one request in flight at a time, drained
+  // between submits.  Whatever the concurrent phase left behind (even a
+  // fully pinned overshoot where both engines got inserted while the other
+  // was in flight), each acquire here finds the other plan's engine
+  // unpinned, so the capacity-1 cache must evict it and rebuild on the next
+  // alternation — churn is guaranteed for any worker count or scheduler.
+  const std::size_t tail = 4;
+  for (std::size_t t = 0; t < tail; ++t) {
+    const std::size_t p = t % 2;
+    std::vector<double> weights = sparse::random_vector(rng, kSpots, 0.0, 2.0);
+    Ticket ticket = service.submit(plan_name(p), weights);
+    records.push_back(
+        ClientRecord{p, std::move(weights), std::move(ticket.result)});
+    service.drain();
+  }
+
   std::vector<kernels::DoseEngine> refs = make_references(Backend::kNative, 2);
   for (ClientRecord& record : records) {
     DoseResult result = record.result.get();
@@ -339,7 +356,68 @@ TEST(ServiceFaults, EvictionRacesInFlightBatch) {
                          refs[record.plan_index].compute(record.weights));
   }
   const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 2 * rounds + tail);
+  // Capacity 1 with two alternating plans has to churn.
+  EXPECT_GT(stats.cache.evictions, 0u);
+  EXPECT_GT(stats.cache.misses, 2u);
+}
+
+TEST(ServiceFaults, EvictionRacesInFlightDeltaBatch) {
+  // Same churn as EvictionRacesInFlightBatch, but the traffic is
+  // submit_delta: every launch must lazily rebuild the evicted engine's CSC
+  // sidecar (EngineCache rebuilds are bit-identical, and the sidecar is a
+  // pure function of the stored matrix), so delta doses stay bitwise equal
+  // to a fresh sequential full compute of each request's new weights.
+  //
+  // One worker makes the churn deterministic: launches serialize and the
+  // worker unpins its engine before completing a batch, so every cross-plan
+  // acquire inserts while the other engine is unpinned and the capacity-1
+  // cache must evict it.  (With concurrent workers both engines can be
+  // inserted while the other is pinned; the cache then overshoots and never
+  // sees another miss, leaving the eviction count to scheduler timing.)
+  ServiceConfig config = make_config(Backend::kNative, 1, 2);
+  config.engine_cache_capacity = 1;
+  config.flush_deadline_ms = 0.0;  // launch eagerly
+  DoseService service(config);
+  register_plans(service, 2);
+
+  std::vector<kernels::DoseEngine> refs = make_references(Backend::kNative, 2);
+  std::vector<std::shared_ptr<const DeltaBase>> bases;
+  for (std::size_t p = 0; p < 2; ++p) {
+    auto base = std::make_shared<DeltaBase>();
+    base->key = static_cast<std::uint32_t>(p);
+    base->weights = std::vector<double>(kSpots, 1.0);
+    base->dose = refs[p].compute(base->weights);
+    bases.push_back(std::move(base));
+  }
+
+  const std::size_t rounds = stress_elevated() ? 120 : 30;
+  Rng rng(0xde17aULL);
+  std::vector<ClientRecord> records;
+  records.reserve(2 * rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t p = 0; p < 2; ++p) {
+      std::vector<double> weights =
+          sparse::random_vector(rng, kSpots, 0.0, 2.0);
+      Ticket ticket = service.submit_delta(plan_name(p), bases[p], weights);
+      records.push_back(
+          ClientRecord{p, std::move(weights), std::move(ticket.result)});
+    }
+    // Draining each round keeps the shape crisp: exactly two alternating
+    // single-plan launches per round, each one a rebuild-after-evict
+    // (sidecar included) of the engine the previous launch displaced.
+    service.drain();
+  }
+
+  for (ClientRecord& record : records) {
+    DoseResult result = record.result.get();
+    ASSERT_EQ(result.status, RequestStatus::kOk) << result.error;
+    expect_bitwise_equal(result.dose,
+                         refs[record.plan_index].compute(record.weights));
+  }
+  const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.completed, 2 * rounds);
+  EXPECT_GT(stats.delta_batches, 0u);
   // Capacity 1 with two alternating plans has to churn.
   EXPECT_GT(stats.cache.evictions, 0u);
   EXPECT_GT(stats.cache.misses, 2u);

@@ -10,8 +10,10 @@
 // Run `protondose <subcommand> --help` for per-command options.
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <future>
+#include <memory>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -416,6 +418,124 @@ int cmd_tune(int argc, const char* const* argv) {
   return 0;
 }
 
+// `protondose delta`: change a fraction of spot weights, update the dose
+// incrementally (docs/delta_engine.md), and compare against full recompute.
+// Verifies the bitwise-mode result on the spot: nonzero exit on mismatch.
+int cmd_delta(int argc, const char* const* argv) {
+  pd::CliParser cli("protondose delta",
+                    "incremental dose update vs full recompute");
+  add_source_options(cli);
+  cli.add_option("changed-frac", "0.01",
+                 "fraction of spot weights to change (at least one spot)");
+  cli.add_option("mode", "half_double",
+                 "precision: half_double, single, double");
+  cli.add_option("threads", "1", "native threads (0 = all hardware)");
+  cli.add_option("seed", "1", "weight / changed-spot seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  using Engine = pd::kernels::DoseEngine;
+  const std::string mode_str = cli.get("mode");
+  Engine::Mode mode;
+  if (mode_str == "half_double") {
+    mode = Engine::Mode::kHalfDouble;
+  } else if (mode_str == "single") {
+    mode = Engine::Mode::kSingle;
+  } else if (mode_str == "double") {
+    mode = Engine::Mode::kDouble;
+  } else {
+    throw pd::Error("unknown mode: " + mode_str);
+  }
+
+  Engine engine(load_or_generate(cli), pd::gpusim::make_a100(), mode,
+                pd::kernels::kDefaultVectorTpb, Engine::Family::kVector,
+                Engine::Backend::kNative);
+  engine.set_native_threads(static_cast<unsigned>(cli.get_int("threads")));
+  const std::size_t spots = engine.num_spots();
+
+  pd::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  std::vector<double> w(spots);
+  for (double& v : w) v = rng.uniform(0.5, 2.0);
+  const double frac = cli.get_double("changed-frac");
+  const std::size_t k = std::min<std::size_t>(
+      spots, std::max<std::size_t>(
+                 1, static_cast<std::size_t>(
+                        std::llround(frac * static_cast<double>(spots)))));
+  std::vector<double> w_new = w;
+  std::vector<std::uint8_t> used(spots, 0);
+  for (std::size_t changed = 0; changed < k;) {
+    const std::size_t j = rng.uniform_index(spots);
+    if (used[j] == 0) {
+      used[j] = 1;
+      w_new[j] = w[j] * 1.1 + 0.01;
+      ++changed;
+    }
+  }
+
+  const std::vector<double> base = engine.compute(w);
+  const std::vector<double> full = engine.compute(w_new);
+
+  const auto time_min = [&](const auto& fn) {
+    fn();  // warm-up (also builds the CSC sidecar for the delta paths)
+    double best_s = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+      pd::WallTimer timer;
+      fn();
+      best_s = std::min(best_s, timer.seconds());
+    }
+    return best_s;
+  };
+  const double s_full = time_min([&] { engine.compute(w_new); });
+  const double s_bitwise = time_min(
+      [&] { engine.compute_delta(base, w, w_new, Engine::DeltaMode::kBitwise); });
+  const double s_fast = time_min(
+      [&] { engine.compute_delta(base, w, w_new, Engine::DeltaMode::kFast); });
+
+  const std::vector<double> delta_dose =
+      engine.compute_delta(base, w, w_new, Engine::DeltaMode::kBitwise);
+  const Engine::DeltaRun run = engine.last_delta();
+  std::size_t mismatches = 0;
+  for (std::size_t r = 0; r < full.size(); ++r) {
+    mismatches += std::bit_cast<std::uint64_t>(delta_dose[r]) !=
+                  std::bit_cast<std::uint64_t>(full[r]);
+  }
+
+  const pd::sparse::MatrixStats& st = engine.stats();
+  const std::size_t value_bytes =
+      mode == Engine::Mode::kHalfDouble ? 2
+      : mode == Engine::Mode::kSingle   ? 4
+                                        : 8;
+  const pd::kernels::DeltaThreshold threshold = pd::kernels::delta_threshold(
+      st.csr_bytes(value_bytes, 4), st.nnz, st.cols);
+
+  pd::TextTable t({"quantity", "value"});
+  t.add_row({"mode", mode_str});
+  t.add_row({"changed spots", std::to_string(run.changed_cols) + " of " +
+                                  std::to_string(spots) + " (" +
+                                  pd::fmt_percent(frac, 2) + " requested)"});
+  t.add_row({"delta nnz", std::to_string(run.delta_nnz) + " of " +
+                              std::to_string(st.nnz)});
+  t.add_row({"touched rows", std::to_string(run.touched_rows) + " of " +
+                                 std::to_string(st.rows)});
+  t.add_row({"tuner breakeven frac",
+             pd::fmt_double(threshold.breakeven_changed_frac, 4)});
+  t.add_row({"full recompute", pd::fmt_sci(s_full, 3) + " s"});
+  t.add_row({"bitwise delta", pd::fmt_sci(s_bitwise, 3) + " s (" +
+                                  pd::fmt_double(s_full / s_bitwise, 1) +
+                                  "x)"});
+  t.add_row({"fast delta (" +
+                 std::string(pd::kernels::delta_spmv_variant_name()) + ")",
+             pd::fmt_sci(s_fast, 3) + " s (" +
+                 pd::fmt_double(s_full / s_fast, 1) + "x)"});
+  t.add_row({"bitwise vs full", mismatches == 0
+                                    ? "identical (" +
+                                          std::to_string(full.size()) +
+                                          " rows)"
+                                    : std::to_string(mismatches) +
+                                          " MISMATCHED rows"});
+  std::cout << t.str();
+  return mismatches == 0 ? 0 : 2;
+}
+
 int cmd_serve_replay(int argc, const char* const* argv) {
   pd::CliParser cli(
       "protondose serve-replay",
@@ -430,6 +550,9 @@ int cmd_serve_replay(int argc, const char* const* argv) {
   cli.add_option("requests", "64", "requests per client");
   cli.add_option("deadline-ms", "0", "per-request queue deadline (0 = none)");
   cli.add_option("seed", "1", "weight-stream seed");
+  cli.add_option("delta-every", "0",
+                 "every Nth request per client is an incremental submit_delta "
+                 "against a per-client base dose (0 = none)");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::string backend_str = cli.get("backend");
@@ -462,6 +585,9 @@ int cmd_serve_replay(int argc, const char* const* argv) {
   const std::size_t requests =
       static_cast<std::size_t>(cli.get_int("requests"));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::size_t delta_every =
+      static_cast<std::size_t>(
+          std::max<std::int64_t>(0, cli.get_int("delta-every")));
 
   pd::WallTimer timer;
   std::vector<std::vector<pd::service::Ticket>> tickets(clients);
@@ -469,10 +595,40 @@ int cmd_serve_replay(int argc, const char* const* argv) {
     std::vector<std::thread> threads;
     threads.reserve(clients);
     for (std::size_t c = 0; c < clients; ++c) {
-      threads.emplace_back([&service, &tickets, c, requests, spots, seed] {
+      threads.emplace_back([&service, &tickets, c, requests, spots, seed,
+                            delta_every] {
         pd::Rng rng(seed + c);
+        // Optional incremental traffic: compute one base dose up front, then
+        // every delta_every-th request updates it via submit_delta (per-client
+        // base key, so one client's deltas coalesce with each other).
+        std::shared_ptr<const pd::service::DeltaBase> base;
+        if (delta_every > 0) {
+          std::vector<double> w(spots);
+          for (double& v : w) v = rng.uniform(0.0, 2.0);
+          pd::service::Ticket first =
+              service.submit("replay", std::vector<double>(w));
+          pd::service::DoseResult result = first.result.get();
+          if (result.status == pd::service::RequestStatus::kOk) {
+            auto b = std::make_shared<pd::service::DeltaBase>();
+            b->key = static_cast<std::uint32_t>(c);
+            b->weights = std::move(w);
+            b->dose = std::move(result.dose);
+            base = std::move(b);
+          }
+        }
         tickets[c].reserve(requests);
         for (std::size_t r = 0; r < requests; ++r) {
+          if (base && (r + 1) % delta_every == 0) {
+            std::vector<double> w_new = base->weights;
+            const std::size_t changed =
+                std::max<std::size_t>(1, spots / 100);
+            for (std::size_t i = 0; i < changed; ++i) {
+              w_new[rng.uniform_index(spots)] += rng.uniform(0.0, 0.5);
+            }
+            tickets[c].push_back(
+                service.submit_delta("replay", base, std::move(w_new)));
+            continue;
+          }
           std::vector<double> weights(spots);
           for (double& w : weights) w = rng.uniform(0.0, 2.0);
           tickets[c].push_back(service.submit("replay", std::move(weights)));
@@ -503,6 +659,7 @@ int cmd_serve_replay(int argc, const char* const* argv) {
                                static_cast<double>(ok) / elapsed_s, 1) +
                                " req/s"});
   t.add_row({"compute_batch launches", std::to_string(stats.batches)});
+  t.add_row({"delta launches", std::to_string(stats.delta_batches)});
   t.add_row({"mean batch size", pd::fmt_double(stats.mean_batch_size(), 2)});
   t.add_row({"p50 / p99 latency",
              pd::fmt_double(stats.p50_latency_ms, 2) + " / " +
@@ -528,6 +685,8 @@ void print_usage() {
                "  roofline   ASCII roofline of the kernel family\n"
                "  tune       threads-per-block sweep (Figure 4)\n"
                "  optimize   run the treatment-plan optimizer\n"
+               "  delta      incremental dose update vs full recompute\n"
+               "             (docs/delta_engine.md)\n"
                "  serve-replay  replay a request stream through the batching\n"
                "                dose service and report serving stats\n";
 }
@@ -550,6 +709,7 @@ int main(int argc, char** argv) {
     if (cmd == "roofline") return cmd_roofline(sub_argc, sub_argv);
     if (cmd == "tune") return cmd_tune(sub_argc, sub_argv);
     if (cmd == "optimize") return cmd_optimize(sub_argc, sub_argv);
+    if (cmd == "delta") return cmd_delta(sub_argc, sub_argv);
     if (cmd == "serve-replay") return cmd_serve_replay(sub_argc, sub_argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       print_usage();
