@@ -156,11 +156,18 @@ if [ ! -f "$fmt" ]; then
   echo "FAIL BENCH_formats.json: not produced by wallclock_fast_tier"
   fail=1
 else
-  for key in '"bench"' '"scale"' '"fused_variant"' '"sellcs_variant"' \
-             '"cases"' '"csr_double_bytes"' '"rsformat_bytes"' \
-             '"sellcs_bytes"' '"streamed_bytes_ratio"' '"us_native_csr"' \
-             '"us_fused_rsformat"' '"us_sellcs"' '"headline"' \
-             '"fused_wins"' '"max_streamed_bytes_ratio"'; do
+  # v2 schema (fast-tier v2): quantized SELL column, batched K=9 timings,
+  # per-beam tuner outcome, and the three headline ratios.
+  for key in '"bench"' '"schema_version"' '"scale"' '"fused_variant"' \
+             '"sellcs_variant"' '"sellcsq_variant"' '"tuner_trials"' \
+             '"batch_k"' '"cases"' '"csr_double_bytes"' '"rsformat_bytes"' \
+             '"sellcs_bytes"' '"sellcsq_bytes"' '"streamed_bytes_ratio"' \
+             '"sellcsq_vs_sellcs_ratio"' '"us_native_csr"' \
+             '"us_fused_rsformat"' '"us_sellcs"' '"us_sellcsq"' \
+             '"us_batched_k9"' '"us_looped_k9"' '"batched_speedup_k9"' \
+             '"tuned"' '"headline"' '"fused_wins"' \
+             '"max_streamed_bytes_ratio"' '"max_sellcsq_vs_sellcs_ratio"' \
+             '"max_batched_speedup_k9"'; do
     if ! grep -q "$key" "$fmt"; then
       echo "FAIL BENCH_formats.json: missing key $key"
       fail=1
@@ -171,6 +178,33 @@ else
     if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$fmt"; then
       echo "FAIL BENCH_formats.json: not valid JSON"
       fail=1
+    fi
+    # Perf regression gates on the fast-tier headlines.  Wall-clock-free
+    # gates (byte ratios) are deterministic; the batched-speedup gate uses
+    # the max over beams, which is stable on any machine where at least one
+    # beam leaves cache (small-scale CI boxes still clear 1.5x on Liver).
+    # Override for a knowingly-regressing change with
+    # PROTONDOSE_BENCH_ALLOW_PERF_REGRESSION=1 — document why in the PR.
+    if [ "${PROTONDOSE_BENCH_ALLOW_PERF_REGRESSION:-0}" != "1" ]; then
+      if ! python3 - "$fmt" <<'EOF'
+import json, sys
+h = json.load(open(sys.argv[1]))["headline"]
+fail = False
+def gate(name, value, limit, op):
+    global fail
+    ok = value <= limit if op == "<=" else value >= limit
+    print(f"{'ok  ' if ok else 'FAIL'} headline {name} = {value} (want {op} {limit})")
+    fail = fail or not ok
+gate("max_streamed_bytes_ratio", float(h["max_streamed_bytes_ratio"]), 0.34, "<=")
+gate("max_sellcsq_vs_sellcs_ratio", float(h["max_sellcsq_vs_sellcs_ratio"]), 0.50, "<=")
+gate("max_batched_speedup_k9", float(h["max_batched_speedup_k9"]), 1.5, ">=")
+sys.exit(1 if fail else 0)
+EOF
+      then
+        echo "FAIL BENCH_formats.json: fast-tier perf gate" \
+             "(set PROTONDOSE_BENCH_ALLOW_PERF_REGRESSION=1 to override)"
+        fail=1
+      fi
     fi
   fi
 fi

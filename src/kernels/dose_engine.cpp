@@ -1,6 +1,7 @@
 #include "kernels/dose_engine.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
 #include "kernels/classical_csr.hpp"
@@ -86,28 +87,89 @@ sparse::CsrF64 DoseEngine::stored_matrix_as_double() const {
 }
 
 void DoseEngine::ensure_fast_storage(FastFormat format) {
-  if (format == FastFormat::kRsFormat) {
-    if (!rs_matrix_) {
-      rs_matrix_ = std::make_unique<rsformat::RsMatrix>(
-          rsformat::RsMatrix::from_csr(stored_matrix_as_double()));
+  // σ == 0 ("all rows") resolves against the row count so every SELL builder
+  // receives a positive multiple of C.
+  const auto resolved_sigma = [&]() -> std::uint32_t {
+    if (fast_sell_sigma_ != 0) {
+      return fast_sell_sigma_;
     }
-    return;
+    const std::uint64_t rows = std::max<std::uint64_t>(stats_.rows, 1);
+    const std::uint64_t up =
+        (rows + fast_sell_c_ - 1) / fast_sell_c_ * fast_sell_c_;
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(up, std::numeric_limits<std::uint32_t>::max() /
+                                        fast_sell_c_ * fast_sell_c_));
+  };
+  switch (format) {
+    case FastFormat::kRsFormat:
+      if (!rs_matrix_) {
+        rs_matrix_ = std::make_unique<rsformat::RsMatrix>(
+            rsformat::RsMatrix::from_csr(stored_matrix_as_double()));
+      }
+      return;
+    case FastFormat::kSellCs:
+      if (!sell_matrix_) {
+        // Float values: exact for half-widened storage, 2^-24 relative error
+        // otherwise — both inside the fast tier's tolerance bound.
+        sell_matrix_ = std::make_unique<sparse::SellCsMatrix<float>>(
+            sparse::csr_to_sellcs(
+                sparse::convert_values<float>(stored_matrix_as_double()),
+                fast_sell_c_, resolved_sigma()));
+      }
+      return;
+    case FastFormat::kSellCsQ:
+      if (!sellq_matrix_) {
+        sellq_matrix_ = std::make_unique<sparse::SellCsQMatrix>(
+            sparse::csr_to_sellcs_q(stored_matrix_as_double(), fast_sell_c_,
+                                    resolved_sigma()));
+      }
+      return;
+    case FastFormat::kAuto:
+      break;
   }
-  if (!sell_matrix_) {
-    // Float values: exact for half-widened storage, 2^-24 relative error
-    // otherwise — both inside the fast tier's tolerance bound.
-    sell_matrix_ = std::make_unique<sparse::SellCsMatrix<float>>(
-        sparse::csr_to_sellcs(
-            sparse::convert_values<float>(stored_matrix_as_double())));
-  }
+  PD_CHECK_MSG(false, "DoseEngine: kAuto must be resolved before storage");
 }
 
 void DoseEngine::set_tier(Tier tier, FastFormat format) {
+  if (format == FastFormat::kAuto) {
+    format = auto_fast_format_;
+  }
   if (tier == Tier::kFast) {
     ensure_fast_storage(format);
   }
   tier_ = tier;
   fast_format_ = format;
+}
+
+void DoseEngine::set_fast_sell_config(std::uint32_t chunk_height,
+                                      std::uint32_t sigma) {
+  PD_CHECK_MSG(chunk_height > 0,
+               "DoseEngine: SELL chunk height must be positive");
+  PD_CHECK_MSG(sigma % chunk_height == 0,
+               "DoseEngine: SELL σ must be 0 (all rows) or a multiple of C");
+  if (chunk_height == fast_sell_c_ && sigma == fast_sell_sigma_) {
+    return;
+  }
+  fast_sell_c_ = chunk_height;
+  fast_sell_sigma_ = sigma;
+  // Drop the cached SELL containers; the next set_tier rebuilds them with
+  // the new geometry.  rsformat has no geometry knob and stays cached.
+  sell_matrix_.reset();
+  sellq_matrix_.reset();
+  if (tier_ == Tier::kFast && fast_format_ != FastFormat::kRsFormat) {
+    ensure_fast_storage(fast_format_);
+  }
+}
+
+void DoseEngine::set_fast_threads(unsigned threads) {
+  fast_native_.set_threads(threads);
+  fast_threads_set_ = true;
+}
+
+void DoseEngine::set_auto_fast_format(FastFormat format) {
+  PD_CHECK_MSG(format != FastFormat::kAuto,
+               "DoseEngine: kAuto must resolve to a concrete format");
+  auto_fast_format_ = format;
 }
 
 const rsformat::RsMatrix& DoseEngine::fast_rs_matrix() const {
@@ -124,12 +186,29 @@ const sparse::SellCsMatrix<float>& DoseEngine::fast_sell_matrix() const {
   return *sell_matrix_;
 }
 
+const sparse::SellCsQMatrix& DoseEngine::fast_sellq_matrix() const {
+  PD_CHECK_MSG(sellq_matrix_ != nullptr,
+               "DoseEngine: quantized SELL-C-σ fast storage not built "
+               "(set_tier(Tier::kFast, FastFormat::kSellCsQ) first)");
+  return *sellq_matrix_;
+}
+
 void DoseEngine::compute_fast(std::span<const double> x, std::span<double> y) {
-  if (fast_format_ == FastFormat::kRsFormat) {
-    rsformat_spmv(*rs_matrix_, x, y, native_);
-  } else {
-    sellcs_spmv(*sell_matrix_, x, y, native_);
+  NativeExecutor& exec = fast_threads_set_ ? fast_native_ : native_;
+  switch (fast_format_) {
+    case FastFormat::kRsFormat:
+      rsformat_spmv(*rs_matrix_, x, y, exec);
+      return;
+    case FastFormat::kSellCs:
+      sellcs_spmv(*sell_matrix_, x, y, exec);
+      return;
+    case FastFormat::kSellCsQ:
+      sellcs_q_spmv(*sellq_matrix_, x, y, exec);
+      return;
+    case FastFormat::kAuto:
+      break;  // resolved by set_tier; unreachable.
   }
+  PD_CHECK_MSG(false, "DoseEngine: unresolved fast format");
 }
 
 void DoseEngine::ensure_delta_context() {
@@ -483,8 +562,25 @@ std::vector<std::vector<double>> DoseEngine::compute_batch(
     return doses;
   }
   if (tier_ == Tier::kFast) {
-    // The fast kernels have no batched traversal yet; loop single products
-    // (each column trivially identical to compute() on that column).
+    if (fast_format_ == FastFormat::kRsFormat) {
+      // Batched fused traversal: one decode pass of the compressed streams
+      // feeds all K accumulators (kernels/rsformat_spmv.hpp).  At one thread
+      // each column is bitwise identical to compute() of that column.
+      std::vector<std::vector<double>> doses(
+          batch, std::vector<double>(stats_.rows, 0.0));
+      std::vector<const double*> xs(batch);
+      std::vector<double*> ys(batch);
+      for (std::size_t j = 0; j < batch; ++j) {
+        xs[j] = weights.data() + j * stats_.cols;
+        ys[j] = doses[j].data();
+      }
+      rsformat_spmv_batch(*rs_matrix_, xs, ys,
+                          fast_threads_set_ ? fast_native_ : native_);
+      return doses;
+    }
+    // The SELL kernels keep per-row private accumulators, so a batched
+    // traversal would gain only the x gathers; loop single products (each
+    // column trivially identical to compute() on that column).
     std::vector<std::vector<double>> doses(batch);
     for (std::size_t j = 0; j < batch; ++j) {
       doses[j] = compute(weights.subspan(j * stats_.cols, stats_.cols),

@@ -68,6 +68,11 @@ class DoseEngine {
   enum class FastFormat {
     kRsFormat,  ///< fused decompress-SpMV on the 16-bit delta streams.
     kSellCs,    ///< native SELL-C-σ kernel (float values, SIMD gathers).
+    kSellCsQ,   ///< quantized SELL-C-σ (u16 values + per-column scale,
+                ///< empty rows compacted out; needs <= 65536 columns).
+    kAuto,      ///< resolve at set_tier time: the tuned format when a
+                ///< TunedConfig was applied (kernels/tuner.hpp), else
+                ///< kRsFormat.  fast_format() reports the resolved format.
   };
 
   /// Accuracy contract for compute_delta / apply_delta
@@ -131,9 +136,35 @@ class DoseEngine {
   Tier tier() const { return tier_; }
   FastFormat fast_format() const { return fast_format_; }
 
+  /// SELL-C-σ geometry for subsequently built fast containers (both the
+  /// float and the quantized one).  Changing it drops the cached SELL
+  /// containers so the next set_tier rebuilds them; the rsformat container
+  /// and every bitwise-tier structure are untouched.  `sigma == 0` means
+  /// "all rows" (resolved to the row count rounded up to a multiple of C);
+  /// otherwise σ must be a positive multiple of C.
+  void set_fast_sell_config(std::uint32_t chunk_height, std::uint32_t sigma);
+  std::uint32_t fast_sell_c() const { return fast_sell_c_; }
+  std::uint32_t fast_sell_sigma() const { return fast_sell_sigma_; }
+
+  /// Thread count for *fast-tier* computes only (same semantics as
+  /// set_native_threads; 0 = all hardware threads).  Until called, the fast
+  /// tier follows set_native_threads.  The bitwise tier never reads this —
+  /// a tuned fast configuration cannot perturb the oracle.
+  void set_fast_threads(unsigned threads);
+  /// Back to "fast tier follows set_native_threads".
+  void clear_fast_threads() { fast_threads_set_ = false; }
+  bool fast_threads_overridden() const { return fast_threads_set_; }
+  unsigned fast_threads() const { return fast_native_.requested_threads(); }
+
+  /// What FastFormat::kAuto resolves to (kernels/tuner.hpp applies the
+  /// tuned format here).  Must be a concrete format, not kAuto.
+  void set_auto_fast_format(FastFormat format);
+  FastFormat auto_fast_format() const { return auto_fast_format_; }
+
   /// Fast-tier storage accessors (built by set_tier; throw if absent).
   const rsformat::RsMatrix& fast_rs_matrix() const;
   const sparse::SellCsMatrix<float>& fast_sell_matrix() const;
+  const sparse::SellCsQMatrix& fast_sellq_matrix() const;
 
   /// The matrix the selected mode actually computes with, widened to double
   /// (exact: half and float embed in double).  This is what the fast tier
@@ -239,10 +270,14 @@ class DoseEngine {
   sparse::CsrF64 double_matrix_;             ///< kDouble storage.
   Tier tier_ = Tier::kBitwise;
   FastFormat fast_format_ = FastFormat::kRsFormat;
+  FastFormat auto_fast_format_ = FastFormat::kRsFormat;
+  std::uint32_t fast_sell_c_ = 32;
+  std::uint32_t fast_sell_sigma_ = 1024;
   /// Fast-tier containers, built lazily from stored_matrix_as_double() and
-  /// cached for the engine's lifetime (unique_ptr doubles as "built" flag).
+  /// cached until the geometry changes (unique_ptr doubles as "built" flag).
   std::unique_ptr<rsformat::RsMatrix> rs_matrix_;
   std::unique_ptr<sparse::SellCsMatrix<float>> sell_matrix_;
+  std::unique_ptr<sparse::SellCsQMatrix> sellq_matrix_;
   RowSplitPlan rowsplit_plan_;               ///< kRowSplit analysis.
   std::vector<AdaptiveWorkItem> adaptive_worklist_;  ///< kAdaptive analysis.
   /// CSC sidecar + row→work-item maps + scratch for the delta path, built
@@ -251,6 +286,10 @@ class DoseEngine {
   DeltaRun last_delta_;
   std::unique_ptr<gpusim::Gpu> gpu_;
   NativeExecutor native_;
+  /// Fast-tier executor, used instead of native_ once set_fast_threads ran
+  /// (a tuned thread count must never leak into the bitwise tier).
+  NativeExecutor fast_native_;
+  bool fast_threads_set_ = false;
   SpmvRun last_run_;
   bool has_run_ = false;
 };

@@ -273,4 +273,247 @@ inline void rsformat_spmv(const rsformat::RsMatrix& m,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batched fused rsformat (fast tier v2): one decode pass of the u16 delta
+// stream feeds K column-major-interleaved accumulators, so a K-scenario
+// batch pays the prefix-sum decode (and the 4-byte/slot stream traffic)
+// once instead of K times.  Arithmetic per lane j is exactly the single-RHS
+// kernel's: dq = double(q) * scale rounds once, then acc += dq * w_j rounds
+// a multiply and an add — so at one thread every output column is bitwise
+// identical to a looped rsformat_spmv over the same weight column.  Lanes
+// whose weight is zero contribute (dq * 0.0) = +0.0, and accumulators can
+// never hold -0.0 (they start at +0.0 and (+0.0) + (-0.0) = +0.0), so the
+// extra identity adds keep the bit equality even though the single-RHS
+// kernel skips zero-weight columns outright.
+// ---------------------------------------------------------------------------
+
+/// Decode one column's slots and accumulate K lanes:
+/// acc[row*K + j] += (double(q) * scale) * wk[j].
+inline void rsformat_column_scalar_batch(
+    const std::uint16_t* deltas, const std::uint16_t* qvalues,
+    std::uint64_t begin, std::uint64_t end, std::uint64_t first_row,
+    double scale, const double* wk, std::size_t batch, double* acc) {
+  std::uint64_t row = first_row;
+  for (std::uint64_t k = begin; k < end; ++k) {
+    const std::uint16_t delta = deltas[k];
+    if (delta == rsformat::RsMatrix::kEscape) {
+      row += rsformat::RsMatrix::kEscapeAdvance;
+      continue;
+    }
+    row += delta;
+    const double dq = static_cast<double>(qvalues[k]) * scale;
+    double* a = acc + row * batch;
+    for (std::size_t j = 0; j < batch; ++j) {
+      a[j] += dq * wk[j];
+    }
+  }
+}
+
+#if defined(PD_RSFORMAT_SIMD_DISPATCH)
+
+/// K-lane scatter of one dequantized slot: acc[r*K + j] += d * wk[j]
+/// (4-wide vector body + scalar tail; mul then add, the scalar rounding).
+__attribute__((target("avx2"))) inline void rsformat_batch_scatter_avx2(
+    double* acc, std::uint64_t r, double d, const double* wk,
+    std::size_t batch) {
+  double* a = acc + r * batch;
+  std::size_t j = 0;
+  const __m256d d4 = _mm256_set1_pd(d);
+  for (; j + 4 <= batch; j += 4) {
+    const __m256d av = _mm256_loadu_pd(a + j);
+    _mm256_storeu_pd(
+        a + j, _mm256_add_pd(av, _mm256_mul_pd(d4, _mm256_loadu_pd(wk + j))));
+  }
+  for (; j < batch; ++j) {
+    a[j] += d * wk[j];
+  }
+}
+
+/// AVX2 batched decode: the same 16-delta prefix-sum machinery as the
+/// single-RHS kernel, but the dequantized block is (q * scale) only — the
+/// per-lane weight multiply happens in the K-wide scatter loop (mul then
+/// add, matching the scalar batch kernel's rounding exactly).
+__attribute__((target("avx2"))) inline void rsformat_column_avx2_batch(
+    const std::uint16_t* deltas, const std::uint16_t* qvalues,
+    std::uint64_t begin, std::uint64_t end, std::uint64_t first_row,
+    double scale, const double* wk, std::size_t batch, double* acc) {
+  std::uint64_t k = begin;
+  std::uint64_t row = first_row;
+  const __m256i escape = _mm256_set1_epi16(static_cast<short>(0xffffu));
+  const __m256d vscale = _mm256_set1_pd(scale);
+  alignas(32) std::uint32_t rows[16];
+  alignas(32) double dq[16];
+  const auto scatter = [&](std::uint64_t r, double d) {
+    rsformat_batch_scatter_avx2(acc, r, d, wk, batch);
+  };
+  while (k + 16 <= end) {
+    const __m256i d16 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(deltas + k));
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi16(d16, escape)) != 0) {
+      const std::uint64_t stop = k + 16;
+      for (; k < stop; ++k) {
+        const std::uint16_t delta = deltas[k];
+        if (delta == rsformat::RsMatrix::kEscape) {
+          row += rsformat::RsMatrix::kEscapeAdvance;
+          continue;
+        }
+        row += delta;
+        scatter(row, static_cast<double>(qvalues[k]) * scale);
+      }
+      continue;
+    }
+    __m256i lo = _mm256_cvtepu16_epi32(_mm256_castsi256_si128(d16));
+    __m256i hi = _mm256_cvtepu16_epi32(_mm256_extracti128_si256(d16, 1));
+    lo = rsformat_prefix_u32(lo);
+    hi = rsformat_prefix_u32(hi);
+    const std::uint32_t lo_total = static_cast<std::uint32_t>(
+        _mm256_extract_epi32(lo, 7));
+    lo = _mm256_add_epi32(lo, _mm256_set1_epi32(static_cast<int>(row)));
+    hi = _mm256_add_epi32(
+        hi, _mm256_set1_epi32(static_cast<int>(row + lo_total)));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(rows), lo);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(rows + 8), hi);
+    row = rows[15];
+    const __m256i q16 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(qvalues + k));
+    const __m256i qlo = _mm256_cvtepu16_epi32(_mm256_castsi256_si128(q16));
+    const __m256i qhi = _mm256_cvtepu16_epi32(_mm256_extracti128_si256(q16, 1));
+    _mm256_store_pd(
+        dq, _mm256_mul_pd(_mm256_cvtepi32_pd(_mm256_castsi256_si128(qlo)),
+                          vscale));
+    _mm256_store_pd(
+        dq + 4,
+        _mm256_mul_pd(_mm256_cvtepi32_pd(_mm256_extracti128_si256(qlo, 1)),
+                      vscale));
+    _mm256_store_pd(
+        dq + 8, _mm256_mul_pd(_mm256_cvtepi32_pd(_mm256_castsi256_si128(qhi)),
+                              vscale));
+    _mm256_store_pd(
+        dq + 12,
+        _mm256_mul_pd(_mm256_cvtepi32_pd(_mm256_extracti128_si256(qhi, 1)),
+                      vscale));
+    for (int i = 0; i < 16; ++i) {
+      scatter(rows[i], dq[i]);
+    }
+    k += 16;
+  }
+  for (; k < end; ++k) {
+    const std::uint16_t delta = deltas[k];
+    if (delta == rsformat::RsMatrix::kEscape) {
+      row += rsformat::RsMatrix::kEscapeAdvance;
+      continue;
+    }
+    row += delta;
+    scatter(row, static_cast<double>(qvalues[k]) * scale);
+  }
+}
+
+#endif  // PD_RSFORMAT_SIMD_DISPATCH
+
+/// K doses from K weight vectors in one traversal of the compressed streams.
+/// `xs[j]` is weight vector j (num_cols doubles), `ys[j]` the dose output
+/// (num_rows doubles).  At one thread each ys[j] is bitwise identical to
+/// rsformat_spmv(m, xs[j], ...); threaded runs use the same column partition
+/// + private scratch + fixed-order merge as the single-RHS kernel and are
+/// run-to-run deterministic per thread count.
+inline void rsformat_spmv_batch(const rsformat::RsMatrix& m,
+                                std::span<const double* const> xs,
+                                std::span<double* const> ys,
+                                NativeExecutor& exec, bool allow_simd = true) {
+  const std::size_t batch = xs.size();
+  PD_CHECK_MSG(batch > 0, "rsformat_spmv_batch: empty batch");
+  PD_CHECK_MSG(ys.size() == batch, "rsformat_spmv_batch: xs/ys size mismatch");
+  const std::uint64_t num_rows = m.num_rows();
+  const std::uint64_t num_cols = m.num_cols();
+  for (std::size_t j = 0; j < batch; ++j) {
+    std::fill(ys[j], ys[j] + num_rows, 0.0);
+  }
+  if (num_cols == 0 || m.col_ptr().back() == 0) {
+    return;
+  }
+  const std::uint64_t* col_ptr = m.col_ptr().data();
+  const std::uint32_t* col_first_row = m.col_first_row().data();
+  const float* col_scale = m.col_scale().data();
+  const std::uint16_t* deltas = m.deltas().data();
+  const std::uint16_t* qvalues = m.qvalues().data();
+
+  // Column-major-interleaved batch weights: the K weights of column c sit
+  // contiguously at xw[c*K], so the per-slot inner loop streams them.
+  std::vector<double> xw(num_cols * batch);
+  for (std::uint64_t c = 0; c < num_cols; ++c) {
+    for (std::size_t j = 0; j < batch; ++j) {
+      xw[c * batch + j] = xs[j][c];
+    }
+  }
+
+#if defined(PD_RSFORMAT_SIMD_DISPATCH)
+  const bool use_avx2 = allow_simd && kHaveRsformatAvx2 &&
+                        num_rows < (std::uint64_t{1} << 31);
+#else
+  const bool use_avx2 = false;
+  (void)allow_simd;
+#endif
+
+  const auto run_columns = [&](std::uint64_t c_begin, std::uint64_t c_end,
+                               double* acc) {
+    for (std::uint64_t c = c_begin; c < c_end; ++c) {
+      if (col_ptr[c] == col_ptr[c + 1]) {
+        continue;  // empty spot: no contribution to any lane.
+      }
+      const double* wk = xw.data() + c * batch;
+      bool any = false;
+      for (std::size_t j = 0; j < batch; ++j) {
+        any = any || wk[j] != 0.0;
+      }
+      if (!any) {
+        continue;  // all-zero weights: every lane's kernel would skip.
+      }
+      const double scale = static_cast<double>(col_scale[c]);
+#if defined(PD_RSFORMAT_SIMD_DISPATCH)
+      if (use_avx2) {
+        rsformat_column_avx2_batch(deltas, qvalues, col_ptr[c], col_ptr[c + 1],
+                                   col_first_row[c], scale, wk, batch, acc);
+        continue;
+      }
+#endif
+      rsformat_column_scalar_batch(deltas, qvalues, col_ptr[c], col_ptr[c + 1],
+                                   col_first_row[c], scale, wk, batch, acc);
+    }
+  };
+
+  // Interleaved accumulator: lane j of row r at acc[r*K + j] (the layout
+  // native_vector_spmv_batch uses), deinterleaved into ys at the end.
+  const std::size_t parts = exec.parts_for(num_cols);
+  std::vector<double> acc(num_rows * batch, 0.0);
+  if (parts <= 1) {
+    run_columns(0, num_cols, acc.data());
+  } else {
+    std::vector<std::uint64_t> costs(num_cols);
+    for (std::uint64_t c = 0; c < num_cols; ++c) {
+      costs[c] = col_ptr[c + 1] - col_ptr[c];
+    }
+    const sparse::RowPartition part =
+        sparse::balanced_cost_partition(costs, parts);
+    std::vector<std::vector<double>> scratch(
+        part.parts(), std::vector<double>(num_rows * batch, 0.0));
+    exec.run(part.parts(), [&](std::size_t p) {
+      run_columns(part.boundaries[p], part.boundaries[p + 1],
+                  scratch[p].data());
+    });
+    for (std::size_t p = 0; p < part.parts(); ++p) {
+      const double* sp = scratch[p].data();
+      double* ap = acc.data();
+      for (std::uint64_t i = 0; i < num_rows * batch; ++i) {
+        ap[i] += sp[i];
+      }
+    }
+  }
+  for (std::uint64_t r = 0; r < num_rows; ++r) {
+    const double* a = acc.data() + r * batch;
+    for (std::size_t j = 0; j < batch; ++j) {
+      ys[j][r] = a[j];
+    }
+  }
+}
+
 }  // namespace pd::kernels

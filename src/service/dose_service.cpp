@@ -20,9 +20,19 @@ std::uint32_t exec_key_for(const SubmitOptions& options) {
   if (options.tier == kernels::DoseEngine::Tier::kBitwise) {
     return 0;
   }
-  return options.fast_format == kernels::DoseEngine::FastFormat::kRsFormat
-             ? 1
-             : 2;
+  switch (options.fast_format) {
+    case kernels::DoseEngine::FastFormat::kRsFormat:
+      return 1;
+    case kernels::DoseEngine::FastFormat::kSellCs:
+      return 2;
+    case kernels::DoseEngine::FastFormat::kSellCsQ:
+      return 3;
+    case kernels::DoseEngine::FastFormat::kAuto:
+      // All kAuto requests on one plan resolve to the same tuned format, so
+      // batching them together is still uniform after resolution.
+      return 4;
+  }
+  return 2;
 }
 
 // Delta requests get their own key space (top bit) so they never coalesce

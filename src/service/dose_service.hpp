@@ -158,6 +158,13 @@ class DoseService {
 
   ServiceStats stats() const;
 
+  /// The plan's cached fast-tier TunedConfig (EngineParams::autotune), or
+  /// null when the plan was never tuned.  See EngineCache::tuned_config.
+  std::shared_ptr<const kernels::TunedConfig> tuned_config(
+      const std::string& plan) const {
+    return cache_.tuned_config(plan);
+  }
+
   const ServiceConfig& config() const { return config_; }
 
  private:

@@ -17,6 +17,8 @@ void EngineCache::register_plan(const std::string& plan, MatrixSource source) {
   std::lock_guard<std::mutex> lock(mu_);
   sources_[plan] = std::move(source);
   entries_.erase(plan);
+  // A replaced source may produce a different matrix; its tuning is stale.
+  tuned_.erase(plan);
 }
 
 bool EngineCache::has_plan(const std::string& plan) const {
@@ -70,6 +72,28 @@ std::shared_ptr<kernels::DoseEngine> EngineCache::acquire(
     } else {
       engine->set_engine_options(params_.engine_options);
     }
+    if (params_.autotune) {
+      // Tune once per register_plan: a cached config is re-applied to the
+      // rebuilt engine without re-measuring, so LRU churn on a hot plan
+      // never pays the tuning cost twice.  building_ already serializes
+      // same-plan builds, so no two workers can tune one plan concurrently.
+      std::shared_ptr<const kernels::TunedConfig> config;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = tuned_.find(plan);
+        if (it != tuned_.end()) {
+          config = it->second;
+        }
+      }
+      if (config == nullptr) {
+        config = std::make_shared<const kernels::TunedConfig>(
+            kernels::autotune_fast_tier(*engine, params_.tune_options));
+        std::lock_guard<std::mutex> lock(mu_);
+        tuned_[plan] = config;
+        ++tunes_;
+      }
+      kernels::apply_tuned(*engine, *config);
+    }
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
     building_.erase(plan);
@@ -106,6 +130,13 @@ void EngineCache::evict_over_capacity() {
   }
 }
 
+std::shared_ptr<const kernels::TunedConfig> EngineCache::tuned_config(
+    const std::string& plan) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tuned_.find(plan);
+  return it == tuned_.end() ? nullptr : it->second;
+}
+
 EngineCacheStats EngineCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   EngineCacheStats s;
@@ -113,6 +144,8 @@ EngineCacheStats EngineCache::stats() const {
   s.misses = misses_;
   s.evictions = evictions_;
   s.resident = entries_.size();
+  s.tunes = tunes_;
+  s.tuned_plans = tuned_.size();
   for (const auto& [plan, entry] : entries_) {
     (void)plan;
     if (entry.engine.use_count() > 1) {

@@ -29,6 +29,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/launch.hpp"
 #include "kernels/dose_engine.hpp"
+#include "kernels/tuner.hpp"
 #include "service/stats.hpp"
 #include "sparse/csr.hpp"
 
@@ -50,6 +51,14 @@ struct EngineParams {
   /// Applied to gpusim-backend engines (functional-only by default: a
   /// serving layer wants dose bits and wall-clock, not traffic counters).
   gpusim::EngineOptions engine_options{gpusim::TraceMode::kFunctionalOnly, 0};
+  /// Run the fast-tier autotuner (kernels/tuner.hpp) when a plan's engine is
+  /// first built, apply the winning TunedConfig, and cache the config next
+  /// to the engine.  The config outlives LRU eviction: rebuilt engines get
+  /// the cached config re-applied without re-tuning (a hot plan is tuned
+  /// exactly once per register_plan).  Tuning touches only fast-tier state —
+  /// Tier::kBitwise doses stay byte-for-byte unchanged.
+  bool autotune = false;
+  kernels::TuneOptions tune_options{};
 };
 
 class EngineCache {
@@ -68,6 +77,12 @@ class EngineCache {
   /// unregistered plan; a throwing MatrixSource propagates to every waiter.
   std::shared_ptr<kernels::DoseEngine> acquire(const std::string& plan);
 
+  /// The plan's cached TunedConfig (EngineParams::autotune), or null when
+  /// the plan was never tuned.  Persists across engine eviction; dropped
+  /// only by register_plan replacing the plan's source.
+  std::shared_ptr<const kernels::TunedConfig> tuned_config(
+      const std::string& plan) const;
+
   EngineCacheStats stats() const;
 
  private:
@@ -85,11 +100,15 @@ class EngineCache {
   std::condition_variable build_cv_;
   std::map<std::string, MatrixSource> sources_;
   std::map<std::string, Entry> entries_;
+  /// Tuned configs live beside, not inside, entries_: eviction drops the
+  /// engine but keeps the config, so the rebuild is apply-only.
+  std::map<std::string, std::shared_ptr<const kernels::TunedConfig>> tuned_;
   std::set<std::string> building_;
   std::uint64_t use_tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t tunes_ = 0;
 };
 
 }  // namespace pd::service

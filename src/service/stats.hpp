@@ -21,6 +21,9 @@ struct EngineCacheStats {
   std::uint64_t evictions = 0;   ///< LRU entries dropped over capacity.
   std::size_t resident = 0;      ///< Engines currently in the cache.
   std::size_t pinned = 0;        ///< Resident engines held by in-flight work.
+  std::uint64_t tunes = 0;       ///< Autotuner runs (once per registered plan;
+                                 ///< rebuilds re-apply the cached config).
+  std::size_t tuned_plans = 0;   ///< Plans with a cached TunedConfig.
 };
 
 /// Snapshot of the service's request/batch/latency counters.

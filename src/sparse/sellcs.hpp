@@ -9,6 +9,7 @@
 // would otherwise cause.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <numeric>
 #include <vector>
@@ -107,6 +108,153 @@ SellCsMatrix<V, I> csr_to_sellcs(const CsrMatrix<V, I>& csr,
         const std::uint64_t slot = m.chunk_ptr[c] + j * chunk_height + l;
         m.col_idx[slot] = csr.col_idx[k];
         m.values[slot] = csr.values[k];
+      }
+    }
+  }
+  return m;
+}
+
+/// Quantized SELL-C-σ (fast tier v2): the SELL chunk layout with rsformat's
+/// value compression folded in — u16 quantized magnitudes plus one float
+/// scale per matrix column (q = round(v/scale), scale = col_max/65535, the
+/// exact recipe of RsMatrix::from_csr), and u16 column indices.  Two further
+/// differences against the float container keep the streamed bytes at or
+/// under half of SELL-C-σ-float:
+///   * slots are 4 bytes (u16 value + u16 column) instead of 12
+///     (f32 + u32 padding-free would be 8; we also halve the index), and
+///   * empty rows are compacted out of storage entirely: row_perm maps only
+///     the `stored_rows` non-empty rows, so the dose matrices' large empty
+///     fraction stops paying 4 bytes/row of permutation traffic.  Kernels
+///     zero-fill y and scatter just the stored lanes.
+/// u16 column indices bound the container to num_cols <= 65536 — every
+/// paper-scale beam has a few thousand spots, and the builder checks.
+struct SellCsQMatrix {
+  std::uint64_t num_rows = 0;     ///< logical rows (including empty ones).
+  std::uint64_t num_cols = 0;
+  std::uint64_t stored_rows = 0;  ///< non-empty rows kept in chunks.
+  std::uint32_t chunk_height = 32;  ///< C.
+  std::uint32_t sort_window = 1024; ///< σ (over the compacted rows).
+  std::uint64_t stored_nnz = 0;
+
+  std::vector<std::uint64_t> chunk_ptr;   ///< chunk start offsets into arrays.
+  std::vector<std::uint32_t> chunk_width; ///< padded width per chunk.
+  std::vector<std::uint16_t> col_idx;     ///< per chunk: width × C, lane-major.
+  std::vector<std::uint16_t> qvalues;     ///< quantized magnitudes.
+  std::vector<float> col_scale;           ///< dequant scale per matrix column.
+  std::vector<std::uint32_t> row_perm;    ///< storage row -> original row.
+
+  std::uint64_t num_chunks() const { return chunk_width.size(); }
+
+  double padding_overhead() const {
+    const auto padded = static_cast<double>(qvalues.size());
+    return padded == 0.0 ? 0.0 : 1.0 - static_cast<double>(stored_nnz) / padded;
+  }
+
+  /// Worst-case |v - double(q)*scale| for entries of column `col` (the
+  /// rounding radius; callers widen for the float narrowing of the scale,
+  /// mirroring RsMatrix::max_abs_error).
+  double max_abs_error(std::uint32_t col) const {
+    return static_cast<double>(col_scale[col]) * 0.5;
+  }
+
+  std::uint64_t bytes() const {
+    return chunk_ptr.size() * sizeof(std::uint64_t) +
+           chunk_width.size() * sizeof(std::uint32_t) +
+           row_perm.size() * sizeof(std::uint32_t) +
+           col_scale.size() * sizeof(float) +
+           col_idx.size() * sizeof(std::uint16_t) +
+           qvalues.size() * sizeof(std::uint16_t);
+  }
+};
+
+inline SellCsQMatrix csr_to_sellcs_q(const CsrF64& csr,
+                                     std::uint32_t chunk_height = 32,
+                                     std::uint32_t sort_window = 1024) {
+  PD_CHECK_MSG(chunk_height > 0, "SELL-C-σ-q: chunk height must be positive");
+  PD_CHECK_MSG(sort_window % chunk_height == 0,
+               "SELL-C-σ-q: σ must be a multiple of C");
+  PD_CHECK_MSG(csr.num_cols <= (std::uint64_t{1} << 16),
+               "SELL-C-σ-q: u16 column indices need num_cols <= 65536");
+  SellCsQMatrix m;
+  m.num_rows = csr.num_rows;
+  m.num_cols = csr.num_cols;
+  m.chunk_height = chunk_height;
+  m.sort_window = sort_window;
+  m.stored_nnz = csr.nnz();
+
+  // Per-column quantization scale, exactly as RsMatrix::from_csr: dose
+  // values are non-negative, scale = col_max/65535 (1.0 for empty/zero
+  // columns), q = round(v/scale) clamped to u16.
+  std::vector<double> col_max(csr.num_cols, 0.0);
+  for (std::uint64_t r = 0; r < csr.num_rows; ++r) {
+    for (std::uint32_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      PD_CHECK_MSG(csr.values[k] >= 0.0,
+                   "SELL-C-σ-q: dose values must be non-negative");
+      col_max[csr.col_idx[k]] = std::max(col_max[csr.col_idx[k]],
+                                         csr.values[k]);
+    }
+  }
+  m.col_scale.resize(csr.num_cols);
+  std::vector<double> scale_d(csr.num_cols);
+  for (std::uint64_t c = 0; c < csr.num_cols; ++c) {
+    scale_d[c] = col_max[c] > 0.0 ? col_max[c] / 65535.0 : 1.0;
+    m.col_scale[c] = static_cast<float>(scale_d[c]);
+  }
+
+  // Compact the non-empty rows (ascending original order), then the usual
+  // σ-scoped stable descending-length sort over the compacted list.
+  m.row_perm.reserve(csr.num_rows);
+  for (std::uint64_t r = 0; r < csr.num_rows; ++r) {
+    if (csr.row_nnz(r) > 0) {
+      m.row_perm.push_back(static_cast<std::uint32_t>(r));
+    }
+  }
+  m.stored_rows = m.row_perm.size();
+  for (std::uint64_t w = 0; w < m.stored_rows; w += sort_window) {
+    const std::uint64_t end =
+        std::min<std::uint64_t>(w + sort_window, m.stored_rows);
+    std::stable_sort(m.row_perm.begin() + w, m.row_perm.begin() + end,
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return csr.row_nnz(a) > csr.row_nnz(b);
+                     });
+  }
+
+  const std::uint64_t chunks =
+      (m.stored_rows + chunk_height - 1) / chunk_height;
+  m.chunk_ptr.resize(chunks + 1, 0);
+  m.chunk_width.resize(chunks, 0);
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    std::uint32_t width = 0;
+    for (std::uint32_t l = 0; l < chunk_height; ++l) {
+      const std::uint64_t sr = c * chunk_height + l;
+      if (sr < m.stored_rows) {
+        width = std::max<std::uint32_t>(
+            width, static_cast<std::uint32_t>(csr.row_nnz(m.row_perm[sr])));
+      }
+    }
+    m.chunk_width[c] = width;
+    m.chunk_ptr[c + 1] =
+        m.chunk_ptr[c] + static_cast<std::uint64_t>(width) * chunk_height;
+  }
+
+  // Padded slots carry column 0 / q 0 and so contribute +0.0 in the kernel.
+  m.col_idx.assign(m.chunk_ptr.back(), std::uint16_t{0});
+  m.qvalues.assign(m.chunk_ptr.back(), std::uint16_t{0});
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    for (std::uint32_t l = 0; l < chunk_height; ++l) {
+      const std::uint64_t sr = c * chunk_height + l;
+      if (sr >= m.stored_rows) {
+        continue;
+      }
+      const std::uint32_t orig = m.row_perm[sr];
+      std::uint64_t j = 0;
+      for (std::uint32_t k = csr.row_ptr[orig]; k < csr.row_ptr[orig + 1];
+           ++k, ++j) {
+        const std::uint64_t slot = m.chunk_ptr[c] + j * chunk_height + l;
+        const std::uint32_t col = csr.col_idx[k];
+        m.col_idx[slot] = static_cast<std::uint16_t>(col);
+        m.qvalues[slot] = static_cast<std::uint16_t>(std::min<long long>(
+            65535, std::llround(csr.values[k] / scale_d[col])));
       }
     }
   }

@@ -18,8 +18,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cases/cases.hpp"
@@ -63,6 +66,17 @@ std::vector<double> rsformat_col_err(const rsformat::RsMatrix& rs) {
   std::vector<double> err(rs.num_cols());
   for (std::uint64_t c = 0; c < err.size(); ++c) {
     err[c] = 1.02 * rs.max_abs_error(static_cast<std::uint32_t>(c));
+  }
+  return err;
+}
+
+/// Same derivation for the quantized SELL-C-σ container — identical
+/// quantization recipe (u16 against a per-column float scale), so the same
+/// 1.02 × scale/2 per-entry bound applies.
+std::vector<double> sellcsq_col_err(const sparse::SellCsQMatrix& m) {
+  std::vector<double> err(m.num_cols);
+  for (std::uint64_t c = 0; c < err.size(); ++c) {
+    err[c] = 1.02 * m.max_abs_error(static_cast<std::uint32_t>(c));
   }
   return err;
 }
@@ -125,6 +139,9 @@ void check_beam(const cases::BeamDataset& ds, FastFormat format, Mode mode) {
   if (format == FastFormat::kRsFormat) {
     const auto col_err = rsformat_col_err(engine.fast_rs_matrix());
     bound = derive_bounds(wide, x, &col_err, 0.0, acc_ulp);
+  } else if (format == FastFormat::kSellCsQ) {
+    const auto col_err = sellcsq_col_err(engine.fast_sellq_matrix());
+    bound = derive_bounds(wide, x, &col_err, 0.0, acc_ulp);
   } else {
     bound = derive_bounds(wide, x, nullptr, kUlp24, acc_ulp);
   }
@@ -151,11 +168,19 @@ TEST(FastTierCases, SellCsWithinDerivedBoundOnAllBeams) {
   }
 }
 
+TEST(FastTierCases, SellCsQWithinDerivedBoundOnAllBeams) {
+  for (const auto& ds : beams()) {
+    check_beam(ds, FastFormat::kSellCsQ, Mode::kHalfDouble);
+  }
+}
+
 TEST(FastTierCases, OtherPrecisionModesStayInBound) {
   check_beam(beams().front(), FastFormat::kRsFormat, Mode::kSingle);
   check_beam(beams().front(), FastFormat::kSellCs, Mode::kSingle);
+  check_beam(beams().front(), FastFormat::kSellCsQ, Mode::kSingle);
   check_beam(beams().front(), FastFormat::kRsFormat, Mode::kDouble);
   check_beam(beams().front(), FastFormat::kSellCs, Mode::kDouble);
+  check_beam(beams().front(), FastFormat::kSellCsQ, Mode::kDouble);
 }
 
 TEST(FastTierCases, SwitchingTiersLeavesBitwiseBitsAlone) {
@@ -168,6 +193,8 @@ TEST(FastTierCases, SwitchingTiersLeavesBitwiseBitsAlone) {
   (void)engine.compute(x);
   engine.set_tier(Tier::kFast, FastFormat::kSellCs);
   (void)engine.compute(x);
+  engine.set_tier(Tier::kFast, FastFormat::kSellCsQ);
+  (void)engine.compute(x);
   engine.set_tier(Tier::kBitwise);
   EXPECT_EQ(engine.compute(x), before);
 }
@@ -178,16 +205,85 @@ TEST(FastTierCases, TunerPrefersTheSmallerContainer) {
                     kDefaultVectorTpb, SpmvFamily::kVector, Backend::kNative);
   engine.set_tier(Tier::kFast, FastFormat::kRsFormat);
   engine.set_tier(Tier::kFast, FastFormat::kSellCs);
+  engine.set_tier(Tier::kFast, FastFormat::kSellCsQ);
   const std::uint64_t rs = rsformat_streamed_bytes(engine.fast_rs_matrix());
   const std::uint64_t sell = sellcs_streamed_bytes(engine.fast_sell_matrix());
-  const auto choice = choose_fast_format(rs, sell);
-  EXPECT_EQ(choice.prefer_rsformat, rs <= sell);
+  const std::uint64_t sellq =
+      sellcs_q_streamed_bytes(engine.fast_sellq_matrix());
+  const auto choice = choose_fast_format(rs, sell, sellq);
+  EXPECT_EQ(choice.prefer_rsformat(), rs <= sell && rs <= sellq);
+  EXPECT_EQ(choice.chosen_bytes(), std::min({rs, sell, sellq}));
   const std::uint64_t csr = engine.stored_matrix_as_double().bytes();
   // The whole point of the tier: the chosen container streams fewer bytes.
   EXPECT_LT(choice.ratio_vs(csr), 1.0);
   // And the fused container meets the paper-case headline (<= 60% of
   // CSR-double traffic).
   EXPECT_LE(static_cast<double>(rs), 0.60 * static_cast<double>(csr));
+  // The fast-tier-v2 headline: the quantized SELL container streams at most
+  // half the float SELL container's bytes.
+  EXPECT_LE(static_cast<double>(sellq), 0.50 * static_cast<double>(sell));
+}
+
+// --- batched fused rsformat --------------------------------------------------
+
+// The batched kernel's contract (kernels/rsformat_spmv.hpp): every output
+// column of a K-wide launch is bitwise identical to a looped single-RHS
+// product at the same thread count — same column partition, same fixed-order
+// scratch merge, and zero-weight lanes add only +0.0.
+TEST(FastTierBatched, BatchedFusedMatchesLoopedBitwise) {
+  for (const auto& ds : {beams().front(), beams().back()}) {
+    DoseEngine engine(ds.beam.matrix, gpusim::make_a100(), Mode::kHalfDouble,
+                      kDefaultVectorTpb, SpmvFamily::kVector,
+                      Backend::kNative);
+    engine.set_tier(Tier::kFast, FastFormat::kRsFormat);
+    const std::size_t spots = engine.num_spots();
+    for (const std::size_t k : {std::size_t{1}, std::size_t{2},
+                                std::size_t{9}}) {
+      Rng rng(500 + k);
+      std::vector<double> bw =
+          sparse::random_vector(rng, k * spots, 0.0, 2.0);
+      for (const unsigned threads : {1u, 2u, 5u}) {
+        engine.set_native_threads(threads);
+        const std::vector<std::vector<double>> batched =
+            engine.compute_batch(bw, k);
+        ASSERT_EQ(batched.size(), k);
+        for (std::size_t j = 0; j < k; ++j) {
+          const std::vector<double> looped = engine.compute(
+              std::span<const double>(bw.data() + j * spots, spots));
+          EXPECT_EQ(batched[j], looped)
+              << ds.label << " K=" << k << " lane " << j << " t" << threads;
+        }
+      }
+    }
+  }
+}
+
+// A lane of all-zero weights exercises the +0.0 identity argument: the
+// single-RHS kernel skips zero-weight columns outright, the batched kernel
+// does not, and the bits must still agree (the zero lane's dose is exactly
+// the zero vector).
+TEST(FastTierBatched, ZeroWeightLaneStaysBitwise) {
+  const auto& ds = beams().front();
+  DoseEngine engine(ds.beam.matrix, gpusim::make_a100(), Mode::kHalfDouble,
+                    kDefaultVectorTpb, SpmvFamily::kVector, Backend::kNative);
+  engine.set_tier(Tier::kFast, FastFormat::kRsFormat);
+  const std::size_t spots = engine.num_spots();
+  std::vector<double> bw(3 * spots, 0.0);
+  Rng rng(321);
+  for (std::size_t c = 0; c < spots; ++c) {
+    bw[c] = rng.uniform(0.5, 2.0);              // lane 0: dense weights
+    bw[2 * spots + c] = c % 2 ? 0.0 : bw[c];    // lane 2: half zeros
+  }                                             // lane 1: all zero
+  const auto batched = engine.compute_batch(bw, 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    const std::vector<double> looped = engine.compute(
+        std::span<const double>(bw.data() + j * spots, spots));
+    EXPECT_EQ(batched[j], looped) << "lane " << j;
+  }
+  for (const double d : batched[1]) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(d),
+              std::bit_cast<std::uint64_t>(0.0));  // +0.0, never -0.0
+  }
 }
 
 // --- (b) the bound is tight enough to catch a real bug ----------------------
@@ -230,6 +326,39 @@ TEST(FastTierBound, CatchesAnOffByOneColumnBug) {
   // the test itself is not flaky about a handful of cancelling rows.
   std::uint64_t nonempty = 0;
   for (std::uint64_t r = 0; r < wide.num_rows; ++r) {
+    nonempty += wide.row_nnz(r) > 0 ? 1 : 0;
+  }
+  EXPECT_GT(violations, nonempty / 2);
+}
+
+TEST(FastTierBound, CatchesAnOffByOneColumnBugQuantized) {
+  // Same tightness demand for the quantized SELL bound: a one-column
+  // indexing bug in a reference must blow through it on most rows.
+  const auto& ds = beams().front();
+  DoseEngine engine(ds.beam.matrix, gpusim::make_a100(), Mode::kHalfDouble,
+                    kDefaultVectorTpb, SpmvFamily::kVector, Backend::kNative);
+  Rng rng(4321);
+  const auto x = sparse::random_vector(rng, engine.num_spots(), 0.5, 2.0);
+  const sparse::CsrF64 wide = engine.stored_matrix_as_double();
+
+  std::vector<double> buggy(wide.num_rows, 0.0);
+  for (std::uint64_t r = 0; r < wide.num_rows; ++r) {
+    double acc = 0.0;
+    for (std::uint32_t k = wide.row_ptr[r]; k < wide.row_ptr[r + 1]; ++k) {
+      acc += wide.values[k] *
+             x[(wide.col_idx[k] + 1) % wide.num_cols];  // the bug
+    }
+    buggy[r] = acc;
+  }
+
+  engine.set_tier(Tier::kFast, FastFormat::kSellCsQ);
+  const std::vector<double> fast = engine.compute(x);
+  const auto col_err = sellcsq_col_err(engine.fast_sellq_matrix());
+  const auto bound = derive_bounds(wide, x, &col_err, 0.0, kUlp53);
+
+  std::uint64_t violations = 0, nonempty = 0;
+  for (std::uint64_t r = 0; r < wide.num_rows; ++r) {
+    violations += std::fabs(fast[r] - buggy[r]) > bound[r] ? 1 : 0;
     nonempty += wide.row_nnz(r) > 0 ? 1 : 0;
   }
   EXPECT_GT(violations, nonempty / 2);

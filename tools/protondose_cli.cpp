@@ -135,6 +135,8 @@ int cmd_stats(int argc, const char* const* argv) {
 // `spmv --tier fast`: execute on compressed storage (docs/fast_tier.md),
 // report wall-clock + streamed-bytes ratio + worst deviation from the
 // bitwise tier.  No modeled GPU numbers: the fast tier is host-native only.
+// With --batch K > 1, additionally runs the batched fused kernel and checks
+// it bitwise against K looped single-RHS products (nonzero exit on mismatch).
 int run_spmv_fast_tier(const pd::CliParser& cli,
                        pd::kernels::DoseEngine& engine,
                        const std::vector<double>& weights,
@@ -152,19 +154,32 @@ int run_spmv_fast_tier(const pd::CliParser& cli,
   if (fmt_str == "auto") {
     engine.set_tier(Tier::kFast, FastFormat::kRsFormat);
     engine.set_tier(Tier::kFast, FastFormat::kSellCs);
+    std::uint64_t sellq_bytes = 0;
+    try {
+      engine.set_tier(Tier::kFast, FastFormat::kSellCsQ);
+      sellq_bytes =
+          pd::kernels::sellcs_q_streamed_bytes(engine.fast_sellq_matrix());
+    } catch (const pd::Error&) {
+      // Quantized container unavailable (negative values or > 2^16 spots);
+      // the three-way choice degrades to the float pair.
+    }
     const auto choice = pd::kernels::choose_fast_format(
         pd::kernels::rsformat_streamed_bytes(engine.fast_rs_matrix()),
-        pd::kernels::sellcs_streamed_bytes(engine.fast_sell_matrix()));
-    fmt = choice.prefer_rsformat ? FastFormat::kRsFormat
-                                 : FastFormat::kSellCs;
-    fmt_name = choice.prefer_rsformat ? "rsformat" : "sellcs";
+        pd::kernels::sellcs_streamed_bytes(engine.fast_sell_matrix()),
+        sellq_bytes);
+    fmt = choice.format;
+    fmt_name = choice.format == FastFormat::kRsFormat ? "rsformat"
+               : choice.format == FastFormat::kSellCsQ ? "sellcsq"
+                                                       : "sellcs";
   } else if (fmt_str == "rsformat") {
     fmt = FastFormat::kRsFormat;
   } else if (fmt_str == "sellcs") {
     fmt = FastFormat::kSellCs;
+  } else if (fmt_str == "sellcsq") {
+    fmt = FastFormat::kSellCsQ;
   } else {
     throw pd::Error("unknown format '" + fmt_str +
-                    "' (expected rsformat, sellcs, or auto)");
+                    "' (expected rsformat, sellcs, sellcsq, or auto)");
   }
   engine.set_tier(Tier::kFast, fmt);
 
@@ -172,10 +187,15 @@ int run_spmv_fast_tier(const pd::CliParser& cli,
   const std::uint64_t fast_bytes =
       fmt == FastFormat::kRsFormat
           ? pd::kernels::rsformat_streamed_bytes(engine.fast_rs_matrix())
+      : fmt == FastFormat::kSellCsQ
+          ? pd::kernels::sellcs_q_streamed_bytes(engine.fast_sellq_matrix())
           : pd::kernels::sellcs_streamed_bytes(engine.fast_sell_matrix());
   const char* variant =
       fmt == FastFormat::kRsFormat
           ? pd::kernels::rsformat_spmv_variant_name()
+      : fmt == FastFormat::kSellCsQ
+          ? pd::kernels::sellcs_q_spmv_variant_name(
+                engine.fast_sellq_matrix().chunk_height)
           : pd::kernels::sellcs_spmv_variant_name(
                 engine.fast_sell_matrix().chunk_height);
 
@@ -210,12 +230,61 @@ int run_spmv_fast_tier(const pd::CliParser& cli,
   t.add_row({"max |fast - bitwise|",
              pd::fmt_sci(max_abs, 3) + " (dose max " +
                  pd::fmt_sci(max_ref, 3) + ")"});
+
+  // --batch K: run the K-wide fused launch against K looped single-RHS
+  // products on the same tier/format and verify bitwise equality (the
+  // batched kernel's contract, docs/fast_tier.md).
+  const int batch_k = cli.get_int("batch");
+  std::size_t batch_mismatches = 0;
+  if (batch_k > 1) {
+    const std::size_t k = static_cast<std::size_t>(batch_k);
+    const std::size_t spots = engine.num_spots();
+    std::vector<double> batch_weights(k * spots);
+    pd::Rng rng(7);
+    for (double& v : batch_weights) v = rng.uniform(0.0, 2.0);
+
+    std::vector<std::vector<double>> looped(k);
+    const auto run_looped = [&] {
+      for (std::size_t j = 0; j < k; ++j) {
+        looped[j] = engine.compute(std::span<const double>(
+            batch_weights.data() + j * spots, spots));
+      }
+    };
+    const auto run_batched = [&] {
+      return engine.compute_batch(batch_weights, k);
+    };
+    run_looped();
+    std::vector<std::vector<double>> batched = run_batched();  // warm-up
+    double loop_s = 1e300, batch_s = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+      pd::WallTimer lt;
+      run_looped();
+      loop_s = std::min(loop_s, lt.seconds());
+      pd::WallTimer bt;
+      batched = run_batched();
+      batch_s = std::min(batch_s, bt.seconds());
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      for (std::size_t r = 0; r < looped[j].size(); ++r) {
+        batch_mismatches += std::bit_cast<std::uint64_t>(batched[j][r]) !=
+                            std::bit_cast<std::uint64_t>(looped[j][r]);
+      }
+    }
+    t.add_row({"batched K=" + std::to_string(k),
+               pd::fmt_sci(batch_s, 3) + " s vs " + pd::fmt_sci(loop_s, 3) +
+                   " s looped (" + pd::fmt_double(loop_s / batch_s, 2) +
+                   "x)"});
+    t.add_row({"batched vs looped",
+               batch_mismatches == 0
+                   ? "bitwise identical (" + std::to_string(k) + " doses)"
+                   : std::to_string(batch_mismatches) + " MISMATCHED values"});
+  }
   std::cout << t.str();
   if (cli.get_flag("check")) {
     std::cout << "\nsimcheck: fast tier executes host-native; no simulated "
                  "launches to check\n";
   }
-  return 0;
+  return batch_mismatches == 0 ? 0 : 2;
 }
 
 int cmd_spmv(int argc, const char* const* argv) {
@@ -230,10 +299,13 @@ int cmd_spmv(int argc, const char* const* argv) {
                  "(host-native compute on compressed storage, "
                  "docs/fast_tier.md)");
   cli.add_option("format", "rsformat",
-                 "fast-tier container: rsformat, sellcs, or auto "
+                 "fast-tier container: rsformat, sellcs, sellcsq, or auto "
                  "(fewest streamed bytes wins)");
   cli.add_option("threads", "1",
                  "native threads for the fast tier (0 = all hardware)");
+  cli.add_option("batch", "1",
+                 "fast tier only: also run a K-wide batched launch and "
+                 "verify it bitwise against K looped products");
   cli.add_flag("profile", "print the full Nsight-style kernel profile");
   cli.add_flag("check", "run under the simcheck correctness analyzer "
                         "(memcheck/racecheck/synccheck/initcheck/"
@@ -384,12 +456,93 @@ int cmd_roofline(int argc, const char* const* argv) {
   return 0;
 }
 
+// `tune --fast`: run the measurement-driven fast-tier autotuner
+// (kernels/tuner.hpp) and print the winning TunedConfig plus the candidate
+// table.  --trials 0 pins the fully deterministic byte-model mode (the same
+// pin CI uses via PROTONDOSE_TUNER_TRIALS).
+int run_tune_fast_tier(const pd::CliParser& cli) {
+  pd::kernels::DoseEngine engine(
+      load_or_generate(cli), device_by_name(cli.get("device")),
+      pd::kernels::DoseEngine::Mode::kHalfDouble,
+      pd::kernels::kDefaultVectorTpb, pd::kernels::SpmvFamily::kVector,
+      pd::kernels::DoseEngine::Backend::kNative);
+
+  pd::kernels::TuneOptions opts = pd::kernels::tune_options_from_env();
+  const int trials = cli.get_int("trials");
+  if (trials >= 0) {
+    opts.trials = static_cast<unsigned>(trials);
+  }
+  opts.probe_batch = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("batch")));
+  const pd::kernels::TunedConfig config =
+      pd::kernels::autotune_fast_tier(engine, opts);
+
+  const auto fmt_name = [](pd::kernels::DoseEngine::FastFormat f) {
+    switch (f) {
+      case pd::kernels::DoseEngine::FastFormat::kRsFormat: return "rsformat";
+      case pd::kernels::DoseEngine::FastFormat::kSellCs: return "sellcs";
+      case pd::kernels::DoseEngine::FastFormat::kSellCsQ: return "sellcsq";
+      case pd::kernels::DoseEngine::FastFormat::kAuto: return "auto";
+    }
+    return "?";
+  };
+
+  pd::TextTable t({"quantity", "value"});
+  t.add_row({"chosen format", fmt_name(config.format)});
+  if (config.format != pd::kernels::DoseEngine::FastFormat::kRsFormat) {
+    t.add_row({"chunk height C", std::to_string(config.sell_c)});
+    t.add_row({"sort window sigma", std::to_string(config.sell_sigma)});
+  }
+  t.add_row({"fast threads", std::to_string(config.fast_threads)});
+  t.add_row({"batch width", std::to_string(config.batch_width)});
+  if (config.batched_speedup > 0.0) {
+    t.add_row({"batched speedup",
+               pd::fmt_double(config.batched_speedup, 2) + "x"});
+  }
+  t.add_row({"streamed bytes",
+             pd::fmt_bytes(static_cast<double>(config.streamed_bytes))});
+  if (config.us_per_product > 0.0) {
+    t.add_row({"us / product", pd::fmt_double(config.us_per_product, 1)});
+  }
+  t.add_row({"trials", std::to_string(config.trials) +
+                           (config.trials == 0 ? " (model-only)" : "")});
+  std::cout << t.str();
+
+  pd::TextTable c({"candidate", "streamed bytes", "us/product"});
+  for (const pd::kernels::TuneCandidate& cand : config.candidates) {
+    std::string name = fmt_name(cand.format);
+    if (cand.format != pd::kernels::DoseEngine::FastFormat::kRsFormat) {
+      name += " C=" + std::to_string(cand.sell_c) +
+              " sigma=" + std::to_string(cand.sell_sigma);
+    }
+    c.add_row({name,
+               pd::fmt_bytes(static_cast<double>(cand.streamed_bytes)),
+               cand.measured ? pd::fmt_double(cand.us_per_product, 1)
+                             : "(model)"});
+  }
+  std::cout << "\n" << c.str();
+  return 0;
+}
+
 int cmd_tune(int argc, const char* const* argv) {
   pd::CliParser cli("protondose tune",
-                    "threads-per-block sweep for the Half/Double kernel");
+                    "threads-per-block sweep for the Half/Double kernel, or "
+                    "(--fast) the fast-tier container/geometry autotuner");
   add_source_options(cli);
   cli.add_option("device", "a100", "simulated device: a100, v100, p100");
+  cli.add_flag("fast", "autotune the fast tier (docs/fast_tier.md) instead "
+                       "of sweeping threads-per-block");
+  cli.add_option("trials", "-1",
+                 "--fast: measurement repeats per candidate (0 = "
+                 "deterministic byte-model only; -1 = PROTONDOSE_TUNER_TRIALS "
+                 "or default)");
+  cli.add_option("batch", "1",
+                 "--fast: probe a K-wide batched launch for the tuned config");
   if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.get_flag("fast")) {
+    return run_tune_fast_tier(cli);
+  }
 
   const auto matrix = load_or_generate(cli);
   const auto stats = pd::sparse::compute_stats(matrix);
