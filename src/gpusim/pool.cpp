@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(unsigned workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<pd::Mutex> lock(mutex_);
     stop_ = true;
   }
   start_cv_.notify_all();
@@ -31,6 +31,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_items() {
+  batch_state_.read(0, 1);  // fn_/total_ published by parallel_for
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= total_) {
@@ -39,7 +40,7 @@ void ThreadPool::run_items() {
     try {
       (*fn_)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<pd::Mutex> lock(mutex_);
       if (!error_) {
         error_ = std::current_exception();
       }
@@ -51,7 +52,7 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<pd::Mutex> lock(mutex_);
       start_cv_.wait(lock, [&] {
         return stop_ || generation_ != seen_generation;
       });
@@ -62,7 +63,7 @@ void ThreadPool::worker_loop() {
     }
     run_items();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<pd::Mutex> lock(mutex_);
       --pending_workers_;
     }
     done_cv_.notify_one();
@@ -81,7 +82,8 @@ void ThreadPool::parallel_for(std::size_t n,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<pd::Mutex> lock(mutex_);
+    batch_state_.write(0, 1);
     fn_ = &fn;
     total_ = n;
     next_.store(0, std::memory_order_relaxed);
@@ -93,7 +95,7 @@ void ThreadPool::parallel_for(std::size_t n,
   run_items();  // the caller participates
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<pd::Mutex> lock(mutex_);
     done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
     fn_ = nullptr;
     error = error_;

@@ -11,13 +11,14 @@
 // runs which block (see trace.hpp).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/threadcheck.hpp"
 
 namespace pd::gpusim {
 
@@ -46,9 +47,17 @@ class ThreadPool {
   void run_items();
 
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
+  // Instrumented primitives (common/threadcheck.hpp).  start_cv_ declares
+  // Waiters::kOptional: zero-worker pools (the single-core degradation
+  // path) notify it at teardown with no worker ever having waited.
+  pd::Mutex mutex_{"ThreadPool.mutex"};
+  pd::CondVar start_cv_{"ThreadPool.start_cv",
+                        pd::CondVar::Waiters::kOptional};
+  pd::CondVar done_cv_{"ThreadPool.done_cv"};
+  /// threadcheck registration for the batch descriptor (fn_/total_):
+  /// parallel_for records the write under the lock, run_items records the
+  /// read — the race pass then proves the generation handshake orders them.
+  pd::SharedRange batch_state_{"ThreadPool.batch"};
   const std::function<void(std::size_t)>* fn_ = nullptr;
   std::size_t total_ = 0;
   std::atomic<std::size_t> next_{0};

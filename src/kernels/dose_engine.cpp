@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/threadcheck.hpp"
 #include "kernels/classical_csr.hpp"
 #include "kernels/multivector_csr.hpp"
 #include "kernels/rsformat_spmv.hpp"
@@ -370,6 +371,7 @@ void DoseEngine::apply_delta(std::span<double> dose,
                              std::span<const double> base_weights,
                              std::span<const double> new_weights,
                              DeltaMode mode) {
+  pd::threadcheck::note_compute("DoseEngine::apply_delta");
   PD_CHECK_MSG(dose.size() == stats_.rows,
                "DoseEngine::apply_delta: dose length mismatch");
   PD_CHECK_MSG(base_weights.size() == stats_.cols,
@@ -420,6 +422,7 @@ void DoseEngine::apply_delta(std::span<double> dose,
 std::vector<double> DoseEngine::compute_delta(
     std::span<const double> base_dose, std::span<const double> base_weights,
     std::span<const double> new_weights, DeltaMode mode) {
+  pd::threadcheck::note_compute("DoseEngine::compute_delta");
   PD_CHECK_MSG(base_dose.size() == stats_.rows,
                "DoseEngine::compute_delta: base dose length mismatch");
   std::vector<double> dose(base_dose.begin(), base_dose.end());
@@ -511,6 +514,9 @@ void DoseEngine::execute_batch(const sparse::CsrMatrix<MatV>& A,
 
 std::vector<double> DoseEngine::compute(std::span<const double> spot_weights,
                                         std::uint64_t schedule_seed) {
+  // Latency lint anchor (docs/threadcheck.md): holding any pd::Mutex across
+  // this call serializes the serving stack on a multi-ms kernel.
+  pd::threadcheck::note_compute("DoseEngine::compute");
   PD_CHECK_MSG(spot_weights.size() == stats_.cols,
                "DoseEngine::compute: spot weight count mismatch");
   std::vector<double> dose(stats_.rows, 0.0);
@@ -550,6 +556,7 @@ std::vector<double> DoseEngine::compute(std::span<const double> spot_weights,
 std::vector<std::vector<double>> DoseEngine::compute_batch(
     std::span<const double> weights, std::size_t batch,
     std::uint64_t schedule_seed) {
+  pd::threadcheck::note_compute("DoseEngine::compute_batch");
   PD_CHECK_MSG(batch > 0, "DoseEngine::compute_batch: empty batch");
   PD_CHECK_MSG(weights.size() == batch * stats_.cols,
                "DoseEngine::compute_batch: weights must hold batch x spots");

@@ -81,7 +81,7 @@ DoseService::DoseService(ServiceConfig config)
 
 DoseService::~DoseService() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<pd::Mutex> lock(mu_);
     accepting_ = false;
     draining_ = true;
     stop_ = true;
@@ -134,7 +134,7 @@ Ticket DoseService::submit(const std::string& plan,
   const auto submitted = std::chrono::steady_clock::now();
   const bool known_plan = cache_.has_plan(plan);
 
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<pd::Mutex> lock(mu_);
   ticket.id = next_id_++;
   ++submitted_;
 
@@ -198,7 +198,7 @@ Ticket DoseService::submit_delta(const std::string& plan,
   const auto submitted = std::chrono::steady_clock::now();
   const bool known_plan = cache_.has_plan(plan);
 
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<pd::Mutex> lock(mu_);
   ticket.id = next_id_++;
   ++submitted_;
 
@@ -258,7 +258,7 @@ Ticket DoseService::submit_delta(const std::string& plan,
 }
 
 bool DoseService::cancel(std::uint64_t id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<pd::Mutex> lock(mu_);
   if (!queue_.cancel(id)) {
     return false;
   }
@@ -299,7 +299,7 @@ void DoseService::resolve_expired(std::uint64_t now) {
 }
 
 void DoseService::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<pd::Mutex> lock(mu_);
   draining_ = true;
   work_cv_.notify_all();
   drain_cv_.wait(lock, [this] {
@@ -311,7 +311,7 @@ void DoseService::drain() {
 }
 
 void DoseService::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<pd::Mutex> lock(mu_);
   for (;;) {
     const std::uint64_t now = tick_now();
     resolve_expired(now);
@@ -336,21 +336,24 @@ void DoseService::worker_loop() {
       return;
     }
 
+    // Attested unpredicated waits: the enclosing for(;;) re-evaluates the
+    // full scheduling state (expiry, pop_ready, stop/drain) on every wake,
+    // which is the predicate — it just lives a few lines up.
     const std::optional<std::uint64_t> next = queue_.next_event_tick();
     if (!next) {
-      work_cv_.wait(lock);
+      work_cv_.wait_unpredicated(lock);
     } else if (*next > now) {
       work_cv_.wait_until(lock,
                           start_ + std::chrono::microseconds(*next));
     } else {
       // Actionable now but not popped (e.g. the plan is busy): wait for the
       // busy mark to clear.
-      work_cv_.wait(lock);
+      work_cv_.wait_unpredicated(lock);
     }
   }
 }
 
-void DoseService::execute_batch(std::unique_lock<std::mutex>& lock,
+void DoseService::execute_batch(std::unique_lock<pd::Mutex>& lock,
                                 std::vector<QueuedRequest> batch) {
   const std::string plan = batch.front().plan;
 
@@ -539,7 +542,7 @@ void DoseService::execute_batch(std::unique_lock<std::mutex>& lock,
 ServiceStats DoseService::stats() const {
   ServiceStats s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<pd::Mutex> lock(mu_);
     s.submitted = submitted_;
     s.completed = completed_;
     s.rejected = rejected_;

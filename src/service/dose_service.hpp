@@ -26,7 +26,6 @@
 // is reconfigured only under the plan's busy mark — default-tier traffic
 // keeps the bitwise contract above untouched.
 
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -37,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/threadcheck.hpp"
 #include "kernels/dose_engine.hpp"
 #include "service/batch_queue.hpp"
 #include "service/engine_cache.hpp"
@@ -187,7 +187,7 @@ class DoseService {
   void worker_loop();
   /// Pop-side of one launch; called with `lock` held, unlocks around the
   /// engine acquire + compute, relocks to publish stats and the busy mark.
-  void execute_batch(std::unique_lock<std::mutex>& lock,
+  void execute_batch(std::unique_lock<pd::Mutex>& lock,
                      std::vector<QueuedRequest> batch);
   void resolve_expired(std::uint64_t now);
   double retry_after_hint() const;
@@ -196,9 +196,20 @@ class DoseService {
   EngineCache cache_;
   std::chrono::steady_clock::time_point start_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   ///< Workers: new work / busy cleared.
-  std::condition_variable drain_cv_;  ///< drain(): queue + in-flight empty.
+  // Instrumented primitives (common/threadcheck.hpp): under
+  // PROTONDOSE_THREADCHECK=1 every lock/unlock/wait/notify is recorded for
+  // the race / lock-order / condvar / latency passes; disabled they are the
+  // std types plus one null test.  Both condvars declare Waiters::kOptional:
+  // a degenerate service lifetime (construct, reject, destruct) can finish
+  // before any worker reaches its first wait or anyone calls drain(), and
+  // notifying then is correct — the lint would misread it as a lost wakeup.
+  mutable pd::Mutex mu_{"DoseService.mu"};
+  /// Workers: new work / busy cleared.
+  pd::CondVar work_cv_{"DoseService.work_cv",
+                       pd::CondVar::Waiters::kOptional};
+  /// drain(): queue + in-flight empty.
+  pd::CondVar drain_cv_{"DoseService.drain_cv",
+                        pd::CondVar::Waiters::kOptional};
   BatchQueue queue_;
   std::map<std::uint64_t, Pending> pending_;
   std::uint64_t next_id_ = 1;

@@ -14,7 +14,7 @@ EngineCache::EngineCache(std::size_t capacity, EngineParams params)
 void EngineCache::register_plan(const std::string& plan, MatrixSource source) {
   PD_CHECK_MSG(static_cast<bool>(source),
                "EngineCache: empty MatrixSource for plan '" + plan + "'");
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<pd::Mutex> lock(mu_);
   sources_[plan] = std::move(source);
   entries_.erase(plan);
   // A replaced source may produce a different matrix; its tuning is stale.
@@ -22,7 +22,7 @@ void EngineCache::register_plan(const std::string& plan, MatrixSource source) {
 }
 
 bool EngineCache::has_plan(const std::string& plan) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<pd::Mutex> lock(mu_);
   return sources_.count(plan) != 0;
 }
 
@@ -30,7 +30,7 @@ std::shared_ptr<kernels::DoseEngine> EngineCache::acquire(
     const std::string& plan) {
   MatrixSource source;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<pd::Mutex> lock(mu_);
     for (;;) {
       const auto entry = entries_.find(plan);
       if (entry != entries_.end()) {
@@ -49,8 +49,9 @@ std::shared_ptr<kernels::DoseEngine> EngineCache::acquire(
         break;
       }
       // Another worker is building this plan's engine; share its result
-      // instead of generating the matrix twice.
-      build_cv_.wait(lock);
+      // instead of generating the matrix twice.  Attested unpredicated
+      // wait: the enclosing for(;;) re-checks entries_/building_ on wake.
+      build_cv_.wait_unpredicated(lock);
     }
     const auto src = sources_.find(plan);
     PD_CHECK_MSG(src != sources_.end(),
@@ -79,7 +80,7 @@ std::shared_ptr<kernels::DoseEngine> EngineCache::acquire(
       // same-plan builds, so no two workers can tune one plan concurrently.
       std::shared_ptr<const kernels::TunedConfig> config;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::lock_guard<pd::Mutex> lock(mu_);
         const auto it = tuned_.find(plan);
         if (it != tuned_.end()) {
           config = it->second;
@@ -88,20 +89,20 @@ std::shared_ptr<kernels::DoseEngine> EngineCache::acquire(
       if (config == nullptr) {
         config = std::make_shared<const kernels::TunedConfig>(
             kernels::autotune_fast_tier(*engine, params_.tune_options));
-        std::lock_guard<std::mutex> lock(mu_);
+        std::lock_guard<pd::Mutex> lock(mu_);
         tuned_[plan] = config;
         ++tunes_;
       }
       kernels::apply_tuned(*engine, *config);
     }
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<pd::Mutex> lock(mu_);
     building_.erase(plan);
     build_cv_.notify_all();
     throw;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<pd::Mutex> lock(mu_);
   building_.erase(plan);
   entries_[plan] = Entry{engine, ++use_tick_};
   evict_over_capacity();
@@ -132,13 +133,13 @@ void EngineCache::evict_over_capacity() {
 
 std::shared_ptr<const kernels::TunedConfig> EngineCache::tuned_config(
     const std::string& plan) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<pd::Mutex> lock(mu_);
   const auto it = tuned_.find(plan);
   return it == tuned_.end() ? nullptr : it->second;
 }
 
 EngineCacheStats EngineCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<pd::Mutex> lock(mu_);
   EngineCacheStats s;
   s.hits = hits_;
   s.misses = misses_;

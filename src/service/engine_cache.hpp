@@ -22,10 +22,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <condition_variable>
 #include <set>
 #include <string>
 
+#include "common/threadcheck.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/launch.hpp"
 #include "kernels/dose_engine.hpp"
@@ -96,8 +96,13 @@ class EngineCache {
 
   const std::size_t capacity_;
   const EngineParams params_;
-  mutable std::mutex mu_;
-  std::condition_variable build_cv_;
+  // Instrumented primitives (common/threadcheck.hpp).  build_cv_ declares
+  // Waiters::kOptional: it only ever has waiters when two workers race to
+  // build the same plan's engine, so most runs legitimately notify it
+  // without anyone waiting.
+  mutable pd::Mutex mu_{"EngineCache.mu"};
+  pd::CondVar build_cv_{"EngineCache.build_cv",
+                        pd::CondVar::Waiters::kOptional};
   std::map<std::string, MatrixSource> sources_;
   std::map<std::string, Entry> entries_;
   /// Tuned configs live beside, not inside, entries_: eviction drops the

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/threadcheck.hpp"
 #include "sparse/partition.hpp"
 #include "sparse/reference.hpp"
 
@@ -23,12 +24,19 @@ void parallel_spmv(const CsrF64& A, std::span<const double> x,
   }
 
   const RowPartition part = balanced_row_partition(A, num_threads);
+  // threadcheck registration of the shared spans: each worker writes a
+  // disjoint y row range and only reads x, so the race pass proves the
+  // partition needs no synchronization at all (the join is the only edge).
+  pd::SharedRange y_state{"parallel_spmv.y"};
+  pd::SharedRange x_state{"parallel_spmv.x"};
   std::vector<std::thread> workers;
   workers.reserve(num_threads);
   for (unsigned t = 0; t < num_threads; ++t) {
     const std::uint64_t begin = part.boundaries[t];
     const std::uint64_t end = part.boundaries[t + 1];
     workers.emplace_back([&, begin, end] {
+      x_state.read(0, A.num_cols);
+      y_state.write(begin, end);
       // Per-row accumulation identical to reference_spmv: the partition only
       // changes WHO computes a row, never HOW — hence bitwise equality.
       for (std::uint64_t r = begin; r < end; ++r) {

@@ -27,6 +27,7 @@
 
 #include "cases/cases.hpp"
 #include "common/rng.hpp"
+#include "common/threadcheck.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/dose_engine.hpp"
 #include "kernels/tuner.hpp"
@@ -38,6 +39,23 @@
 
 namespace pd::kernels {
 namespace {
+
+/// Clean-suite enforcement (docs/threadcheck.md): under
+/// PROTONDOSE_THREADCHECK=1 (the CI threadcheck job) this binary's service
+/// and delta traffic runs instrumented, and at exit the analyzer must have
+/// found nothing.
+class ThreadcheckCleanEnv : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    if (!threadcheck::enabled()) {
+      return;
+    }
+    const threadcheck::Report report = threadcheck::analyze();
+    EXPECT_TRUE(report.clean()) << report.summary();
+  }
+};
+[[maybe_unused]] const auto* const kThreadcheckCleanEnv =
+    ::testing::AddGlobalTestEnvironment(new ThreadcheckCleanEnv);
 
 using Backend = DoseEngine::Backend;
 using DeltaMode = DoseEngine::DeltaMode;

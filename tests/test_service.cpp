@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/threadcheck.hpp"
 #include "gpusim/device.hpp"
 #include "kernels/dose_engine.hpp"
 #include "service/dose_service.hpp"
@@ -36,6 +37,23 @@
 
 namespace pd::service {
 namespace {
+
+/// Clean-suite enforcement (docs/threadcheck.md): under
+/// PROTONDOSE_THREADCHECK=1 (the CI threadcheck job) every test in this
+/// binary doubles as a threadcheck fixture — at exit the analyzer must have
+/// found nothing in the whole recorded stream.
+class ThreadcheckCleanEnv : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    if (!threadcheck::enabled()) {
+      return;
+    }
+    const threadcheck::Report report = threadcheck::analyze();
+    EXPECT_TRUE(report.clean()) << report.summary();
+  }
+};
+[[maybe_unused]] const auto* const kThreadcheckCleanEnv =
+    ::testing::AddGlobalTestEnvironment(new ThreadcheckCleanEnv);
 
 using Backend = kernels::DoseEngine::Backend;
 
@@ -481,6 +499,59 @@ TEST(ServiceFaults, DestructorDrainsOutstandingRequests) {
   }
   for (Ticket& ticket : tickets) {
     EXPECT_EQ(ticket.result.get().status, RequestStatus::kOk);
+  }
+}
+
+TEST(ServiceThreadcheck, DoesNotPerturb) {
+  // §II-D with the analyzer fully on: recording AND seeded schedule
+  // perturbation must be invisible in the bits — every served dose stays
+  // bitwise equal to a fresh sequential compute, and the instrumented
+  // serving stack itself must analyze clean.
+  const bool env_was_enabled = threadcheck::enabled();
+  threadcheck::reset();
+  threadcheck::CheckConfig check;
+  check.schedule_seed = 0xC0FFEEULL;
+  threadcheck::enable(check);
+
+  constexpr std::size_t kPlans = 2;
+  std::vector<kernels::DoseEngine> refs =
+      make_references(Backend::kNative, kPlans);
+  {
+    DoseService service(make_config(Backend::kNative, 2, 4));
+    register_plans(service, kPlans);
+    Rng rng(0x9e7b5eedULL);
+    std::vector<std::pair<std::size_t, std::vector<double>>> sent;
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < 24; ++i) {
+      const std::size_t p = i % kPlans;
+      std::vector<double> weights(kSpots);
+      for (double& w : weights) {
+        w = rng.uniform(0.0, 2.0);
+      }
+      tickets.push_back(service.submit(plan_name(p), weights));
+      sent.emplace_back(p, std::move(weights));
+    }
+    service.drain();
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      DoseResult result = tickets[i].result.get();
+      ASSERT_EQ(result.status, RequestStatus::kOk) << result.error;
+      expect_bitwise_equal(result.dose,
+                           refs[sent[i].first].compute(sent[i].second));
+    }
+  }
+
+  const threadcheck::Report report = threadcheck::analyze();
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_GT(report.perturbations, 0u)
+      << "the seed must actually exercise the perturbation hook";
+
+  // Hand the session back the way the environment set it up.
+  threadcheck::disable();
+  threadcheck::reset();
+  if (env_was_enabled) {
+    threadcheck::CheckConfig env_config;
+    env_config.schedule_seed = threadcheck::env_schedule_seed();
+    threadcheck::enable(env_config);
   }
 }
 
