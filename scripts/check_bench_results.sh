@@ -209,6 +209,61 @@ EOF
   fi
 fi
 
+echo "== checking BENCH_shard.json =="
+shd="$workdir/BENCH_shard.json"
+if [ ! -f "$shd" ]; then
+  echo "FAIL BENCH_shard.json: not produced by wallclock_shard"
+  fail=1
+else
+  for key in '"bench"' '"beam"' '"scale"' '"kernel"' '"requests"' \
+             '"plans"' '"engine_cache_capacity"' '"bitwise_identical"' \
+             '"configs"' '"shards"' '"req_per_s"' '"speedup"' \
+             '"cache_misses"' '"mean_batch_size"' '"p50_ms"' '"p99_ms"' \
+             '"headline"' '"baseline_shards"' '"speedup_2_shards"' \
+             '"speedup_4_shards"'; do
+    if ! grep -q "$key" "$shd"; then
+      echo "FAIL BENCH_shard.json: missing key $key"
+      fail=1
+    fi
+  done
+  check_simcheck_brand "$shd" BENCH_shard.json
+  if command -v python3 >/dev/null 2>&1; then
+    if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$shd"; then
+      echo "FAIL BENCH_shard.json: not valid JSON"
+      fail=1
+    fi
+    # Perf gates on the sharding headlines: plan-locality scaling must hold
+    # (served req/s through 2 and 4 shards vs 1, same per-shard config) and
+    # every configuration must have returned bitwise-identical doses.  The
+    # mechanism (engine-cache fit vs thrash) is machine-independent, so the
+    # small-scale CI boxes clear these with a wide margin.
+    if [ "${PROTONDOSE_BENCH_ALLOW_PERF_REGRESSION:-0}" != "1" ]; then
+      if ! python3 - "$shd" <<'EOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+h = rec["headline"]
+fail = False
+def gate(name, value, limit, op):
+    global fail
+    ok = value <= limit if op == "<=" else value >= limit
+    print(f"{'ok  ' if ok else 'FAIL'} headline {name} = {value} (want {op} {limit})")
+    fail = fail or not ok
+gate("speedup_2_shards", float(h["speedup_2_shards"]), 1.6, ">=")
+gate("speedup_4_shards", float(h["speedup_4_shards"]), 2.5, ">=")
+if rec["bitwise_identical"] is not True:
+    print("FAIL bitwise_identical is not true")
+    fail = True
+sys.exit(1 if fail else 0)
+EOF
+      then
+        echo "FAIL BENCH_shard.json: sharding perf gate" \
+             "(set PROTONDOSE_BENCH_ALLOW_PERF_REGRESSION=1 to override)"
+        fail=1
+      fi
+    fi
+  fi
+fi
+
 echo "== checking BENCH_delta.json =="
 dlt="$workdir/BENCH_delta.json"
 if [ ! -f "$dlt" ]; then

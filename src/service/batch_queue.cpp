@@ -20,25 +20,42 @@ bool BatchQueue::submit(QueuedRequest request) {
   return true;
 }
 
+std::uint8_t BatchQueue::effective_priority(const QueuedRequest& head,
+                                            std::uint64_t now) const {
+  if (head.priority == 0) {
+    return 0;
+  }
+  // A bulk head that has waited kBulkEscalationAges flush ages is promoted
+  // to interactive for selection, bounding how long interactive pressure can
+  // defer the optimizer fleet.
+  const std::uint64_t boost = kBulkEscalationAges * config_.flush_age_ticks;
+  return now >= head.enqueue_tick + boost ? std::uint8_t{0} : head.priority;
+}
+
 std::vector<QueuedRequest> BatchQueue::pop_ready(std::uint64_t now,
                                                  bool drain) {
-  // Among launchable plans pick the one whose head waited longest, so a busy
-  // service stays fair across plans instead of ping-ponging on one.
+  // Among launchable plans pick the lowest (effective priority, head
+  // enqueue tick): interactive beats bulk, then the head that waited
+  // longest, so a busy service stays fair across plans instead of
+  // ping-ponging on one.
   auto best = plans_.end();
+  std::pair<std::uint8_t, std::uint64_t> best_key{0, 0};
   for (auto it = plans_.begin(); it != plans_.end(); ++it) {
     PlanQueue& pq = it->second;
     if (pq.busy || pq.pending.empty()) {
       continue;
     }
+    const QueuedRequest& head = pq.pending.front();
     const bool full = pq.pending.size() >= config_.batch_cap;
-    const bool aged =
-        now >= pq.pending.front().enqueue_tick + config_.flush_age_ticks;
+    const bool aged = now >= head.enqueue_tick + config_.flush_age_ticks;
     if (!full && !aged && !drain) {
       continue;
     }
-    if (best == plans_.end() || pq.pending.front().enqueue_tick <
-                                    best->second.pending.front().enqueue_tick) {
+    const std::pair<std::uint8_t, std::uint64_t> key{
+        effective_priority(head, now), head.enqueue_tick};
+    if (best == plans_.end() || key < best_key) {
       best = it;
+      best_key = key;
     }
   }
   std::vector<QueuedRequest> batch;
@@ -129,10 +146,13 @@ std::optional<std::uint64_t> BatchQueue::next_event_tick() const {
       continue;
     }
     if (!pq.busy) {
-      // Full batches are launchable immediately; otherwise the head's flush
-      // age is the next scheduling event for this plan.
+      // Full batches are launchable immediately; their reported tick is the
+      // head's enqueue tick (<= now), not 0, so consumers comparing ticks
+      // across several queues rank full queues by how long their heads
+      // actually waited (see the header note on multi-queue fairness).
+      // Otherwise the head's flush age is the next scheduling event.
       if (pq.pending.size() >= config_.batch_cap) {
-        consider(0);
+        consider(pq.pending.front().enqueue_tick);
       } else {
         consider(pq.pending.front().enqueue_tick + config_.flush_age_ticks);
       }
@@ -144,6 +164,27 @@ std::optional<std::uint64_t> BatchQueue::next_event_tick() const {
     }
   }
   return next;
+}
+
+std::optional<std::uint64_t> BatchQueue::oldest_ready_head_tick(
+    std::uint64_t now, bool drain) const {
+  std::optional<std::uint64_t> oldest;
+  for (const auto& [plan, pq] : plans_) {
+    (void)plan;
+    if (pq.busy || pq.pending.empty()) {
+      continue;
+    }
+    const QueuedRequest& head = pq.pending.front();
+    const bool full = pq.pending.size() >= config_.batch_cap;
+    const bool aged = now >= head.enqueue_tick + config_.flush_age_ticks;
+    if (!full && !aged && !drain) {
+      continue;
+    }
+    if (!oldest || head.enqueue_tick < *oldest) {
+      oldest = head.enqueue_tick;
+    }
+  }
+  return oldest;
 }
 
 }  // namespace pd::service

@@ -33,17 +33,27 @@ struct BatchQueueConfig {
   std::uint64_t flush_age_ticks = 2000;  ///< Age at which a head flushes.
 };
 
+/// A bulk-priority head older than this many flush ages counts as
+/// interactive in pop_ready's plan selection, so sustained interactive
+/// traffic delays the optimizer fleet by a bounded amount instead of
+/// starving it.  (With flush_age_ticks == 0 the escalation is immediate and
+/// priorities degenerate to pure oldest-head order.)
+constexpr std::uint64_t kBulkEscalationAges = 4;
+
 /// One queued request.  `deadline_tick` == 0 means no deadline.
 /// `exec_key` tags the execution configuration the request asked for
 /// (DoseService encodes the accuracy tier/format in it); a launched batch is
 /// always uniform in exec_key so the engine can be configured once per
-/// launch, under the plan's busy mark.
+/// launch, under the plan's busy mark.  `priority` orders plan selection in
+/// pop_ready (0 = interactive, higher = later); within a plan FIFO order is
+/// never reordered by priority — per-plan bits and ordering stay fixed.
 struct QueuedRequest {
   std::uint64_t id = 0;
   std::string plan;
   std::uint64_t enqueue_tick = 0;
   std::uint64_t deadline_tick = 0;
   std::uint32_t exec_key = 0;
+  std::uint8_t priority = 0;
 };
 
 class BatchQueue {
@@ -59,10 +69,14 @@ class BatchQueue {
   /// rejects the request — the queue never grows past queue_bound).
   bool submit(QueuedRequest request);
 
-  /// Pop the next launchable batch, oldest head first, and mark its plan
-  /// busy.  A plan is launchable when it is not busy (one in-flight batch
-  /// per plan keeps its engine single-writer and its ordering FIFO) and
-  /// (pending >= batch_cap, or its head aged >= flush_age_ticks, or `drain`).
+  /// Pop the next launchable batch and mark its plan busy.  A plan is
+  /// launchable when it is not busy (one in-flight batch per plan keeps its
+  /// engine single-writer and its ordering FIFO) and (pending >= batch_cap,
+  /// or its head aged >= flush_age_ticks, or `drain`).  Among launchable
+  /// plans the winner is the lowest (effective head priority, head enqueue
+  /// tick) pair: interactive heads beat bulk heads, oldest head breaks ties,
+  /// and a bulk head past kBulkEscalationAges flush ages counts as
+  /// interactive so it cannot starve (see QueuedRequest::priority).
   /// The batch is the longest prefix of the plan's FIFO sharing the head's
   /// exec_key (capped at batch_cap), so mixed-tier traffic splits into
   /// uniform launches without ever reordering a plan's requests.
@@ -83,14 +97,34 @@ class BatchQueue {
 
   /// Earliest tick at which anything becomes actionable (a head reaches
   /// flush age or a deadline passes); nullopt when nothing is pending.
-  /// A full non-busy plan is actionable *now*.
+  /// A full non-busy plan is actionable *now*; it reports its head's
+  /// enqueue tick (always <= now), NOT a literal 0.  Single-queue consumers
+  /// only compare the result against now, so the two are equivalent there —
+  /// but multi-queue consumers (one BatchQueue per shard) compare tick
+  /// values *across* queues to pick the next shard to serve, and a constant
+  /// 0 made every full queue look infinitely old, starving shards whose
+  /// heads were genuinely older.  Reporting the real head tick keeps
+  /// cross-queue comparisons oldest-head-fair.
   std::optional<std::uint64_t> next_event_tick() const;
+
+  /// Oldest head enqueue tick among plans launchable at `now` (same launch
+  /// condition as pop_ready, priority-blind); nullopt when nothing is
+  /// launchable.  This is the cross-queue fairness key: a multi-shard
+  /// consumer that always serves the queue with the smallest value gets
+  /// global oldest-head order, not just per-queue order.
+  std::optional<std::uint64_t> oldest_ready_head_tick(std::uint64_t now,
+                                                      bool drain) const;
 
  private:
   struct PlanQueue {
     std::deque<QueuedRequest> pending;
     bool busy = false;
   };
+
+  /// Plan-selection priority of a head at `now` (bulk escalates to
+  /// interactive past kBulkEscalationAges flush ages).
+  std::uint8_t effective_priority(const QueuedRequest& head,
+                                  std::uint64_t now) const;
 
   BatchQueueConfig config_;
   std::map<std::string, PlanQueue> plans_;

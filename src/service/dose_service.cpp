@@ -47,6 +47,16 @@ std::uint32_t delta_exec_key_for(std::uint32_t base_key,
 
 }  // namespace
 
+const char* to_string(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kInteractive:
+      return "interactive";
+    case RequestPriority::kBulk:
+      return "bulk";
+  }
+  return "unknown";
+}
+
 const char* to_string(RequestStatus status) {
   switch (status) {
     case RequestStatus::kOk:
@@ -164,11 +174,13 @@ Ticket DoseService::submit(const std::string& plan,
             ? 0
             : now + static_cast<std::uint64_t>(deadline_ms * 1000.0) + 1;
     request.exec_key = exec_key_for(options);
+    request.priority = static_cast<std::uint8_t>(options.priority);
     if (queue_.submit(std::move(request))) {
       pending_.emplace(
           ticket.id, Pending{std::move(promise), std::move(weights), submitted,
                              options.tier, options.fast_format});
       max_queue_depth_ = std::max(max_queue_depth_, queue_.depth());
+      ticket.accepted = true;
       lock.unlock();
       work_cv_.notify_one();
       return ticket;
@@ -233,12 +245,14 @@ Ticket DoseService::submit_delta(const std::string& plan,
             ? 0
             : now + static_cast<std::uint64_t>(deadline_ms * 1000.0) + 1;
     request.exec_key = delta_exec_key_for(base->key, options.mode);
+    request.priority = static_cast<std::uint8_t>(options.priority);
     if (queue_.submit(std::move(request))) {
       Pending entry{std::move(promise), std::move(new_weights), submitted};
       entry.delta_base = std::move(base);
       entry.delta_mode = options.mode;
       pending_.emplace(ticket.id, std::move(entry));
       max_queue_depth_ = std::max(max_queue_depth_, queue_.depth());
+      ticket.accepted = true;
       lock.unlock();
       work_cv_.notify_one();
       return ticket;
@@ -537,6 +551,27 @@ void DoseService::execute_batch(std::unique_lock<pd::Mutex>& lock,
     }
     ++latency_next_;
   }
+}
+
+std::size_t DoseService::queue_depth() const {
+  std::lock_guard<pd::Mutex> lock(mu_);
+  return queue_.depth();
+}
+
+double DoseService::retry_after_estimate() const {
+  std::lock_guard<pd::Mutex> lock(mu_);
+  return retry_after_hint();
+}
+
+std::optional<std::uint64_t> DoseService::oldest_ready_head_age_us() const {
+  std::lock_guard<pd::Mutex> lock(mu_);
+  const std::uint64_t now = tick_now();
+  const std::optional<std::uint64_t> tick =
+      queue_.oldest_ready_head_tick(now, draining_);
+  if (!tick) {
+    return std::nullopt;
+  }
+  return now - std::min(*tick, now);
 }
 
 ServiceStats DoseService::stats() const {

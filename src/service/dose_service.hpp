@@ -31,6 +31,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -54,6 +55,17 @@ enum class RequestStatus {
 
 const char* to_string(RequestStatus status);
 
+/// Scheduling class of a request (docs/sharding.md): interactive replans
+/// outrank the bulk optimizer fleet in BatchQueue plan selection and in the
+/// sharded tier's admission control.  Per-plan FIFO order and dose bits are
+/// priority-independent — priority only reorders *which plan* launches next.
+enum class RequestPriority : std::uint8_t {
+  kInteractive = 0,
+  kBulk = 1,
+};
+
+const char* to_string(RequestPriority priority);
+
 struct DoseResult {
   RequestStatus status = RequestStatus::kFailed;
   std::vector<double> dose;     ///< kOk only.
@@ -75,8 +87,12 @@ struct ServiceConfig {
 };
 
 /// Handle returned by submit: the future plus the id cancel() takes.
+/// `accepted` is true iff the request was queued; when false the future is
+/// already resolved (kRejected / kFailed) — the sharded router reads this to
+/// retry a rejected submit on a replica shard without blocking on the future.
 struct Ticket {
   std::uint64_t id = 0;
+  bool accepted = false;
   std::future<DoseResult> result;
 };
 
@@ -100,6 +116,9 @@ struct DeltaOptions {
   /// identical to a full submit of the new weights.
   kernels::DoseEngine::DeltaMode mode =
       kernels::DoseEngine::DeltaMode::kBitwise;
+  /// Scheduling class (see RequestPriority); bits and per-plan order are
+  /// unaffected.
+  RequestPriority priority = RequestPriority::kInteractive;
 };
 
 struct SubmitOptions {
@@ -114,6 +133,9 @@ struct SubmitOptions {
   /// Compressed container for Tier::kFast requests (ignored when bitwise).
   kernels::DoseEngine::FastFormat fast_format =
       kernels::DoseEngine::FastFormat::kRsFormat;
+  /// Scheduling class (see RequestPriority); bits and per-plan order are
+  /// unaffected.
+  RequestPriority priority = RequestPriority::kInteractive;
 };
 
 class DoseService {
@@ -157,6 +179,23 @@ class DoseService {
   void drain();
 
   ServiceStats stats() const;
+
+  /// Requests queued right now — the sharded router's load signal for
+  /// least-loaded replica choice and bulk admission (cheap: one lock, no
+  /// compute).
+  std::size_t queue_depth() const;
+
+  /// The current retry-after backoff hint (the launch-cost EWMA the rejected
+  /// path reports), exposed so the sharded tier's admission control can
+  /// propagate the saturated shard's own estimate.
+  double retry_after_estimate() const;
+
+  /// Age (µs) of the oldest launchable head in this service's queue, or
+  /// nullopt when nothing is launchable.  Ages — unlike raw ticks — are
+  /// comparable across services with different construction times, which is
+  /// what makes this the cross-shard fairness observable
+  /// (BatchQueue::oldest_ready_head_tick).
+  std::optional<std::uint64_t> oldest_ready_head_age_us() const;
 
   /// The plan's cached fast-tier TunedConfig (EngineParams::autotune), or
   /// null when the plan was never tuned.  See EngineCache::tuned_config.

@@ -1,0 +1,130 @@
+#include "service/shard_router.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace pd::service {
+namespace {
+
+// splitmix64 finalizer: FNV-1a alone clusters on short common-prefix names
+// ("plan0".."plan9"); the finalizer spreads them over the full ring.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kActive:
+      return "active";
+    case ShardHealth::kDraining:
+      return "draining";
+    case ShardHealth::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
+ShardRouter::ShardRouter(ShardRouterConfig config) : config_(config) {
+  PD_CHECK_MSG(config_.shards >= 1, "ShardRouter: need at least one shard");
+  PD_CHECK_MSG(config_.vnodes >= 1, "ShardRouter: need at least one vnode");
+  config_.replication =
+      std::clamp<std::size_t>(config_.replication, 1, config_.shards);
+  health_.assign(config_.shards, ShardHealth::kActive);
+  ring_.reserve(config_.shards * config_.vnodes);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    for (std::size_t v = 0; v < config_.vnodes; ++v) {
+      const std::string point =
+          "shard-" + std::to_string(s) + "#" + std::to_string(v);
+      ring_.emplace_back(hash_key(point), static_cast<std::uint32_t>(s));
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::uint64_t ShardRouter::hash_key(std::string_view key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+std::vector<std::size_t> ShardRouter::ring_walk(std::string_view plan) const {
+  const std::uint64_t h = hash_key(plan);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<std::uint64_t, std::uint32_t>& entry,
+         std::uint64_t value) { return entry.first < value; });
+  std::vector<std::size_t> walk;
+  walk.reserve(config_.shards);
+  std::vector<bool> seen(config_.shards, false);
+  for (std::size_t step = 0;
+       step < ring_.size() && walk.size() < config_.shards; ++step) {
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    const std::size_t shard = it->second;
+    if (!seen[shard]) {
+      seen[shard] = true;
+      walk.push_back(shard);
+    }
+    ++it;
+  }
+  return walk;
+}
+
+std::vector<std::size_t> ShardRouter::placement(std::string_view plan) const {
+  std::vector<std::size_t> walk = ring_walk(plan);
+  walk.resize(std::min(walk.size(), config_.replication));
+  return walk;
+}
+
+std::vector<std::size_t> ShardRouter::route(std::string_view plan) const {
+  const std::vector<std::size_t> walk = ring_walk(plan);
+  std::vector<std::size_t> active_replicas;
+  for (std::size_t i = 0; i < config_.replication; ++i) {
+    if (health_[walk[i]] == ShardHealth::kActive) {
+      active_replicas.push_back(walk[i]);
+    }
+  }
+  if (!active_replicas.empty()) {
+    return active_replicas;
+  }
+  // Whole replica set unhealthy: degrade to any active shard, preferring
+  // ring proximity so a recovered shard reclaims the plan deterministically.
+  std::vector<std::size_t> fallback;
+  for (const std::size_t shard : walk) {
+    if (health_[shard] == ShardHealth::kActive) {
+      fallback.push_back(shard);
+    }
+  }
+  return fallback;
+}
+
+void ShardRouter::set_health(std::size_t shard, ShardHealth health) {
+  PD_CHECK_MSG(shard < config_.shards, "ShardRouter: shard out of range");
+  health_[shard] = health;
+}
+
+ShardHealth ShardRouter::health(std::size_t shard) const {
+  PD_CHECK_MSG(shard < config_.shards, "ShardRouter: shard out of range");
+  return health_[shard];
+}
+
+std::size_t ShardRouter::active_shards() const {
+  std::size_t n = 0;
+  for (const ShardHealth h : health_) {
+    n += h == ShardHealth::kActive ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace pd::service

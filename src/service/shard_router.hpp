@@ -1,0 +1,91 @@
+#pragma once
+// Consistent-hash plan placement for the sharded dose service
+// (docs/sharding.md).
+//
+// ShardRouter maps plan names to shard indices with a classic virtual-node
+// hash ring: each shard contributes `vnodes` points, a plan hashes to a
+// point, and walking the ring clockwise from there yields a deterministic
+// preference order over every shard.  The first `replication` distinct
+// shards are the plan's replica set (hot plans register on more than one
+// shard's working set); the rest of the walk is the rerouting fallback order
+// when the replica set is unhealthy.  Ring placement moves only ~1/N of
+// plans when a shard is added — the property that makes shard-count changes
+// cheap for the engine caches.
+//
+// Like BatchQueue, the router is deliberately *passive and deterministic*:
+// no threads, no locks, no clocks — every method is called under the
+// ShardedDoseService lock, and placement is a pure function of
+// (config, plan name, health states).  That makes it exhaustively testable
+// single-threaded: tests/test_shard_router.cpp replays a seeded random walk
+// of placements and health flips against an independent shadow model.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pd::service {
+
+/// Routing state of one shard.  Only kActive shards receive new requests;
+/// kDraining marks a shard that is finishing its queue (drain_shard), and
+/// kStopped keeps it out of routing until resume_shard.  Health never fails
+/// a request by itself — routing degrades to the ring-walk fallback as long
+/// as any shard is active.
+enum class ShardHealth : std::uint8_t {
+  kActive,
+  kDraining,
+  kStopped,
+};
+
+const char* to_string(ShardHealth health);
+
+struct ShardRouterConfig {
+  std::size_t shards = 1;
+  /// Replica-set size per plan (clamped to `shards`).  Replicated plans may
+  /// be served by any replica — the sharded service picks the least-loaded —
+  /// so a hot plan's traffic spreads without losing cache locality.
+  std::size_t replication = 1;
+  /// Ring points per shard.  More points flatten the placement distribution;
+  /// 64 keeps the largest/smallest shard share within a few percent for the
+  /// plan-name populations the tests draw.
+  std::size_t vnodes = 64;
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardRouterConfig config);
+
+  std::size_t shards() const { return config_.shards; }
+  std::size_t replication() const { return config_.replication; }
+  const ShardRouterConfig& config() const { return config_; }
+
+  /// The ring hash (FNV-1a folded through splitmix64).  Exposed so the
+  /// shadow-model test can rebuild the ring independently.
+  static std::uint64_t hash_key(std::string_view key);
+
+  /// Health-blind preference order: every shard exactly once, in ring order
+  /// clockwise from hash_key(plan).
+  std::vector<std::size_t> ring_walk(std::string_view plan) const;
+
+  /// The plan's replica set: the first `replication` entries of ring_walk.
+  std::vector<std::size_t> placement(std::string_view plan) const;
+
+  /// Routable candidates honoring health: the kActive members of the
+  /// replica set in ring order, or — when the whole replica set is
+  /// unhealthy — every kActive shard in ring-walk order (the rerouting
+  /// fallback).  Empty only when no shard is active at all.
+  std::vector<std::size_t> route(std::string_view plan) const;
+
+  void set_health(std::size_t shard, ShardHealth health);
+  ShardHealth health(std::size_t shard) const;
+  std::size_t active_shards() const;
+
+ private:
+  ShardRouterConfig config_;
+  /// (ring point, shard), sorted by point.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+  std::vector<ShardHealth> health_;
+};
+
+}  // namespace pd::service

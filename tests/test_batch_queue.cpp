@@ -222,10 +222,13 @@ TEST(ServiceBatchQueueProperty, FlushAgeAndNextEventTick) {
     ASSERT_TRUE(queue.submit(request));
   }
   EXPECT_TRUE(queue.pop_ready(/*now=*/500, /*drain=*/true).empty());
-  // ...until mark_idle, at which point it is actionable immediately.
+  // ...until mark_idle, at which point it is actionable immediately.  The
+  // reported event tick is the head's enqueue tick (already in the past),
+  // not a constant 0 — multi-queue consumers compare these ticks across
+  // queues to serve the globally oldest head first.
   queue.mark_idle("liver");
   ASSERT_TRUE(queue.next_event_tick().has_value());
-  EXPECT_EQ(*queue.next_event_tick(), 0u);
+  EXPECT_EQ(*queue.next_event_tick(), 110u);
   EXPECT_EQ(queue.pop_ready(/*now=*/500, false).size(), 4u);
   queue.mark_idle("liver");
   EXPECT_EQ(queue.depth(), 0u);
@@ -256,6 +259,170 @@ TEST(ServiceBatchQueueProperty, OldestHeadWinsAcrossPlans) {
   std::vector<QueuedRequest> second = queue.pop_ready(/*now=*/100, false);
   ASSERT_EQ(second.size(), 1u);
   EXPECT_EQ(second.front().plan, "b_newer");
+}
+
+TEST(ServiceBatchQueueProperty, InteractivePlanBeatsOlderBulkPlan) {
+  BatchQueueConfig config;
+  config.batch_cap = 2;
+  config.queue_bound = 16;
+  config.flush_age_ticks = 10;
+  BatchQueue queue(config);
+
+  QueuedRequest request;
+  request.plan = "bulk_older";
+  request.id = 1;
+  request.enqueue_tick = 1;
+  request.priority = 1;
+  ASSERT_TRUE(queue.submit(request));
+  request.plan = "interactive_newer";
+  request.id = 2;
+  request.enqueue_tick = 5;
+  request.priority = 0;
+  ASSERT_TRUE(queue.submit(request));
+
+  // Both aged past the flush deadline; the interactive head launches first
+  // even though the bulk head is older...
+  std::vector<QueuedRequest> first = queue.pop_ready(/*now=*/20, false);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first.front().plan, "interactive_newer");
+  // ...and the bulk head follows — delayed, never dropped.
+  std::vector<QueuedRequest> second = queue.pop_ready(/*now=*/20, false);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second.front().plan, "bulk_older");
+}
+
+TEST(ServiceBatchQueueProperty, BulkHeadEscalatesPastStarvationBound) {
+  BatchQueueConfig config;
+  config.batch_cap = 2;
+  config.queue_bound = 16;
+  config.flush_age_ticks = 10;
+  BatchQueue queue(config);
+
+  QueuedRequest request;
+  request.plan = "bulk_ancient";
+  request.id = 1;
+  request.enqueue_tick = 0;
+  request.priority = 1;
+  ASSERT_TRUE(queue.submit(request));
+  request.plan = "interactive_fresh";
+  request.id = 2;
+  request.enqueue_tick = 30;
+  request.priority = 0;
+  ASSERT_TRUE(queue.submit(request));
+
+  // At now=45 the bulk head has waited 45 ticks >= kBulkEscalationAges (4)
+  // * flush_age (10): it counts as interactive, and being older it wins —
+  // sustained interactive traffic delays bulk by a bounded amount only.
+  const std::uint64_t now = kBulkEscalationAges * config.flush_age_ticks + 5;
+  std::vector<QueuedRequest> first = queue.pop_ready(now, false);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first.front().plan, "bulk_ancient");
+}
+
+TEST(ServiceBatchQueueProperty, MultiQueueConsumerStaysOldestHeadFair) {
+  // Regression for the cross-queue fairness bug: next_event_tick reported a
+  // literal 0 for a full non-busy plan, so a consumer polling one BatchQueue
+  // per shard saw every full queue as infinitely old and served them in
+  // iteration order, starving shards whose heads had genuinely waited
+  // longest.  oldest_ready_head_tick (and the fixed next_event_tick) report
+  // the real head tick; a consumer that always serves the queue with the
+  // smallest value drains heads in global enqueue order.
+  BatchQueueConfig config;
+  config.batch_cap = 2;  // Two-request plans are full => launchable "now".
+  config.queue_bound = 16;
+  config.flush_age_ticks = 1000;  // Age alone never triggers a launch here.
+  std::vector<BatchQueue> queues;
+  queues.emplace_back(config);
+  queues.emplace_back(config);
+  queues.emplace_back(config);
+
+  // Interleave full plans across the queues so iteration order (queue 0
+  // first) disagrees with global head age.
+  const struct {
+    std::size_t queue;
+    const char* plan;
+    std::uint64_t tick;
+  } plans[] = {
+      {2, "p_oldest", 10}, {0, "p_mid", 20}, {1, "p_newer", 30},
+      {0, "p_newest", 40},
+  };
+  std::uint64_t id = 1;
+  for (const auto& p : plans) {
+    QueuedRequest request;
+    request.plan = p.plan;
+    request.enqueue_tick = p.tick;
+    request.id = id++;
+    ASSERT_TRUE(queues[p.queue].submit(request));
+    request.id = id++;
+    ASSERT_TRUE(queues[p.queue].submit(request));
+  }
+
+  std::vector<std::string> served;
+  while (true) {
+    std::size_t best = queues.size();
+    std::uint64_t best_tick = 0;
+    for (std::size_t q = 0; q < queues.size(); ++q) {
+      const std::optional<std::uint64_t> tick =
+          queues[q].oldest_ready_head_tick(/*now=*/100, /*drain=*/false);
+      if (tick && (best == queues.size() || *tick < best_tick)) {
+        best = q;
+        best_tick = *tick;
+      }
+    }
+    if (best == queues.size()) {
+      break;
+    }
+    std::vector<QueuedRequest> batch = queues[best].pop_ready(100, false);
+    ASSERT_FALSE(batch.empty());
+    served.push_back(batch.front().plan);
+    queues[best].mark_idle(batch.front().plan);
+  }
+  const std::vector<std::string> want = {"p_oldest", "p_mid", "p_newer",
+                                         "p_newest"};
+  EXPECT_EQ(served, want);
+
+  // next_event_tick agrees with the fairness key for full plans: it must
+  // report the real head tick, never 0.
+  QueuedRequest request;
+  request.plan = "full";
+  request.enqueue_tick = 77;
+  request.id = id++;
+  ASSERT_TRUE(queues[0].submit(request));
+  request.id = id++;
+  ASSERT_TRUE(queues[0].submit(request));
+  ASSERT_TRUE(queues[0].next_event_tick().has_value());
+  EXPECT_EQ(*queues[0].next_event_tick(), 77u);
+}
+
+TEST(ServiceBatchQueueProperty, OldestReadyHeadTickIsPriorityBlind) {
+  BatchQueueConfig config;
+  config.batch_cap = 4;
+  config.queue_bound = 16;
+  config.flush_age_ticks = 10;
+  BatchQueue queue(config);
+
+  QueuedRequest request;
+  request.plan = "bulk";
+  request.id = 1;
+  request.enqueue_tick = 1;
+  request.priority = 1;
+  ASSERT_TRUE(queue.submit(request));
+  request.plan = "interactive";
+  request.id = 2;
+  request.enqueue_tick = 5;
+  request.priority = 0;
+  ASSERT_TRUE(queue.submit(request));
+
+  // Fairness observable: the oldest launchable head is the bulk one even
+  // though pop_ready would serve the interactive plan first — head age and
+  // service order are deliberately different measurements.
+  const std::optional<std::uint64_t> tick =
+      queue.oldest_ready_head_tick(/*now=*/20, /*drain=*/false);
+  ASSERT_TRUE(tick.has_value());
+  EXPECT_EQ(*tick, 1u);
+  std::vector<QueuedRequest> first = queue.pop_ready(/*now=*/20, false);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first.front().plan, "interactive");
 }
 
 }  // namespace

@@ -1,0 +1,512 @@
+// Sharded serving tier: fault injection across the router.
+//
+// Deterministic faults against ShardedDoseService — shard drain/stop
+// mid-traffic, every-shard-down, saturated-replica backpressure, bulk
+// admission control, deadline expiry behind a saturated shard, cancellation
+// through the router (whole-plan and sliced), and slice refusal/failure.
+// Every fault resolves with a documented status; no fault ever yields a
+// wrong dose, a *partial* sliced dose, or a deadlock.  Where a request does
+// complete, its dose is still checked bitwise against a fresh sequential
+// compute — faults must not perturb surviving bits.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/threadcheck.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/dose_engine.hpp"
+#include "service/shard_router.hpp"
+#include "service/sharded_service.hpp"
+#include "sparse/random.hpp"
+
+namespace pd::service {
+namespace {
+
+class ThreadcheckCleanEnv : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    if (!threadcheck::enabled()) {
+      return;
+    }
+    const threadcheck::Report report = threadcheck::analyze();
+    EXPECT_TRUE(report.clean()) << report.summary();
+  }
+};
+[[maybe_unused]] const auto* const kThreadcheckCleanEnv =
+    ::testing::AddGlobalTestEnvironment(new ThreadcheckCleanEnv);
+
+using Backend = kernels::DoseEngine::Backend;
+
+constexpr std::uint64_t kMatrixSeedBase = 0xfa1175eedULL;
+constexpr std::uint64_t kSpots = 90;
+
+sparse::CsrF64 fault_matrix(std::size_t index) {
+  Rng rng(kMatrixSeedBase + index);
+  return sparse::random_csr(rng, 300, kSpots, 12.0,
+                            sparse::RandomStructure::kSkewed);
+}
+
+ShardedServiceConfig make_config(std::size_t shards, unsigned workers,
+                                 std::size_t batch_cap,
+                                 std::size_t replication) {
+  ShardedServiceConfig config;
+  config.shards = shards;
+  config.replication = replication;
+  config.shard.workers = workers;
+  config.shard.batch_cap = batch_cap;
+  config.shard.queue_bound = 512;
+  config.shard.flush_deadline_ms = 0.5;
+  config.shard.engine_cache_capacity = 2;
+  config.shard.engine.device = gpusim::make_a100();
+  config.shard.engine.backend = Backend::kNative;
+  return config;
+}
+
+kernels::DoseEngine make_reference(std::size_t index) {
+  return kernels::DoseEngine(fault_matrix(index), gpusim::make_a100(),
+                             kernels::DoseEngine::Mode::kHalfDouble,
+                             kernels::kDefaultVectorTpb,
+                             kernels::SpmvFamily::kVector, Backend::kNative);
+}
+
+void expect_bitwise_equal(const std::vector<double>& got,
+                          const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(got[i]),
+              std::bit_cast<std::uint64_t>(want[i]))
+        << "dose[" << i << "]";
+  }
+}
+
+/// A plan name whose primary placement is `shard` — deterministic search so
+/// fault tests can aim traffic at a specific shard.
+std::string plan_placed_on(const ShardRouter& router, std::size_t shard) {
+  for (std::size_t i = 0;; ++i) {
+    const std::string name = "aimed" + std::to_string(i);
+    if (router.placement(name).front() == shard) {
+      return name;
+    }
+  }
+}
+
+TEST(ShardFaults, DrainShardMidTrafficLosesNothing) {
+  // Requests accepted before drain_shard resolve kOk (drain flushes, never
+  // drops); requests submitted after reroute to the surviving shard and
+  // still produce bitwise-correct doses.
+  ShardedDoseService service(make_config(2, 2, 4, 1));
+  const std::string on0 = plan_placed_on(service.router(), 0);
+  const std::string on1 = plan_placed_on(service.router(), 1);
+  service.register_plan(on0, [] { return fault_matrix(0); });
+  service.register_plan(on1, [] { return fault_matrix(1); });
+  kernels::DoseEngine ref0 = make_reference(0);
+  kernels::DoseEngine ref1 = make_reference(1);
+
+  Rng rng(0xd4a15eedULL);
+  std::vector<std::pair<bool, std::vector<double>>> sent;  // (on0?, weights)
+  std::vector<Ticket> tickets;
+  const auto send = [&](const std::string& plan, bool is0) {
+    std::vector<double> weights = sparse::random_vector(rng, kSpots, 0.0, 2.0);
+    Ticket ticket = service.submit(plan, weights);
+    ASSERT_TRUE(ticket.accepted);
+    tickets.push_back(std::move(ticket));
+    sent.emplace_back(is0, std::move(weights));
+  };
+  for (int i = 0; i < 6; ++i) {
+    send(on0, true);
+    send(on1, false);
+  }
+
+  service.drain_shard(0);
+  EXPECT_EQ(service.shard_health(0), ShardHealth::kStopped);
+  EXPECT_EQ(service.shard_health(1), ShardHealth::kActive);
+
+  // The stopped shard's plan now reroutes to shard 1 — same bits, counted.
+  for (int i = 0; i < 4; ++i) {
+    send(on0, true);
+  }
+  service.drain();
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    DoseResult result = tickets[i].result.get();
+    ASSERT_EQ(result.status, RequestStatus::kOk) << result.error;
+    expect_bitwise_equal(result.dose, (sent[i].first ? ref0 : ref1)
+                                          .compute(sent[i].second));
+  }
+  const ShardedServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, tickets.size());
+  EXPECT_EQ(stats.rerouted, 4u);
+  EXPECT_EQ(stats.shards[0].completed + stats.shards[1].completed,
+            tickets.size());
+
+  // resume_shard returns the shard to routing: the plan goes home.
+  service.resume_shard(0);
+  EXPECT_EQ(service.shard_health(0), ShardHealth::kActive);
+  const std::uint64_t before = service.stats().routed_per_shard[0];
+  send(on0, true);
+  service.drain();
+  EXPECT_EQ(service.stats().routed_per_shard[0], before + 1);
+  EXPECT_EQ(service.stats().rerouted, 4u);
+}
+
+TEST(ShardFaults, AllShardsDownFailsImmediately) {
+  ShardedDoseService service(make_config(2, 1, 4, 1));
+  service.register_plan("p", [] { return fault_matrix(0); });
+  service.drain_shard(0);
+  service.drain_shard(1);
+
+  Ticket ticket = service.submit("p", std::vector<double>(kSpots, 1.0));
+  EXPECT_FALSE(ticket.accepted);
+  DoseResult result = ticket.result.get();
+  EXPECT_EQ(result.status, RequestStatus::kFailed);
+  EXPECT_NE(result.error.find("no active shard"), std::string::npos);
+  EXPECT_EQ(service.stats().failed_immediate, 1u);
+
+  // Recovery: resuming any shard restores service.
+  service.resume_shard(1);
+  Ticket retry = service.submit("p", std::vector<double>(kSpots, 1.0));
+  ASSERT_TRUE(retry.accepted);
+  service.drain();
+  EXPECT_EQ(retry.result.get().status, RequestStatus::kOk);
+}
+
+TEST(ShardFaults, SaturatedReplicaPropagatesRetryAfter) {
+  // replication=1 and an hour-long flush deadline with batch_cap above the
+  // bound: the single replica's queue fills and never launches, so the
+  // overflow submit must bounce kRejected with the shard's own retry hint —
+  // backpressure crosses the router intact.
+  ShardedServiceConfig config = make_config(2, 1, 16, 1);
+  config.shard.queue_bound = 4;
+  config.shard.flush_deadline_ms = 3.6e6;
+  ShardedDoseService service(config);
+  const std::string plan = plan_placed_on(service.router(), 0);
+  service.register_plan(plan, [] { return fault_matrix(0); });
+
+  const std::vector<double> weights(kSpots, 1.0);
+  std::vector<Ticket> accepted;
+  for (int i = 0; i < 4; ++i) {
+    Ticket t = service.submit(plan, weights);
+    ASSERT_TRUE(t.accepted);
+    accepted.push_back(std::move(t));
+  }
+  Ticket bounced = service.submit(plan, weights);
+  EXPECT_FALSE(bounced.accepted);
+  DoseResult rejected = bounced.result.get();
+  EXPECT_EQ(rejected.status, RequestStatus::kRejected);
+  EXPECT_GT(rejected.retry_after_ms, 0.0);
+  const ShardedServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.admission_rejected, 0u);
+  // The other shard was never involved: replication=1 means no spill.
+  EXPECT_EQ(stats.routed_per_shard[1], 0u);
+
+  service.drain();
+  for (Ticket& t : accepted) {
+    EXPECT_EQ(t.result.get().status, RequestStatus::kOk);
+  }
+}
+
+TEST(ShardFaults, ReplicatedPlanSurvivesSaturatedPrimary) {
+  // replication=2: with the primary's queue full, the least-loaded replica
+  // serves the plan — no rejection, no reroute (the replica is in the set).
+  ShardedServiceConfig config = make_config(2, 1, 16, 2);
+  config.shard.queue_bound = 4;
+  config.shard.flush_deadline_ms = 3.6e6;
+  ShardedDoseService service(config);
+  const std::string plan = plan_placed_on(service.router(), 0);
+  service.register_plan(plan, [] { return fault_matrix(0); });
+  kernels::DoseEngine ref = make_reference(0);
+
+  const std::vector<double> weights(kSpots, 1.0);
+  std::vector<Ticket> tickets;
+  // 8 submits against bound 4: the first 4 land on the (less-loaded-first)
+  // alternating shards... depth-balanced routing spreads them 4/4 and no one
+  // overflows.
+  for (int i = 0; i < 8; ++i) {
+    Ticket t = service.submit(plan, weights);
+    ASSERT_TRUE(t.accepted) << "submit " << i;
+    tickets.push_back(std::move(t));
+  }
+  const ShardedServiceStats mid = service.stats();
+  EXPECT_EQ(mid.routed_per_shard[0] + mid.routed_per_shard[1], 8u);
+  EXPECT_EQ(mid.routed_per_shard[0], 4u);
+  EXPECT_EQ(mid.routed_per_shard[1], 4u);
+  EXPECT_EQ(mid.rejected, 0u);
+  EXPECT_EQ(mid.rerouted, 0u);
+
+  service.drain();
+  const std::vector<double> want = ref.compute(weights);
+  for (Ticket& t : tickets) {
+    DoseResult result = t.result.get();
+    ASSERT_EQ(result.status, RequestStatus::kOk) << result.error;
+    expect_bitwise_equal(result.dose, want);
+  }
+}
+
+TEST(ShardFaults, BulkAdmissionControlShedsLoad) {
+  // Interactive keeps its headroom: once the queue passes the admission
+  // fraction, bulk bounces with a retry hint while interactive still lands.
+  ShardedServiceConfig config = make_config(1, 1, 16, 1);
+  config.shard.queue_bound = 8;
+  config.shard.flush_deadline_ms = 3.6e6;
+  config.bulk_admit_fraction = 0.5;  // admission knee at depth 4
+  ShardedDoseService service(config);
+  service.register_plan("p", [] { return fault_matrix(0); });
+
+  const std::vector<double> weights(kSpots, 1.0);
+  SubmitOptions bulk;
+  bulk.priority = RequestPriority::kBulk;
+  std::vector<Ticket> accepted;
+  for (int i = 0; i < 4; ++i) {
+    Ticket t = service.submit("p", weights, bulk);
+    ASSERT_TRUE(t.accepted) << "bulk below the knee must be admitted";
+    accepted.push_back(std::move(t));
+  }
+  // Depth 4 == 0.5 * 8: the next bulk submit is shed...
+  Ticket shed = service.submit("p", weights, bulk);
+  EXPECT_FALSE(shed.accepted);
+  DoseResult shed_result = shed.result.get();
+  EXPECT_EQ(shed_result.status, RequestStatus::kRejected);
+  EXPECT_GE(shed_result.retry_after_ms, 0.0);
+  // ...while interactive still has the reserved headroom.
+  Ticket interactive = service.submit("p", weights);
+  ASSERT_TRUE(interactive.accepted);
+  accepted.push_back(std::move(interactive));
+
+  const ShardedServiceStats stats = service.stats();
+  EXPECT_EQ(stats.admission_rejected, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+
+  service.drain();
+  for (Ticket& t : accepted) {
+    EXPECT_EQ(t.result.get().status, RequestStatus::kOk);
+  }
+}
+
+TEST(ShardFaults, DeadlineExpiresBehindSlowShard) {
+  // A request parked behind a saturated shard expires alone: batch-mates
+  // ahead of it still complete, and nothing deadlocks.
+  ShardedServiceConfig config = make_config(2, 1, 4, 1);
+  config.shard.flush_deadline_ms = 3.6e6;  // nothing flushes on age
+  ShardedDoseService service(config);
+  const std::string plan = plan_placed_on(service.router(), 0);
+  service.register_plan(plan, [] { return fault_matrix(0); });
+
+  SubmitOptions options;
+  options.deadline_ms = 5.0;
+  Ticket ticket =
+      service.submit(plan, std::vector<double>(kSpots, 1.0), options);
+  ASSERT_TRUE(ticket.accepted);
+  DoseResult result = ticket.result.get();  // must not deadlock
+  EXPECT_EQ(result.status, RequestStatus::kDeadlineExpired);
+  EXPECT_GE(result.latency_ms, 5.0);
+  EXPECT_EQ(service.stats().shards[0].expired, 1u);
+}
+
+TEST(ShardFaults, CancelRoutesAcrossShards) {
+  ShardedServiceConfig config = make_config(2, 1, 8, 1);
+  config.shard.flush_deadline_ms = 3.6e6;  // stays queued until cancelled
+  ShardedDoseService service(config);
+  const std::string on0 = plan_placed_on(service.router(), 0);
+  const std::string on1 = plan_placed_on(service.router(), 1);
+  service.register_plan(on0, [] { return fault_matrix(0); });
+  service.register_plan(on1, [] { return fault_matrix(1); });
+
+  Ticket t0 = service.submit(on0, std::vector<double>(kSpots, 1.0));
+  Ticket t1 = service.submit(on1, std::vector<double>(kSpots, 1.0));
+  ASSERT_TRUE(t0.accepted);
+  ASSERT_TRUE(t1.accepted);
+  // Router ids encode the owning shard; both cancels land on the right one.
+  EXPECT_TRUE(service.cancel(t0.id));
+  EXPECT_TRUE(service.cancel(t1.id));
+  EXPECT_EQ(t0.result.get().status, RequestStatus::kCancelled);
+  EXPECT_EQ(t1.result.get().status, RequestStatus::kCancelled);
+  // Idempotence, unknown ids, and garbage shard encodings are all false.
+  EXPECT_FALSE(service.cancel(t0.id));
+  EXPECT_FALSE(service.cancel(0));
+  EXPECT_FALSE(service.cancel((std::uint64_t{200} << 48) | 1));
+  const ShardedServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shards[0].cancelled + stats.shards[1].cancelled, 2u);
+}
+
+TEST(ShardFaults, CancelRacesAcrossRouter) {
+  // Concurrent cancels racing the workers: every request resolves exactly
+  // once, as either kOk (bitwise-checked) or kCancelled — never both, never
+  // neither, never a wrong dose.
+  ShardedDoseService service(make_config(2, 2, 4, 1));
+  service.register_plan("p", [] { return fault_matrix(0); });
+  kernels::DoseEngine ref = make_reference(0);
+
+  const bool stress = [] {
+    const char* env = std::getenv("PROTONDOSE_SERVICE_STRESS");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  const int requests = stress ? 160 : 40;
+  std::vector<Ticket> tickets;
+  std::vector<std::vector<double>> sent;
+  Rng rng(0xca9ce15eedULL);
+  for (int i = 0; i < requests; ++i) {
+    std::vector<double> weights = sparse::random_vector(rng, kSpots, 0.0, 2.0);
+    Ticket t = service.submit("p", weights);
+    ASSERT_TRUE(t.accepted);
+    tickets.push_back(std::move(t));
+    sent.push_back(std::move(weights));
+  }
+  std::thread canceller([&service, &tickets] {
+    for (std::size_t i = 0; i < tickets.size(); i += 3) {
+      service.cancel(tickets[i].id);
+    }
+  });
+  canceller.join();
+  service.drain();
+
+  std::size_t ok = 0;
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    DoseResult result = tickets[i].result.get();
+    if (result.status == RequestStatus::kOk) {
+      expect_bitwise_equal(result.dose, ref.compute(sent[i]));
+      ++ok;
+    } else {
+      ASSERT_EQ(result.status, RequestStatus::kCancelled);
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(ok + cancelled, tickets.size());
+  const ShardedServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shards[0].completed + stats.shards[1].completed, ok);
+  EXPECT_EQ(stats.shards[0].cancelled + stats.shards[1].cancelled, cancelled);
+}
+
+TEST(ShardFaults, SliceOverflowRefusesWholeRequestNeverPartial) {
+  // 4 slices against a bound-2 queue on one shard: slice submits overflow,
+  // the whole request resolves kRejected, and the already-accepted slices
+  // are cancelled — the service never returns (or leaks) a partial dose.
+  ShardedServiceConfig config = make_config(1, 1, 16, 1);
+  config.shard.queue_bound = 2;
+  config.shard.flush_deadline_ms = 3.6e6;
+  ShardedDoseService service(config);
+  service.register_plan_sliced("sliced", [] { return fault_matrix(0); }, 4);
+
+  Ticket ticket = service.submit("sliced", std::vector<double>(kSpots, 1.0));
+  EXPECT_FALSE(ticket.accepted);
+  DoseResult result = ticket.result.get();
+  EXPECT_EQ(result.status, RequestStatus::kRejected);
+  EXPECT_TRUE(result.dose.empty());
+  EXPECT_NE(result.error.find("slice"), std::string::npos);
+
+  const ShardedServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sliced_submits, 1u);
+  // Both accepted slices were cancelled back out; the queue is empty and a
+  // later well-sized request is unaffected.
+  EXPECT_EQ(stats.shards[0].cancelled, 2u);
+  service.drain();
+  EXPECT_EQ(service.stats().shards[0].queue_depth, 0u);
+}
+
+TEST(ShardFaults, SliceFailureYieldsFailedNeverPartial) {
+  // Malformed weights fail every slice at launch: the merged result is
+  // kFailed with the offending slice named, and the dose is empty — not a
+  // concatenation of whatever happened to succeed.
+  ShardedDoseService service(make_config(2, 1, 4, 1));
+  service.register_plan_sliced("sliced", [] { return fault_matrix(0); }, 3);
+
+  Ticket ticket =
+      service.submit("sliced", std::vector<double>(kSpots + 7, 1.0));
+  ASSERT_TRUE(ticket.accepted);
+  service.drain();
+  DoseResult result = ticket.result.get();
+  EXPECT_EQ(result.status, RequestStatus::kFailed);
+  EXPECT_TRUE(result.dose.empty());
+  EXPECT_NE(result.error.find("slice"), std::string::npos);
+}
+
+TEST(ShardFaults, CancelSlicedRequestCancelsEverySlice) {
+  ShardedServiceConfig config = make_config(2, 1, 8, 1);
+  config.shard.flush_deadline_ms = 3.6e6;  // slices stay queued
+  ShardedDoseService service(config);
+  service.register_plan_sliced("sliced", [] { return fault_matrix(0); }, 3);
+
+  Ticket ticket = service.submit("sliced", std::vector<double>(kSpots, 1.0));
+  ASSERT_TRUE(ticket.accepted);
+  EXPECT_TRUE(service.cancel(ticket.id));
+  DoseResult result = ticket.result.get();
+  EXPECT_EQ(result.status, RequestStatus::kCancelled);
+  EXPECT_TRUE(result.dose.empty());
+  // Second cancel: the mapping is gone.
+  EXPECT_FALSE(service.cancel(ticket.id));
+  const ShardedServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shards[0].cancelled + stats.shards[1].cancelled, 3u);
+  service.drain();
+}
+
+TEST(ShardFaults, DeltaOnSlicedPlanFailsImmediately) {
+  ShardedDoseService service(make_config(2, 1, 4, 1));
+  service.register_plan_sliced("sliced", [] { return fault_matrix(0); }, 2);
+
+  auto base = std::make_shared<DeltaBase>();
+  base->weights = std::vector<double>(kSpots, 1.0);
+  base->dose = std::vector<double>(300, 0.0);
+  Ticket ticket = service.submit_delta("sliced", base,
+                                       std::vector<double>(kSpots, 2.0));
+  EXPECT_FALSE(ticket.accepted);
+  DoseResult result = ticket.result.get();
+  EXPECT_EQ(result.status, RequestStatus::kFailed);
+  EXPECT_NE(result.error.find("sliced"), std::string::npos);
+}
+
+TEST(ShardFaults, DrainShardRacesInFlightTraffic) {
+  // drain_shard while clients are mid-burst: every accepted request still
+  // resolves (kOk bitwise or a documented refusal), and the drained shard
+  // ends idle.  This is the stop/drain-mid-batch reroute scenario.
+  ShardedDoseService service(make_config(2, 2, 4, 1));
+  const std::string on0 = plan_placed_on(service.router(), 0);
+  const std::string on1 = plan_placed_on(service.router(), 1);
+  service.register_plan(on0, [] { return fault_matrix(0); });
+  service.register_plan(on1, [] { return fault_matrix(1); });
+  kernels::DoseEngine ref0 = make_reference(0);
+  kernels::DoseEngine ref1 = make_reference(1);
+
+  std::vector<std::pair<bool, std::vector<double>>> sent;
+  std::vector<Ticket> tickets;
+  std::thread producer([&] {
+    Rng rng(0xd4a1a5eedULL);
+    for (int i = 0; i < 30; ++i) {
+      const bool is0 = i % 2 == 0;
+      std::vector<double> weights =
+          sparse::random_vector(rng, kSpots, 0.0, 2.0);
+      Ticket t = service.submit(is0 ? on0 : on1, weights);
+      ASSERT_TRUE(t.accepted);
+      tickets.push_back(std::move(t));
+      sent.emplace_back(is0, std::move(weights));
+    }
+  });
+  service.drain_shard(0);  // races the producer's burst
+  producer.join();
+  service.drain();
+
+  EXPECT_EQ(service.shard_health(0), ShardHealth::kStopped);
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    DoseResult result = tickets[i].result.get();
+    ASSERT_EQ(result.status, RequestStatus::kOk) << result.error;
+    expect_bitwise_equal(result.dose, (sent[i].first ? ref0 : ref1)
+                                          .compute(sent[i].second));
+  }
+  // After the drain completed, shard 0 accepts nothing new: all post-drain
+  // traffic for its plan was rerouted, none lost.
+  const ShardedServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, tickets.size());
+  EXPECT_EQ(stats.shards[0].queue_depth, 0u);
+}
+
+}  // namespace
+}  // namespace pd::service

@@ -1,0 +1,636 @@
+// Sharded serving tier: placement model and differential bitwise battery.
+//
+// ShardRouterPlacement checks the consistent-hash router against an
+// independent shadow model — the ring is rebuilt from nothing but the
+// documented hash and walked by a second implementation, and a seeded random
+// walk of placements and health flips must agree with it exactly.  It also
+// pins the distribution properties the design leans on (balance within a
+// band, ~1/N movement on shard-count change, replication clamp).
+//
+// ShardDifferential is §II-D served through the router: every kOk dose —
+// whole-plan or column-slice, replication on or off, across shard counts
+// {1, 2, 4}, worker counts, and both request priorities — must be *bitwise*
+// identical to a fresh sequential DoseEngine::compute on the full plan
+// matrix.  Sharding, placement, spills, slicing, and merge order must all be
+// invisible in the bits.
+//
+// ShardThreadcheck runs the whole sharded stack with the analyzer recording
+// and schedule perturbation on: bits unchanged, stream clean.
+//
+// PROTONDOSE_SERVICE_STRESS=1 elevates client/request counts (CI shard-stress
+// job).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/threadcheck.hpp"
+#include "gpusim/device.hpp"
+#include "kernels/dose_engine.hpp"
+#include "service/shard_router.hpp"
+#include "service/sharded_service.hpp"
+#include "sparse/random.hpp"
+
+namespace pd::service {
+namespace {
+
+/// Clean-suite enforcement (docs/threadcheck.md): under
+/// PROTONDOSE_THREADCHECK=1 every test in this binary doubles as a
+/// threadcheck fixture — the analyzer must find nothing at exit.
+class ThreadcheckCleanEnv : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    if (!threadcheck::enabled()) {
+      return;
+    }
+    const threadcheck::Report report = threadcheck::analyze();
+    EXPECT_TRUE(report.clean()) << report.summary();
+  }
+};
+[[maybe_unused]] const auto* const kThreadcheckCleanEnv =
+    ::testing::AddGlobalTestEnvironment(new ThreadcheckCleanEnv);
+
+using Backend = kernels::DoseEngine::Backend;
+
+constexpr std::uint64_t kMatrixSeedBase = 0x5a4dbee5ULL;
+constexpr std::uint64_t kSpots = 90;
+
+bool stress_elevated() {
+  const char* env = std::getenv("PROTONDOSE_SERVICE_STRESS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Deterministic per-plan matrix (the MatrixSource contract).
+sparse::CsrF64 plan_matrix(std::size_t plan_index) {
+  Rng rng(kMatrixSeedBase + plan_index);
+  return sparse::random_csr(rng, 300, kSpots, 12.0,
+                            sparse::RandomStructure::kSkewed);
+}
+
+std::string plan_name(std::size_t plan_index) {
+  return "plan" + std::to_string(plan_index);
+}
+
+ShardedServiceConfig make_sharded_config(std::size_t shards, unsigned workers,
+                                         std::size_t batch_cap,
+                                         std::size_t replication) {
+  ShardedServiceConfig config;
+  config.shards = shards;
+  config.replication = replication;
+  config.shard.workers = workers;
+  config.shard.batch_cap = batch_cap;
+  // Above the stress battery's total in-flight request count with bulk
+  // admission headroom (0.75 * 1024) to spare: the differential tests want
+  // every submit accepted.
+  config.shard.queue_bound = 1024;
+  config.shard.flush_deadline_ms = 0.5;
+  config.shard.engine_cache_capacity = 2;
+  config.shard.engine.device = gpusim::make_a100();
+  config.shard.engine.backend = Backend::kNative;
+  return config;
+}
+
+void register_plans(ShardedDoseService& service, std::size_t num_plans) {
+  for (std::size_t p = 0; p < num_plans; ++p) {
+    service.register_plan(plan_name(p), [p] { return plan_matrix(p); });
+  }
+}
+
+/// Fresh sequential reference engines on the *full* plan matrices,
+/// independent of the service — the other side of the differential.
+std::vector<kernels::DoseEngine> make_references(
+    std::size_t num_plans, Backend backend = Backend::kNative) {
+  std::vector<kernels::DoseEngine> refs;
+  refs.reserve(num_plans);
+  for (std::size_t p = 0; p < num_plans; ++p) {
+    refs.emplace_back(plan_matrix(p), gpusim::make_a100(),
+                      kernels::DoseEngine::Mode::kHalfDouble,
+                      kernels::kDefaultVectorTpb, kernels::SpmvFamily::kVector,
+                      backend);
+  }
+  return refs;
+}
+
+void expect_bitwise_equal(const std::vector<double>& got,
+                          const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(got[i]),
+              std::bit_cast<std::uint64_t>(want[i]))
+        << "dose[" << i << "]: " << got[i] << " vs " << want[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Placement shadow model
+
+/// Independent reimplementation of the ring from nothing but the documented
+/// construction: vnode point = hash_key("shard-<s>#<v>"), sorted, clockwise
+/// walk collecting distinct shards.  Deliberately written differently from
+/// ShardRouter (pair-of-vectors, index sort) so a shared bug is unlikely.
+struct ShadowRing {
+  std::vector<std::uint64_t> points;
+  std::vector<std::size_t> owners;
+
+  ShadowRing(std::size_t shards, std::size_t vnodes) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (std::size_t v = 0; v < vnodes; ++v) {
+        points.push_back(ShardRouter::hash_key(
+            "shard-" + std::to_string(s) + "#" + std::to_string(v)));
+        owners.push_back(s);
+      }
+    }
+    std::vector<std::size_t> order(points.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(),
+              [this](std::size_t a, std::size_t b) {
+                return std::make_pair(points[a], owners[a]) <
+                       std::make_pair(points[b], owners[b]);
+              });
+    std::vector<std::uint64_t> sorted_points;
+    std::vector<std::size_t> sorted_owners;
+    for (const std::size_t i : order) {
+      sorted_points.push_back(points[i]);
+      sorted_owners.push_back(owners[i]);
+    }
+    points = std::move(sorted_points);
+    owners = std::move(sorted_owners);
+  }
+
+  std::vector<std::size_t> walk(const std::string& plan,
+                                std::size_t shards) const {
+    const std::uint64_t h = ShardRouter::hash_key(plan);
+    std::size_t start = 0;
+    while (start < points.size() && points[start] < h) {
+      ++start;
+    }
+    std::vector<std::size_t> out;
+    std::vector<bool> seen(shards, false);
+    for (std::size_t step = 0; step < points.size() && out.size() < shards;
+         ++step) {
+      const std::size_t i = (start + step) % points.size();
+      if (!seen[owners[i]]) {
+        seen[owners[i]] = true;
+        out.push_back(owners[i]);
+      }
+    }
+    return out;
+  }
+};
+
+TEST(ShardRouterPlacement, ShadowModelRandomWalk) {
+  const std::uint64_t seeds[] = {0x5eedULL, 42ULL, 0xfeedfaceULL};
+  for (const std::uint64_t seed : seeds) {
+    Rng rng(seed);
+    for (int round = 0; round < 20; ++round) {
+      const std::size_t shards = 1 + rng.uniform_index(5);
+      const std::size_t replication = 1 + rng.uniform_index(3);
+      ShardRouter router(
+          ShardRouterConfig{.shards = shards, .replication = replication});
+      const ShadowRing shadow(shards, router.config().vnodes);
+      std::vector<ShardHealth> health(shards, ShardHealth::kActive);
+
+      for (int step = 0; step < 200; ++step) {
+        // Mostly placements, occasionally a health flip (never flipping the
+        // last active shard down keeps route() non-empty and the "degrade,
+        // don't fail" property checkable every step).
+        if (rng.uniform_index(5) == 0) {
+          const std::size_t shard = rng.uniform_index(shards);
+          const ShardHealth next = static_cast<ShardHealth>(
+              rng.uniform_index(3));
+          const std::size_t actives =
+              static_cast<std::size_t>(std::count(
+                  health.begin(), health.end(), ShardHealth::kActive));
+          if (next == ShardHealth::kActive ||
+              health[shard] != ShardHealth::kActive || actives > 1) {
+            health[shard] = next;
+            router.set_health(shard, next);
+          }
+        }
+        const std::string plan =
+            "walk" + std::to_string(rng.uniform_index(500));
+        const std::vector<std::size_t> walk = shadow.walk(plan, shards);
+        ASSERT_EQ(router.ring_walk(plan), walk);
+
+        std::vector<std::size_t> placement = walk;
+        placement.resize(std::min(placement.size(), router.replication()));
+        ASSERT_EQ(router.placement(plan), placement);
+
+        std::vector<std::size_t> want_route;
+        for (const std::size_t s : placement) {
+          if (health[s] == ShardHealth::kActive) {
+            want_route.push_back(s);
+          }
+        }
+        if (want_route.empty()) {
+          for (const std::size_t s : walk) {
+            if (health[s] == ShardHealth::kActive) {
+              want_route.push_back(s);
+            }
+          }
+        }
+        ASSERT_EQ(router.route(plan), want_route)
+            << "seed " << seed << " round " << round << " step " << step;
+        ASSERT_FALSE(router.route(plan).empty())
+            << "an active shard exists, so routing must degrade, not fail";
+      }
+    }
+  }
+}
+
+TEST(ShardRouterPlacement, BalanceAndStability) {
+  constexpr std::size_t kPlans = 2000;
+  // Balance: with 64 vnodes/shard, each of 4 shards owns a reasonable band
+  // of a large plan population.
+  ShardRouter four(ShardRouterConfig{.shards = 4});
+  std::vector<std::size_t> counts(4, 0);
+  for (std::size_t p = 0; p < kPlans; ++p) {
+    ++counts[four.placement("balance" + std::to_string(p)).front()];
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(counts[s], kPlans / 10) << "shard " << s << " underloaded";
+    EXPECT_LT(counts[s], kPlans * 4 / 10) << "shard " << s << " overloaded";
+  }
+
+  // Stability: adding a fifth shard moves roughly 1/5 of primaries — the
+  // consistent-hashing property that keeps engine caches warm on resize.
+  ShardRouter five(ShardRouterConfig{.shards = 5});
+  std::size_t moved = 0;
+  for (std::size_t p = 0; p < kPlans; ++p) {
+    const std::string plan = "balance" + std::to_string(p);
+    if (five.placement(plan).front() != four.placement(plan).front()) {
+      ++moved;
+    }
+  }
+  EXPECT_LT(moved, kPlans * 35 / 100)
+      << "adding one shard should move ~1/5 of plans, not rehash everything";
+  EXPECT_GT(moved, 0u);
+
+  // Replication clamps to the shard count and replica sets never repeat a
+  // shard.
+  ShardRouter clamped(ShardRouterConfig{.shards = 2, .replication = 9});
+  EXPECT_EQ(clamped.replication(), 2u);
+  const std::vector<std::size_t> replicas = clamped.placement("clamp");
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_NE(replicas[0], replicas[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Differential battery
+
+struct ShardCase {
+  std::size_t shards;
+  unsigned workers;
+  std::size_t batch_cap;
+  std::size_t replication;
+};
+
+class ShardDifferential : public ::testing::TestWithParam<ShardCase> {};
+
+struct ClientRecord {
+  std::size_t plan_index;
+  std::vector<double> weights;
+  std::future<DoseResult> result;
+};
+
+/// One client: random-weight requests over the plans, alternating
+/// interactive and bulk priorities.
+void run_client(ShardedDoseService& service, std::uint64_t seed,
+                std::size_t num_plans, std::size_t requests,
+                std::vector<ClientRecord>& records) {
+  Rng rng(seed);
+  records.reserve(requests);
+  for (std::size_t r = 0; r < requests; ++r) {
+    const std::size_t plan_index = rng.uniform_index(num_plans);
+    std::vector<double> weights = sparse::random_vector(rng, kSpots, 0.0, 2.0);
+    SubmitOptions options;
+    options.priority =
+        r % 2 == 0 ? RequestPriority::kInteractive : RequestPriority::kBulk;
+    Ticket ticket = service.submit(plan_name(plan_index), weights, options);
+    ASSERT_TRUE(ticket.accepted);
+    records.push_back(
+        ClientRecord{plan_index, std::move(weights), std::move(ticket.result)});
+  }
+}
+
+TEST_P(ShardDifferential, BitwiseAcrossShardsWorkersPriorities) {
+  const ShardCase& param = GetParam();
+  const std::size_t num_plans = 4;
+  const std::size_t clients = stress_elevated() ? 8 : 3;
+  const std::size_t requests_per_client = stress_elevated() ? 48 : 10;
+
+  ShardedDoseService service(make_sharded_config(
+      param.shards, param.workers, param.batch_cap, param.replication));
+  register_plans(service, num_plans);
+
+  std::vector<std::vector<ClientRecord>> per_client(clients);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&service, &per_client, c, num_plans,
+                            requests_per_client] {
+        run_client(service, /*seed=*/2000 + c, num_plans, requests_per_client,
+                   per_client[c]);
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  service.drain();
+
+  std::vector<kernels::DoseEngine> refs = make_references(num_plans);
+  std::size_t ok = 0;
+  for (std::vector<ClientRecord>& records : per_client) {
+    for (ClientRecord& record : records) {
+      DoseResult result = record.result.get();
+      ASSERT_EQ(result.status, RequestStatus::kOk) << result.error;
+      const std::vector<double> want =
+          refs[record.plan_index].compute(record.weights);
+      expect_bitwise_equal(result.dose, want);
+      ++ok;
+    }
+  }
+
+  const ShardedServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, clients * requests_per_client);
+  EXPECT_EQ(stats.accepted, stats.submitted);
+  EXPECT_EQ(stats.rejected + stats.failed_immediate + stats.rerouted, 0u);
+  std::uint64_t routed = 0;
+  std::uint64_t completed = 0;
+  for (std::size_t s = 0; s < param.shards; ++s) {
+    routed += stats.routed_per_shard[s];
+    completed += stats.shards[s].completed;
+    EXPECT_EQ(stats.health[s], ShardHealth::kActive);
+  }
+  EXPECT_EQ(routed, stats.accepted);
+  EXPECT_EQ(completed, ok);
+  if (param.shards > 1) {
+    // 4 plans over 64 vnodes: every test configuration was chosen to place
+    // on at least two shards (sanity that the battery exercises routing).
+    std::size_t used = 0;
+    for (std::size_t s = 0; s < param.shards; ++s) {
+      used += stats.routed_per_shard[s] > 0 ? 1 : 0;
+    }
+    EXPECT_GE(used, 2u);
+  }
+}
+
+std::string shard_case_name(const ::testing::TestParamInfo<ShardCase>& info) {
+  std::string name = "s" + std::to_string(info.param.shards);
+  name += "_w" + std::to_string(info.param.workers);
+  name += "_cap" + std::to_string(info.param.batch_cap);
+  name += "_r" + std::to_string(info.param.replication);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ShardDifferential,
+    ::testing::Values(ShardCase{1, 1, 4, 1}, ShardCase{1, 2, 9, 1},
+                      ShardCase{2, 1, 4, 1}, ShardCase{2, 2, 4, 2},
+                      ShardCase{4, 1, 1, 1}, ShardCase{4, 2, 4, 2},
+                      ShardCase{4, 2, 9, 4}),
+    shard_case_name);
+
+TEST(ShardDifferential, GpusimBackendStaysBitwise) {
+  // Backend coverage: the sharded tier is backend-agnostic, so routed doses
+  // from simulated-GPU engines must equal a fresh sequential gpusim compute
+  // exactly as the native ones do.
+  const std::size_t num_plans = 2;
+  ShardedServiceConfig config = make_sharded_config(2, 2, 4, 2);
+  config.shard.engine.backend = Backend::kGpusim;
+  ShardedDoseService service(config);
+  register_plans(service, num_plans);
+  std::vector<kernels::DoseEngine> refs =
+      make_references(num_plans, Backend::kGpusim);
+
+  Rng rng(0x69705133ULL);
+  const std::size_t requests = stress_elevated() ? 48 : 12;
+  std::vector<ClientRecord> records;
+  for (std::size_t r = 0; r < requests; ++r) {
+    const std::size_t p = r % num_plans;
+    std::vector<double> weights = sparse::random_vector(rng, kSpots, 0.0, 2.0);
+    SubmitOptions options;
+    options.priority =
+        r % 2 == 0 ? RequestPriority::kInteractive : RequestPriority::kBulk;
+    Ticket ticket = service.submit(plan_name(p), weights, options);
+    ASSERT_TRUE(ticket.accepted);
+    records.push_back(
+        ClientRecord{p, std::move(weights), std::move(ticket.result)});
+  }
+  service.drain();
+  for (ClientRecord& record : records) {
+    DoseResult result = record.result.get();
+    ASSERT_EQ(result.status, RequestStatus::kOk) << result.error;
+    expect_bitwise_equal(result.dose,
+                         refs[record.plan_index].compute(record.weights));
+  }
+}
+
+TEST(ShardDifferentialDelta, DeltaRequestsStayBitwise) {
+  // submit_delta through the router: every delta dose must equal a fresh
+  // sequential full compute of the request's new weights, regardless of
+  // which shard's engine (and lazily rebuilt CSC sidecar) served it.
+  const std::size_t num_plans = 3;
+  ShardedDoseService service(make_sharded_config(2, 2, 4, 1));
+  register_plans(service, num_plans);
+  std::vector<kernels::DoseEngine> refs = make_references(num_plans);
+
+  std::vector<std::shared_ptr<const DeltaBase>> bases;
+  for (std::size_t p = 0; p < num_plans; ++p) {
+    auto base = std::make_shared<DeltaBase>();
+    base->key = static_cast<std::uint32_t>(p);
+    base->weights = std::vector<double>(kSpots, 1.0);
+    base->dose = refs[p].compute(base->weights);
+    bases.push_back(std::move(base));
+  }
+
+  Rng rng(0xde17a5eedULL);
+  const std::size_t rounds = stress_elevated() ? 60 : 16;
+  std::vector<ClientRecord> records;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::size_t p = r % num_plans;
+    std::vector<double> weights = sparse::random_vector(rng, kSpots, 0.0, 2.0);
+    DeltaOptions options;
+    options.priority =
+        r % 2 == 0 ? RequestPriority::kInteractive : RequestPriority::kBulk;
+    Ticket ticket = service.submit_delta(plan_name(p), bases[p], weights,
+                                         options);
+    ASSERT_TRUE(ticket.accepted);
+    records.push_back(
+        ClientRecord{p, std::move(weights), std::move(ticket.result)});
+  }
+  service.drain();
+  for (ClientRecord& record : records) {
+    DoseResult result = record.result.get();
+    ASSERT_EQ(result.status, RequestStatus::kOk) << result.error;
+    expect_bitwise_equal(result.dose,
+                         refs[record.plan_index].compute(record.weights));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Column-slice mode
+
+TEST(ShardSliced, MergedDoseIsBitwiseFullCompute) {
+  // The core slice property: the ordered concatenation of slice doses equals
+  // the full-matrix sequential compute bit for bit, for every slice count
+  // and shard count tried.
+  for (const std::size_t shards : {1UL, 2UL, 4UL}) {
+    for (const std::size_t slices : {2UL, 3UL, 5UL}) {
+      ShardedDoseService service(make_sharded_config(shards, 2, 4, 1));
+      service.register_plan_sliced("liver", [] { return plan_matrix(0); },
+                                   slices);
+      std::vector<kernels::DoseEngine> refs = make_references(1);
+
+      Rng rng(0x51ce5eedULL + shards * 10 + slices);
+      std::vector<ClientRecord> records;
+      const std::size_t requests = stress_elevated() ? 24 : 8;
+      for (std::size_t r = 0; r < requests; ++r) {
+        std::vector<double> weights =
+            sparse::random_vector(rng, kSpots, 0.0, 2.0);
+        Ticket ticket = service.submit("liver", weights);
+        ASSERT_TRUE(ticket.accepted);
+        ASSERT_NE(ticket.id, 0u);
+        records.push_back(
+            ClientRecord{0, std::move(weights), std::move(ticket.result)});
+      }
+      service.drain();
+      for (ClientRecord& record : records) {
+        DoseResult result = record.result.get();
+        ASSERT_EQ(result.status, RequestStatus::kOk) << result.error;
+        ASSERT_GE(result.batch_size, 1u);
+        expect_bitwise_equal(result.dose, refs[0].compute(record.weights));
+      }
+      const ShardedServiceStats stats = service.stats();
+      EXPECT_EQ(stats.sliced_submits, requests);
+    }
+  }
+}
+
+TEST(ShardSliced, MixedSlicedAndWholeTrafficUnderConcurrency) {
+  // Sliced and whole plans share the shards; concurrent clients on both must
+  // not disturb each other's bits.
+  const std::size_t shards = 2;
+  ShardedDoseService service(make_sharded_config(shards, 2, 4, 1));
+  register_plans(service, 2);
+  service.register_plan_sliced("sliced", [] { return plan_matrix(2); }, 3);
+  std::vector<kernels::DoseEngine> refs = make_references(3);
+
+  const std::size_t clients = stress_elevated() ? 6 : 3;
+  const std::size_t requests = stress_elevated() ? 24 : 8;
+  std::vector<std::vector<ClientRecord>> per_client(clients);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&service, &per_client, c, requests] {
+        Rng rng(3000 + c);
+        per_client[c].reserve(requests);
+        for (std::size_t r = 0; r < requests; ++r) {
+          const std::size_t p = rng.uniform_index(3);
+          std::vector<double> weights =
+              sparse::random_vector(rng, kSpots, 0.0, 2.0);
+          SubmitOptions options;
+          options.priority = r % 2 == 0 ? RequestPriority::kInteractive
+                                        : RequestPriority::kBulk;
+          Ticket ticket = service.submit(
+              p == 2 ? std::string("sliced") : plan_name(p), weights, options);
+          ASSERT_TRUE(ticket.accepted);
+          per_client[c].push_back(
+              ClientRecord{p, std::move(weights), std::move(ticket.result)});
+        }
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  service.drain();
+  for (std::vector<ClientRecord>& records : per_client) {
+    for (ClientRecord& record : records) {
+      DoseResult result = record.result.get();
+      ASSERT_EQ(result.status, RequestStatus::kOk) << result.error;
+      expect_bitwise_equal(result.dose,
+                           refs[record.plan_index].compute(record.weights));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Threadcheck integration
+
+TEST(ShardThreadcheck, DoesNotPerturb) {
+  // The full sharded stack with recording AND seeded schedule perturbation
+  // on: doses stay bitwise equal to sequential computes, and the stream
+  // analyzes clean (no race, no lock-order cycle, no condvar lint).
+  const bool env_was_enabled = threadcheck::enabled();
+  threadcheck::reset();
+  threadcheck::CheckConfig check;
+  check.schedule_seed = 0xC0FFEEULL;
+  threadcheck::enable(check);
+
+  constexpr std::size_t kPlans = 2;
+  std::vector<kernels::DoseEngine> refs = make_references(kPlans + 1);
+  {
+    ShardedDoseService service(make_sharded_config(2, 2, 4, 2));
+    register_plans(service, kPlans);
+    service.register_plan_sliced("sliced", [] { return plan_matrix(kPlans); },
+                                 2);
+    Rng rng(0x9e7b5eedULL);
+    std::vector<std::pair<std::size_t, std::vector<double>>> sent;
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < 24; ++i) {
+      const std::size_t p = static_cast<std::size_t>(i) % (kPlans + 1);
+      std::vector<double> weights(kSpots);
+      for (double& w : weights) {
+        w = rng.uniform(0.0, 2.0);
+      }
+      SubmitOptions options;
+      options.priority = i % 2 == 0 ? RequestPriority::kInteractive
+                                    : RequestPriority::kBulk;
+      tickets.push_back(service.submit(
+          p == kPlans ? std::string("sliced") : plan_name(p), weights,
+          options));
+      sent.emplace_back(p, std::move(weights));
+    }
+    service.drain();
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      DoseResult result = tickets[i].result.get();
+      ASSERT_EQ(result.status, RequestStatus::kOk) << result.error;
+      expect_bitwise_equal(result.dose,
+                           refs[sent[i].first].compute(sent[i].second));
+    }
+  }
+
+  const threadcheck::Report report = threadcheck::analyze();
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_GT(report.perturbations, 0u)
+      << "the seed must actually exercise the perturbation hook";
+
+  // Hand the session back the way the environment set it up.
+  threadcheck::disable();
+  threadcheck::reset();
+  if (env_was_enabled) {
+    threadcheck::CheckConfig env_config;
+    env_config.schedule_seed = threadcheck::env_schedule_seed();
+    threadcheck::enable(env_config);
+  }
+}
+
+}  // namespace
+}  // namespace pd::service

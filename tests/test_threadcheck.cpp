@@ -26,6 +26,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/pool.hpp"
 #include "kernels/dose_engine.hpp"
+#include "service/sharded_service.hpp"
 #include "sparse/parallel_spmv.hpp"
 #include "sparse/random.hpp"
 #include "sparse/reference.hpp"
@@ -54,26 +55,55 @@ void expect_only(const Report& report, FindingKind kind, std::uint64_t n) {
   EXPECT_EQ(report.suppressed, 0u) << report.summary();
 }
 
+/// Run `first` then `second` on two *coexisting* threads, sequenced by an
+/// uninstrumented atomic handshake.  The accesses never physically collide
+/// and the release/acquire edge keeps TSan quiet, so racy fixtures can ride
+/// in the TSan CI job next to the real serving stack — while the analyzer,
+/// whose only happens-before edges are pd::Mutex release/acquire pairs,
+/// still flags the missing ordering.  (Plain join-between does not work: a
+/// joined thread's id is routinely reused by the next thread, which would
+/// collapse both bodies onto one recorded thread and lose the finding.)
+void sequenced_threads(const std::function<void()>& first,
+                       const std::function<void()>& second) {
+  std::atomic<bool> ready{false};
+  std::thread a([&] {
+    first();
+    ready.store(true, std::memory_order_release);
+  });
+  std::thread b([&] {
+    while (!ready.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    second();
+  });
+  a.join();
+  b.join();
+}
+
 // ---------------------------------------------------------------------------
 // race pass
 // ---------------------------------------------------------------------------
 
 TEST(ThreadcheckRace, FlagsWriteWriteRace) {
-  // BUG: two threads increment a shared counter with no lock.
+  // BUG: two threads increment a shared counter with no lock.  The
+  // sequenced_threads handshake keeps the increments from physically
+  // colliding, so the fixture is clean under TSan — but the analyzer's only
+  // happens-before edges are mutex release/acquire pairs, never atomics or
+  // thread fork/join, so the unordered accesses are flagged all the same.
+  // Every racy fixture in this file uses this shape.
   SharedState<int> counter{"fixture.racy_counter"};
   const Report report = run_session({}, [&] {
-    std::thread a([&] {
-      for (int i = 0; i < 4; ++i) {
-        ++counter.write();
-      }
-    });
-    std::thread b([&] {
-      for (int i = 0; i < 4; ++i) {
-        ++counter.write();
-      }
-    });
-    a.join();
-    b.join();
+    sequenced_threads(
+        [&] {
+          for (int i = 0; i < 4; ++i) {
+            ++counter.write();
+          }
+        },
+        [&] {
+          for (int i = 0; i < 4; ++i) {
+            ++counter.write();
+          }
+        });
   });
   expect_only(report, FindingKind::kDataRace, 1);
   EXPECT_EQ(report.findings[0].object, "fixture.racy_counter");
@@ -83,22 +113,23 @@ TEST(ThreadcheckRace, FlagsWriteWriteRace) {
 
 TEST(ThreadcheckRace, FlagsReadWriteRace) {
   // BUG: a reader polls a value a writer updates with no synchronization.
+  // The handshake keeps TSan quiet; the analyzer flags the missing
+  // happens-before edge regardless.
   SharedState<double> value{"fixture.racy_value"};
   const Report report = run_session({}, [&] {
-    std::thread writer([&] {
-      for (int i = 0; i < 4; ++i) {
-        value.write() = static_cast<double>(i);
-      }
-    });
-    std::thread reader([&] {
-      double sink = 0.0;
-      for (int i = 0; i < 4; ++i) {
-        sink += value.read();
-      }
-      (void)sink;
-    });
-    writer.join();
-    reader.join();
+    sequenced_threads(
+        [&] {
+          for (int i = 0; i < 4; ++i) {
+            value.write() = static_cast<double>(i);
+          }
+        },
+        [&] {
+          double sink = 0.0;
+          for (int i = 0; i < 4; ++i) {
+            sink += value.read();
+          }
+          (void)sink;
+        });
   });
   expect_only(report, FindingKind::kDataRace, 1);
   EXPECT_NE(report.findings[0].detail.find("read/write"), std::string::npos)
@@ -158,10 +189,7 @@ TEST(ThreadcheckRace, PassCanBeDisabled) {
   CheckConfig config;
   config.race = false;
   const Report report = run_session(config, [&] {
-    std::thread a([&] { ++counter.write(); });
-    std::thread b([&] { ++counter.write(); });
-    a.join();
-    b.join();
+    sequenced_threads([&] { ++counter.write(); }, [&] { ++counter.write(); });
   });
   EXPECT_TRUE(report.clean()) << report.summary();
 }
@@ -402,6 +430,57 @@ TEST(ThreadcheckStack, ParallelSpmvRunsClean) {
   EXPECT_EQ(y, want);
 }
 
+TEST(ThreadcheckStack, ShardedServiceRunsClean) {
+  // The full sharded serving tier under instrumentation: router lock, shard
+  // locks, engine-cache locks, worker condvars, and concurrent clients.
+  // Clean means no race, no lock-order cycle (router -> shard only), no
+  // condvar lint, and no lock held across compute.
+  const Report report = run_session({}, [&] {
+    service::ShardedServiceConfig config;
+    config.shards = 2;
+    config.replication = 2;
+    config.shard.workers = 2;
+    config.shard.batch_cap = 4;
+    config.shard.flush_deadline_ms = 0.5;
+    config.shard.engine_cache_capacity = 2;
+    config.shard.engine.device = gpusim::make_a100();
+    config.shard.engine.backend = kernels::DoseEngine::Backend::kNative;
+    service::ShardedDoseService sharded(config);
+    Rng rng(0x7a5eedULL);
+    const sparse::CsrF64 matrix = sparse::random_csr(
+        rng, 200, 60, 8.0, sparse::RandomStructure::kSkewed);
+    sharded.register_plan("whole", [matrix] { return matrix; });
+    sharded.register_plan_sliced("sliced", [matrix] { return matrix; }, 2);
+
+    std::vector<service::Ticket> tickets;
+    std::vector<std::thread> clients;
+    std::mutex tickets_mu;  // test-local, deliberately uninstrumented
+    for (int c = 0; c < 2; ++c) {
+      clients.emplace_back([&sharded, &tickets, &tickets_mu, c] {
+        for (int i = 0; i < 8; ++i) {
+          service::SubmitOptions options;
+          options.priority = i % 2 == 0
+                                 ? service::RequestPriority::kInteractive
+                                 : service::RequestPriority::kBulk;
+          service::Ticket t = sharded.submit(
+              (c + i) % 2 == 0 ? "whole" : "sliced",
+              std::vector<double>(60, 1.0), options);
+          std::lock_guard<std::mutex> lock(tickets_mu);
+          tickets.push_back(std::move(t));
+        }
+      });
+    }
+    for (std::thread& t : clients) {
+      t.join();
+    }
+    sharded.drain();
+    for (service::Ticket& t : tickets) {
+      EXPECT_EQ(t.result.get().status, service::RequestStatus::kOk);
+    }
+  });
+  EXPECT_TRUE(report.clean()) << report.summary();
+}
+
 // ---------------------------------------------------------------------------
 // Caps, determinism, env plumbing, perturbation
 // ---------------------------------------------------------------------------
@@ -416,10 +495,7 @@ TEST(ThreadcheckCaps, FindingCapCountsSuppressed) {
       ++first.write();
       ++second.write();
     };
-    std::thread a(work);
-    std::thread b(work);
-    a.join();
-    b.join();
+    sequenced_threads(work, work);
   });
   EXPECT_EQ(report.findings.size(), 1u) << report.summary();
   EXPECT_EQ(report.suppressed, 1u) << report.summary();
@@ -444,10 +520,7 @@ TEST(ThreadcheckReport, AnalyzeIsDeterministicAndNonDestructive) {
   SharedState<int> counter{"fixture.repeat"};
   threadcheck::reset();
   threadcheck::enable({});
-  std::thread a([&] { ++counter.write(); });
-  std::thread b([&] { ++counter.write(); });
-  a.join();
-  b.join();
+  sequenced_threads([&] { ++counter.write(); }, [&] { ++counter.write(); });
   threadcheck::disable();
   const Report first = threadcheck::analyze();
   const Report second = threadcheck::analyze();
@@ -532,10 +605,7 @@ TEST(ThreadcheckReport, KindNamesAndSummary) {
 
   SharedState<int> counter{"fixture.summary"};
   const Report report = run_session({}, [&] {
-    std::thread a([&] { ++counter.write(); });
-    std::thread b([&] { ++counter.write(); });
-    a.join();
-    b.join();
+    sequenced_threads([&] { ++counter.write(); }, [&] { ++counter.write(); });
   });
   EXPECT_NE(report.summary().find("data-race"), std::string::npos)
       << report.summary();

@@ -22,6 +22,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "service/dose_service.hpp"
+#include "service/sharded_service.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
@@ -706,6 +707,11 @@ int cmd_serve_replay(int argc, const char* const* argv) {
   cli.add_option("delta-every", "0",
                  "every Nth request per client is an incremental submit_delta "
                  "against a per-client base dose (0 = none)");
+  cli.add_option("shards", "1", "DoseService shards behind the router");
+  cli.add_option("replicate", "1", "replica-set size per plan");
+  cli.add_option("slices", "0",
+                 "register the plan column-sliced into N row blocks "
+                 "(0 = whole plan; incompatible with --delta-every)");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::string backend_str = cli.get("backend");
@@ -721,26 +727,43 @@ int cmd_serve_replay(int argc, const char* const* argv) {
   const auto matrix = load_or_generate(cli);
   const std::size_t spots = matrix.num_cols;
 
-  pd::service::ServiceConfig config;
-  config.workers = static_cast<unsigned>(cli.get_int("workers"));
-  config.batch_cap = static_cast<std::size_t>(cli.get_int("batch-cap"));
-  config.queue_bound = static_cast<std::size_t>(cli.get_int("queue-bound"));
-  config.flush_deadline_ms = cli.get_double("flush-ms");
-  config.default_deadline_ms = cli.get_double("deadline-ms");
-  config.engine.device = pd::gpusim::make_a100();
-  config.engine.backend = backend;
-  pd::service::DoseService service(config);
-  service.register_plan("replay", [&matrix] {
-    return pd::sparse::CsrF64(matrix);
-  });
+  pd::service::ShardedServiceConfig config;
+  config.shards = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("shards")));
+  config.replication = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("replicate")));
+  config.shard.workers = static_cast<unsigned>(cli.get_int("workers"));
+  config.shard.batch_cap = static_cast<std::size_t>(cli.get_int("batch-cap"));
+  config.shard.queue_bound =
+      static_cast<std::size_t>(cli.get_int("queue-bound"));
+  config.shard.flush_deadline_ms = cli.get_double("flush-ms");
+  config.shard.default_deadline_ms = cli.get_double("deadline-ms");
+  config.shard.engine.device = pd::gpusim::make_a100();
+  config.shard.engine.backend = backend;
+
+  const std::size_t slices = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, cli.get_int("slices")));
+  const std::size_t delta_every =
+      static_cast<std::size_t>(
+          std::max<std::int64_t>(0, cli.get_int("delta-every")));
+  if (slices > 0 && delta_every > 0) {
+    throw pd::Error(
+        "--slices and --delta-every are incompatible: a delta base holds a "
+        "full dose, which no single slice shard can update");
+  }
+
+  pd::service::ShardedDoseService service(config);
+  const auto source = [&matrix] { return pd::sparse::CsrF64(matrix); };
+  if (slices > 0) {
+    service.register_plan_sliced("replay", source, slices);
+  } else {
+    service.register_plan("replay", source);
+  }
 
   const std::size_t clients = static_cast<std::size_t>(cli.get_int("clients"));
   const std::size_t requests =
       static_cast<std::size_t>(cli.get_int("requests"));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  const std::size_t delta_every =
-      static_cast<std::size_t>(
-          std::max<std::int64_t>(0, cli.get_int("delta-every")));
 
   pd::WallTimer timer;
   std::vector<std::vector<pd::service::Ticket>> tickets(clients);
@@ -800,31 +823,63 @@ int cmd_serve_replay(int argc, const char* const* argv) {
   }
   const double elapsed_s = timer.seconds();
 
-  const pd::service::ServiceStats stats = service.stats();
+  const pd::service::ShardedServiceStats stats = service.stats();
+  std::uint64_t batches = 0, delta_batches = 0, rejected = 0, expired = 0;
+  std::uint64_t hits = 0, misses = 0, evictions = 0;
+  std::size_t max_depth = 0;
+  double batch_requests = 0.0, p50 = 0.0, p99 = 0.0;
+  std::string routed;
+  for (const pd::service::ServiceStats& shard : stats.shards) {
+    batches += shard.batches;
+    delta_batches += shard.delta_batches;
+    rejected += shard.rejected;
+    expired += shard.expired;
+    hits += shard.cache.hits;
+    misses += shard.cache.misses;
+    evictions += shard.cache.evictions;
+    max_depth = std::max(max_depth, shard.max_queue_depth);
+    batch_requests +=
+        static_cast<double>(shard.batches) * shard.mean_batch_size();
+    p50 = std::max(p50, shard.p50_latency_ms);
+    p99 = std::max(p99, shard.p99_latency_ms);
+  }
+  for (const std::uint64_t n : stats.routed_per_shard) {
+    routed += (routed.empty() ? "" : " / ") + std::to_string(n);
+  }
+
   pd::TextTable t({"quantity", "value"});
   t.add_row({"backend", backend_str});
+  t.add_row({"shards / replicate / slices",
+             std::to_string(config.shards) + " / " +
+                 std::to_string(config.replication) + " / " +
+                 std::to_string(slices)});
   t.add_row({"workers / batch cap",
-             std::to_string(config.workers) + " / " +
-                 std::to_string(config.batch_cap)});
+             std::to_string(config.shard.workers) + " / " +
+                 std::to_string(config.shard.batch_cap)});
   t.add_row({"requests ok / other",
              std::to_string(ok) + " / " + std::to_string(other)});
   t.add_row({"throughput", pd::fmt_double(
                                static_cast<double>(ok) / elapsed_s, 1) +
                                " req/s"});
-  t.add_row({"compute_batch launches", std::to_string(stats.batches)});
-  t.add_row({"delta launches", std::to_string(stats.delta_batches)});
-  t.add_row({"mean batch size", pd::fmt_double(stats.mean_batch_size(), 2)});
-  t.add_row({"p50 / p99 latency",
-             pd::fmt_double(stats.p50_latency_ms, 2) + " / " +
-                 pd::fmt_double(stats.p99_latency_ms, 2) + " ms"});
-  t.add_row({"max queue depth", std::to_string(stats.max_queue_depth)});
+  t.add_row({"routed per shard", routed});
+  t.add_row({"rerouted / replica spills",
+             std::to_string(stats.rerouted) + " / " +
+                 std::to_string(stats.replica_spills)});
+  t.add_row({"compute_batch launches", std::to_string(batches)});
+  t.add_row({"delta launches", std::to_string(delta_batches)});
+  t.add_row({"mean batch size",
+             pd::fmt_double(batches > 0 ? batch_requests /
+                                              static_cast<double>(batches)
+                                        : 0.0,
+                            2)});
+  t.add_row({"p50 / p99 latency (worst shard)",
+             pd::fmt_double(p50, 2) + " / " + pd::fmt_double(p99, 2) + " ms"});
+  t.add_row({"max queue depth (worst shard)", std::to_string(max_depth)});
   t.add_row({"rejected / expired",
-             std::to_string(stats.rejected) + " / " +
-                 std::to_string(stats.expired)});
+             std::to_string(rejected) + " / " + std::to_string(expired)});
   t.add_row({"cache hit / miss / evict",
-             std::to_string(stats.cache.hits) + " / " +
-                 std::to_string(stats.cache.misses) + " / " +
-                 std::to_string(stats.cache.evictions)});
+             std::to_string(hits) + " / " + std::to_string(misses) + " / " +
+                 std::to_string(evictions)});
   std::cout << t.str();
   return 0;
 }
